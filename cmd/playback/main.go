@@ -1,0 +1,158 @@
+// Command playback generates synthetic HTTP traces calibrated to the
+// paper's measurements (§4.1) and replays them against a live TranSend
+// instance at controlled rates — the "high performance trace playback
+// engine" used for all the load experiments.
+//
+//	playback -gen -out trace.jsonl -duration 10m        generate
+//	playback -stats trace.jsonl                          summarize
+//	playback -replay trace.jsonl -rate 50 -for 30s       constant rate
+//	playback -replay trace.jsonl -speedup 60 -for 30s    faithful (60x)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/distiller"
+	"repro/internal/manager"
+	"repro/internal/sim"
+	"repro/internal/tacc"
+	"repro/internal/trace"
+)
+
+func main() {
+	gen := flag.Bool("gen", false, "generate a trace")
+	out := flag.String("out", "trace.jsonl", "output path for -gen")
+	duration := flag.Duration("duration", 10*time.Minute, "trace duration for -gen")
+	users := flag.Int("users", 8000, "user population for -gen")
+	seed := flag.Int64("seed", 1, "random seed")
+	statsPath := flag.String("stats", "", "summarize a trace file")
+	replay := flag.String("replay", "", "replay a trace against a fresh TranSend instance")
+	rate := flag.Float64("rate", 0, "constant-rate replay, req/s (0 = faithful)")
+	speedup := flag.Float64("speedup", 1, "faithful-mode time compression")
+	limit := flag.Duration("for", 30*time.Second, "replay time limit")
+	flag.Parse()
+
+	switch {
+	case *gen:
+		cfg := trace.DefaultConfig(*seed)
+		cfg.Duration = *duration
+		cfg.Users = *users
+		records := trace.Generate(cfg)
+		if err := trace.WriteFile(*out, records); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d records (%s of traffic) to %s\n", len(records), *duration, *out)
+	case *statsPath != "":
+		records, err := trace.ReadFile(*statsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		summarize(records)
+	case *replay != "":
+		records, err := trace.ReadFile(*replay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		replayTrace(records, *rate, *speedup, *limit)
+	default:
+		flag.Usage()
+	}
+}
+
+func summarize(records []trace.Record) {
+	if len(records) == 0 {
+		fmt.Println("empty trace")
+		return
+	}
+	span := records[len(records)-1].T - records[0].T
+	mimes := map[string]int{}
+	var sizes sim.Welford
+	users := map[int]bool{}
+	objects := map[int]bool{}
+	for _, r := range records {
+		mimes[r.MIME]++
+		sizes.Add(float64(r.Size))
+		users[r.User] = true
+		objects[r.Object] = true
+	}
+	fmt.Printf("records:  %d over %s (%.1f req/s)\n", len(records), span.Round(time.Second),
+		float64(len(records))/span.Seconds())
+	fmt.Printf("users:    %d active, objects: %d unique\n", len(users), len(objects))
+	fmt.Printf("sizes:    mean %.0f B, max %.0f B\n", sizes.Mean(), sizes.Max)
+	fmt.Printf("mime mix:")
+	for m, n := range mimes {
+		fmt.Printf("  %s %.0f%%", m, 100*float64(n)/float64(len(records)))
+	}
+	fmt.Println()
+	counts := trace.Bucketize(timestamps(records), 0, span, time.Minute)
+	avg, peak := trace.BucketStats(counts, time.Minute)
+	fmt.Printf("arrivals: avg %.1f req/s, peak %.1f req/s per minute bucket\n", avg, peak)
+}
+
+func timestamps(records []trace.Record) []time.Duration {
+	out := make([]time.Duration, len(records))
+	for i, r := range records {
+		out[i] = r.T
+	}
+	return out
+}
+
+func replayTrace(records []trace.Record, rate, speedup float64, limit time.Duration) {
+	registry := tacc.NewRegistry()
+	distiller.RegisterAll(registry)
+	sys, err := core.Start(core.Config{
+		Seed:      1,
+		FrontEnds: 2,
+		Workers: map[string]int{
+			distiller.ClassSGIF: 2,
+			distiller.ClassSJPG: 2,
+			distiller.ClassHTML: 1,
+		},
+		Registry: registry,
+		Rules:    distiller.TranSendRules(),
+		Policy: manager.Policy{
+			SpawnThreshold: 10,
+			Damping:        3 * time.Second,
+			ReapThreshold:  0.5,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Stop()
+	if !sys.WaitReady(15 * time.Second) {
+		log.Fatal("system did not come up")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), limit)
+	defer cancel()
+	player := &trace.Player{Concurrency: 256, Speedup: speedup}
+	do := func(ctx context.Context, rec trace.Record) error {
+		_, err := sys.Request(ctx, rec.URL, fmt.Sprintf("user%d", rec.User))
+		return err
+	}
+	var st trace.Stats
+	if rate > 0 {
+		fmt.Printf("replaying %d records at a constant %.0f req/s (limit %s)...\n",
+			len(records), rate, limit)
+		st = player.PlayConstant(ctx, records, rate, do)
+	} else {
+		fmt.Printf("replaying %d records faithfully at %gx (limit %s)...\n",
+			len(records), speedup, limit)
+		st = player.PlayFaithful(ctx, records, do)
+	}
+	q := sim.Quantiles(st.Latencies, 0.5, 0.95, 0.99)
+	fmt.Printf("issued %d requests in %s (%.1f req/s), %d errors\n",
+		st.Issued, st.Elapsed.Round(time.Millisecond), st.Offered, st.Errors)
+	fmt.Printf("latency: mean %.1f ms, p50 %.1f ms, p95 %.1f ms, p99 %.1f ms\n",
+		st.Latency.Mean()*1000, q[0]*1000, q[1]*1000, q[2]*1000)
+	for _, fe := range sys.FrontEnds() {
+		fmt.Printf("%s stats: %+v\n", fe.ID(), fe.Stats())
+	}
+	fmt.Printf("manager: %+v\n", sys.Manager().Stats())
+}

@@ -1,0 +1,171 @@
+// Command transend runs the TranSend distillation proxy as a real
+// HTTP service on localhost: the paper's deployment scenario with the
+// dialup modem bank replaced by your browser or curl.
+//
+//	go run ./cmd/transend -listen :8089
+//
+// Endpoints:
+//
+//	GET /fetch?url=<synthetic-url>&user=<id>   proxy + distill a page
+//	GET /fetch?url=...&raw=1                   bypass distillation
+//	GET /prefs?user=<id>&key=<k>&val=<v>       set a profile entry
+//	GET /prefs?user=<id>                       show a profile
+//	GET /status                                monitor's system view
+//	GET /chaos?kill=worker|manager|frontend    fault injection
+//
+// Synthetic URLs look like http://origin7.example/obj123.sjpg — any
+// obj<N>.<sgif|sjpg|html> works; content is generated deterministically
+// by the simulated origin universe.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/distiller"
+	"repro/internal/frontend"
+	"repro/internal/manager"
+	"repro/internal/tacc"
+)
+
+func main() {
+	listen := flag.String("listen", ":8089", "HTTP listen address")
+	frontEnds := flag.Int("frontends", 2, "front ends")
+	cacheParts := flag.Int("caches", 2, "cache partitions")
+	nodes := flag.Int("nodes", 8, "dedicated cluster nodes")
+	overflow := flag.Int("overflow", 2, "overflow pool nodes")
+	spawnH := flag.Float64("H", 10, "spawn threshold (avg queue length)")
+	dampD := flag.Duration("D", 5*time.Second, "spawn damping window")
+	profileDir := flag.String("profiles", "", "profile DB directory (empty = temp)")
+	flag.Parse()
+
+	registry := tacc.NewRegistry()
+	distiller.RegisterAll(registry)
+	sys, err := core.Start(core.Config{
+		Seed:           time.Now().UnixNano(),
+		DedicatedNodes: *nodes,
+		OverflowNodes:  *overflow,
+		FrontEnds:      *frontEnds,
+		CacheParts:     *cacheParts,
+		Workers: map[string]int{
+			distiller.ClassSGIF: 1,
+			distiller.ClassSJPG: 1,
+			distiller.ClassHTML: 1,
+		},
+		Registry:   registry,
+		Rules:      distiller.TranSendRules(),
+		ProfileDir: *profileDir,
+		Policy: manager.Policy{
+			SpawnThreshold: *spawnH,
+			Damping:        *dampD,
+			ReapThreshold:  0.5,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Stop()
+	if !sys.WaitReady(15 * time.Second) {
+		log.Fatal("transend: system did not come up")
+	}
+	log.Printf("transend: cluster up — %d nodes, %d front ends, %d cache partitions",
+		*nodes, *frontEnds, *cacheParts)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fetch", func(w http.ResponseWriter, r *http.Request) {
+		url := r.URL.Query().Get("url")
+		if url == "" {
+			http.Error(w, "missing url parameter", http.StatusBadRequest)
+			return
+		}
+		user := r.URL.Query().Get("user")
+		raw := r.URL.Query().Get("raw") != ""
+		ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+		defer cancel()
+		var resp frontend.Response
+		var err error
+		fes := sys.FrontEnds()
+		for i := range fes {
+			if !fes[i].Running() {
+				continue
+			}
+			resp, err = fes[i].Do(ctx, frontend.Request{URL: url, User: user, Raw: raw})
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("Content-Type", httpMIME(resp.Blob.MIME))
+		w.Header().Set("X-TranSend-Source", resp.Source)
+		if orig := resp.Blob.Meta["origSize"]; orig != "" {
+			w.Header().Set("X-TranSend-Original-Size", orig)
+		}
+		w.Write(resp.Blob.Data)
+	})
+	mux.HandleFunc("/prefs", func(w http.ResponseWriter, r *http.Request) {
+		user := r.URL.Query().Get("user")
+		if user == "" {
+			http.Error(w, "missing user parameter", http.StatusBadRequest)
+			return
+		}
+		key, val := r.URL.Query().Get("key"), r.URL.Query().Get("val")
+		if key != "" {
+			if err := sys.SetProfile(user, key, val); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+		}
+		fmt.Fprintf(w, "profile %s: %v\n", user, sys.Profile.Get(user))
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, sys.Mon.RenderTable())
+		for _, fe := range sys.FrontEnds() {
+			st := fe.Stats()
+			fmt.Fprintf(w, "%s: %+v\n", fe.ID(), st)
+		}
+	})
+	mux.HandleFunc("/chaos", func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Query().Get("kill") {
+		case "manager":
+			sys.KillManager()
+			fmt.Fprintln(w, "manager killed; front-end watchdog will restart it")
+		case "frontend":
+			sys.KillFrontEnd("fe0")
+			fmt.Fprintln(w, "fe0 killed; manager will restart it")
+		case "worker":
+			for _, fe := range sys.FrontEnds() {
+				for _, wk := range fe.ManagerStub().Workers(distiller.ClassSJPG) {
+					sys.KillWorker(wk.ID)
+					fmt.Fprintf(w, "%s killed; manager will replace it\n", wk.ID)
+					return
+				}
+			}
+			fmt.Fprintln(w, "no sjpg worker found")
+		default:
+			http.Error(w, "kill=worker|manager|frontend", http.StatusBadRequest)
+		}
+	})
+
+	log.Printf("transend: listening on %s — try /fetch?url=http://origin1.example/obj42.sjpg", *listen)
+	log.Fatal(http.ListenAndServe(*listen, mux))
+}
+
+// httpMIME maps synthetic MIME types onto something browsers accept.
+func httpMIME(mime string) string {
+	if strings.HasPrefix(mime, "image/") {
+		return "application/octet-stream" // synthetic codecs
+	}
+	if mime == "" {
+		return "application/octet-stream"
+	}
+	return mime
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Cluster-Based
+// Scalable Network Services" (Fox, Gribble, Chawathe, Brewer, and
+// Gauthier — SOSP 1997): the layered SNS/TACC architecture, the
+// TranSend distillation proxy and HotBot-style search engine built on
+// it, and a harness that regenerates every table and figure in the
+// paper's evaluation.
+//
+// Start with README.md for the tour, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for the
+// paper-vs-measured comparison. The benchmarks in bench_test.go (one
+// per reproduced artifact) and cmd/experiments regenerate the results.
+package repro

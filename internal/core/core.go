@@ -1,0 +1,605 @@
+// Package core is the off-the-shelf SNS platform (paper §2): it
+// assembles the cluster, SAN, manager, front ends, cache partitions,
+// monitor, and profile database into a running system, and wires the
+// process-peer fault-tolerance loops (front ends restart the manager;
+// the manager restarts front ends and workers).
+//
+// A new service is exactly what the paper promises: register TACC
+// worker classes, supply a dispatch rule, call Start. Everything below
+// the Service/TACC layers — scaling, load balancing, overflow, failure
+// management, monitoring — comes from here, unchanged, for every
+// service.
+package core
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/frontend"
+	"repro/internal/manager"
+	"repro/internal/monitor"
+	"repro/internal/origin"
+	"repro/internal/profiledb"
+	"repro/internal/san"
+	"repro/internal/stub"
+	"repro/internal/tacc"
+	"repro/internal/vcache"
+)
+
+// Config describes a deployment.
+type Config struct {
+	Seed int64
+
+	// Topology.
+	DedicatedNodes int // worker/cache/FE hosts (default 8)
+	OverflowNodes  int // burst-absorbing pool (§2.2.3)
+	ProcsPerNode   int // capacity heuristic per node (default 8)
+
+	// Components.
+	FrontEnds  int
+	CacheParts int
+	// CacheBudget is bytes per cache partition (default 64 MiB).
+	CacheBudget int64
+	// Workers maps class -> initial replica count.
+	Workers map[string]int
+
+	// Service definition.
+	Registry *tacc.Registry
+	Rules    tacc.DispatchRule
+	Origin   origin.Fetcher
+
+	// ProfileDir holds the ACID profile database; empty uses a
+	// fresh temporary directory.
+	ProfileDir string
+
+	// Tuning.
+	Policy         manager.Policy
+	BeaconInterval time.Duration
+	ReportInterval time.Duration
+	CallTimeout    time.Duration
+	FEThreads      int
+	CacheTTL       time.Duration
+	MinDistillSize int
+	// CacheServiceTime optionally models per-hit cache cost (§4.4).
+	CacheServiceTime func() time.Duration
+	// DisableDeltaEstimator turns off the §4.5 queue-delta fix
+	// (used by the oscillation ablation).
+	DisableDeltaEstimator bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.DedicatedNodes <= 0 {
+		c.DedicatedNodes = 8
+	}
+	if c.ProcsPerNode <= 0 {
+		c.ProcsPerNode = 8
+	}
+	if c.FrontEnds <= 0 {
+		c.FrontEnds = 1
+	}
+	if c.CacheParts <= 0 {
+		c.CacheParts = 2
+	}
+	if c.CacheBudget <= 0 {
+		c.CacheBudget = 64 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = tacc.NewRegistry()
+	}
+	if c.BeaconInterval <= 0 {
+		c.BeaconInterval = stub.DefaultBeaconInterval
+	}
+	if c.ReportInterval <= 0 {
+		c.ReportInterval = c.BeaconInterval
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = stub.DefaultCallTimeout
+	}
+	if c.FEThreads <= 0 {
+		c.FEThreads = 64
+	}
+	if c.Policy == (manager.Policy{}) {
+		c.Policy = manager.DefaultPolicy()
+	}
+	return c
+}
+
+// System is a running SNS deployment.
+type System struct {
+	cfg Config
+
+	Net     *san.Network
+	Cluster *cluster.Cluster
+	DB      *profiledb.DB
+	Profile *profiledb.ReadCache
+	Mon     *monitor.Monitor
+
+	cacheNodes map[string]san.Addr
+
+	mu          sync.Mutex
+	mgr         *manager.Manager
+	mgrHandle   *cluster.Handle
+	mgrEpoch    int
+	lastMgrFix  time.Time
+	fes         map[string]*frontend.FrontEnd
+	feNodes     map[string]string
+	feOrder     []string
+	workerNodes map[string]string
+
+	workerSeq atomic.Int64
+	rr        atomic.Uint64
+	tmpDir    string
+	stopped   atomic.Bool
+}
+
+// Start builds and boots a system.
+func Start(cfg Config) (*System, error) {
+	cfg = cfg.withDefaults()
+	s := &System{
+		cfg:         cfg,
+		cacheNodes:  make(map[string]san.Addr),
+		fes:         make(map[string]*frontend.FrontEnd),
+		feNodes:     make(map[string]string),
+		workerNodes: make(map[string]string),
+	}
+	s.Net = san.NewNetwork(cfg.Seed)
+	s.Cluster = cluster.New(s.Net)
+	for i := 0; i < cfg.DedicatedNodes; i++ {
+		s.Cluster.AddNode(fmt.Sprintf("node%d", i), false)
+	}
+	for i := 0; i < cfg.OverflowNodes; i++ {
+		s.Cluster.AddNode(fmt.Sprintf("ovf%d", i), true)
+	}
+
+	// ACID island: the profile database.
+	dir := cfg.ProfileDir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "sns-profiles-*")
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		s.tmpDir = tmp
+		dir = tmp
+	}
+	db, err := profiledb.Open(dir)
+	if err != nil {
+		s.cleanup()
+		return nil, err
+	}
+	s.DB = db
+	s.Profile = profiledb.NewReadCache(db)
+
+	if s.cfg.Origin == nil {
+		s.cfg.Origin = origin.NewSimulated(cfg.Seed)
+	}
+
+	// Cache partitions.
+	for i := 0; i < cfg.CacheParts; i++ {
+		name := fmt.Sprintf("cache%d", i)
+		node := s.placeOrErr()
+		if node == "" {
+			s.cleanup()
+			return nil, fmt.Errorf("core: no node for %s", name)
+		}
+		svc := vcache.NewService(name, s.Net, node, vcache.NewPartition(cfg.CacheBudget, nil))
+		svc.ServiceTime = cfg.CacheServiceTime
+		if _, err := s.Cluster.Spawn(node, svc); err != nil {
+			s.cleanup()
+			return nil, err
+		}
+		s.cacheNodes[name] = svc.Addr()
+	}
+
+	// Manager.
+	if err := s.spawnManager(); err != nil {
+		s.cleanup()
+		return nil, err
+	}
+
+	// Monitor.
+	s.Mon = monitor.New(monitor.Config{
+		Node:         s.placeOrErr(),
+		Net:          s.Net,
+		SilenceAfter: 4 * cfg.ReportInterval,
+	})
+	if _, err := s.Cluster.Spawn(s.Mon.Addr().Node, s.Mon); err != nil {
+		s.cleanup()
+		return nil, err
+	}
+
+	// Initial workers.
+	sp := &spawner{s: s}
+	for class, n := range cfg.Workers {
+		for i := 0; i < n; i++ {
+			if _, err := sp.SpawnWorker(class, false); err != nil {
+				s.cleanup()
+				return nil, err
+			}
+		}
+	}
+
+	// Front ends.
+	for i := 0; i < cfg.FrontEnds; i++ {
+		name := fmt.Sprintf("fe%d", i)
+		node := s.placeOrErr()
+		if err := s.spawnFrontEnd(name, node); err != nil {
+			s.cleanup()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (s *System) placeOrErr() string {
+	return s.Cluster.Place(false, nil)
+}
+
+func (s *System) cleanup() {
+	s.Cluster.StopAll()
+	if s.DB != nil {
+		s.DB.Close()
+	}
+	if s.tmpDir != "" {
+		os.RemoveAll(s.tmpDir)
+	}
+}
+
+// Stop shuts the whole system down.
+func (s *System) Stop() {
+	if !s.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	s.cleanup()
+}
+
+// spawnManager starts (or restarts) the centralized manager. Each
+// epoch gets a distinct process name so a lingering old instance can
+// never collide with its replacement.
+func (s *System) spawnManager() error {
+	s.mu.Lock()
+	s.mgrEpoch++
+	name := "manager"
+	if s.mgrEpoch > 1 {
+		name = fmt.Sprintf("manager.%d", s.mgrEpoch)
+	}
+	s.mu.Unlock()
+	node := s.placeOrErr()
+	if node == "" {
+		return fmt.Errorf("core: no node for manager")
+	}
+	m := manager.New(manager.Config{
+		Name:           name,
+		Node:           node,
+		Net:            s.Net,
+		Policy:         s.cfg.Policy,
+		BeaconInterval: s.cfg.BeaconInterval,
+		WorkerTTL:      5 * s.cfg.ReportInterval,
+		FETTL:          6 * s.cfg.BeaconInterval,
+		Spawner:        &spawner{s: s},
+	})
+	h, err := s.Cluster.Spawn(node, m)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.mgr = m
+	s.mgrHandle = h
+	s.mu.Unlock()
+	return nil
+}
+
+// Manager returns the current manager instance.
+func (s *System) Manager() *manager.Manager {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mgr
+}
+
+// restartManager is the front ends' process-peer action ("the front
+// end detects and restarts a crashed manager", §3.1.3). A cooldown
+// keeps multiple front ends from racing to restart it.
+func (s *System) restartManager() {
+	if s.stopped.Load() {
+		return
+	}
+	s.mu.Lock()
+	if time.Since(s.lastMgrFix) < 2*s.cfg.BeaconInterval {
+		s.mu.Unlock()
+		return
+	}
+	s.lastMgrFix = time.Now()
+	old := s.mgrHandle
+	s.mu.Unlock()
+	if old != nil {
+		old.Kill()
+	}
+	_ = s.spawnManager()
+}
+
+// spawnFrontEnd builds and spawns one front end.
+func (s *System) spawnFrontEnd(name, node string) error {
+	if node == "" {
+		return fmt.Errorf("core: no node for %s", name)
+	}
+	fe := frontend.New(frontend.Config{
+		Name:              name,
+		Node:              node,
+		Net:               s.Net,
+		Rules:             s.cfg.Rules,
+		Profiles:          s.Profile,
+		Origin:            s.cfg.Origin,
+		CacheNodes:        s.cacheNodes,
+		Threads:           s.cfg.FEThreads,
+		CacheTTL:          s.cfg.CacheTTL,
+		HeartbeatInterval: s.cfg.BeaconInterval,
+		MinDistillSize:    s.cfg.MinDistillSize,
+		ManagerStub: stub.ManagerStubConfig{
+			Seed:             s.cfg.Seed,
+			CallTimeout:      s.cfg.CallTimeout,
+			UseDelta:         !s.cfg.DisableDeltaEstimator,
+			WorkerTTL:        20 * s.cfg.BeaconInterval,
+			ManagerTimeout:   5 * s.cfg.BeaconInterval,
+			OnManagerSilence: s.restartManager,
+		},
+	})
+	if _, err := s.Cluster.Spawn(node, fe); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.fes[name] = fe
+	s.feNodes[name] = node
+	if !contains(s.feOrder, name) {
+		s.feOrder = append(s.feOrder, name)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// FrontEnds returns the live front-end instances in creation order.
+func (s *System) FrontEnds() []*frontend.FrontEnd {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*frontend.FrontEnd, 0, len(s.feOrder))
+	for _, name := range s.feOrder {
+		if fe, ok := s.fes[name]; ok {
+			out = append(out, fe)
+		}
+	}
+	return out
+}
+
+// WaitReady blocks until the system is serviceable: every front end's
+// receive loop is running and has heard a manager beacon, and the
+// initially configured workers have registered. It returns false on
+// timeout.
+func (s *System) WaitReady(timeout time.Duration) bool {
+	want := 0
+	for _, n := range s.cfg.Workers {
+		want += n
+	}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		ready := s.Manager().Stats().Workers >= want
+		for _, fe := range s.FrontEnds() {
+			if !fe.Running() || fe.ManagerStub().Stats().BeaconsSeen == 0 {
+				ready = false
+				break
+			}
+		}
+		if len(s.FrontEnds()) == 0 {
+			ready = false
+		}
+		if ready {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return false
+}
+
+// Request submits a client request, round-robining across live front
+// ends — the in-process analogue of the paper's client-side load
+// balancing (JavaScript auto-config / round-robin DNS, §3.1.2).
+func (s *System) Request(ctx context.Context, url, user string) (frontend.Response, error) {
+	fes := s.FrontEnds()
+	if len(fes) == 0 {
+		return frontend.Response{}, fmt.Errorf("core: no front ends")
+	}
+	start := int(s.rr.Add(1))
+	var lastErr error
+	for i := 0; i < len(fes); i++ {
+		fe := fes[(start+i)%len(fes)]
+		if !fe.Running() {
+			continue // masks transient front end failures
+		}
+		resp, err := fe.Do(ctx, frontend.Request{URL: url, User: user})
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("core: no running front end")
+	}
+	return frontend.Response{}, lastErr
+}
+
+// SetProfile writes one user preference through to the ACID store.
+func (s *System) SetProfile(user, key, val string) error {
+	return s.Profile.Set(user, key, val)
+}
+
+// spawner implements manager.Spawner against the live cluster.
+type spawner struct{ s *System }
+
+// SpawnWorker places a fresh worker stub on the least-loaded eligible
+// node.
+func (sp *spawner) SpawnWorker(class string, overflow bool) (stub.WorkerInfo, error) {
+	s := sp.s
+	w, err := s.cfg.Registry.New(class)
+	if err != nil {
+		return stub.WorkerInfo{}, err
+	}
+	var node string
+	if overflow {
+		node = s.Cluster.Place(true, func(n cluster.Node) bool { return n.Overflow })
+	} else {
+		node = s.Cluster.Place(false, func(n cluster.Node) bool {
+			return len(n.Procs) < s.cfg.ProcsPerNode
+		})
+		if node == "" {
+			// Dedicated pool exhausted: recruit overflow (§2.2.3).
+			node = s.Cluster.Place(true, func(n cluster.Node) bool { return n.Overflow })
+			overflow = node != ""
+		}
+	}
+	if node == "" {
+		return stub.WorkerInfo{}, fmt.Errorf("core: no capacity for worker class %s", class)
+	}
+	id := fmt.Sprintf("%s.%d", class, s.workerSeq.Add(1))
+	ws := stub.NewWorkerStub(id, node, w, s.Net, stub.WorkerConfig{
+		ReportInterval: s.cfg.ReportInterval,
+		Overflow:       overflow,
+	})
+	if _, err := s.Cluster.Spawn(node, ws); err != nil {
+		return stub.WorkerInfo{}, err
+	}
+	s.mu.Lock()
+	s.workerNodes[id] = node
+	s.mu.Unlock()
+	return ws.Info(), nil
+}
+
+// ReapWorker stops a worker process.
+func (sp *spawner) ReapWorker(id string) error {
+	s := sp.s
+	s.mu.Lock()
+	node, ok := s.workerNodes[id]
+	if ok {
+		delete(s.workerNodes, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: unknown worker %s", id)
+	}
+	return s.Cluster.KillProcess(node, id)
+}
+
+// RestartFrontEnd is the manager's process-peer action. Restart means
+// stop-then-start: if the silence was a false alarm (a live but slow
+// front end), the old instance is killed first so the replacement can
+// claim its name — the paper's watchers restart peers, they never try
+// to coexist with them.
+func (sp *spawner) RestartFrontEnd(name string) error {
+	s := sp.s
+	if s.stopped.Load() {
+		return fmt.Errorf("core: system stopped")
+	}
+	s.mu.Lock()
+	node := s.feNodes[name]
+	s.mu.Unlock()
+	if node == "" {
+		return fmt.Errorf("core: unknown front end %s", name)
+	}
+	_ = s.Cluster.KillProcess(node, name) // usually already dead
+	// If the node itself died, move the front end.
+	for _, n := range s.Cluster.Nodes() {
+		if n.ID == node && !n.Alive {
+			node = s.placeOrErr()
+			break
+		}
+	}
+	return s.spawnFrontEnd(name, node)
+}
+
+// HasDedicatedCapacity reports whether any dedicated node has room.
+func (sp *spawner) HasDedicatedCapacity() bool {
+	s := sp.s
+	node := s.Cluster.Place(false, func(n cluster.Node) bool {
+		return len(n.Procs) < s.cfg.ProcsPerNode
+	})
+	return node != ""
+}
+
+// KillWorker crashes a worker abruptly (fault injection for tests and
+// experiments): its endpoint drops off the SAN before the process is
+// cancelled, so no deregistration reaches the manager — the loss must
+// be inferred by timeout, exactly as for a real crash (§3.1.3).
+func (s *System) KillWorker(id string) error {
+	s.mu.Lock()
+	node, ok := s.workerNodes[id]
+	if ok {
+		delete(s.workerNodes, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: unknown worker %s", id)
+	}
+	s.Net.Drop(san.Addr{Node: node, Proc: id})
+	// The endpoint closure usually makes the stub exit on its own;
+	// a racing "already gone" from the cluster is success here.
+	if err := s.Cluster.KillProcess(node, id); err != nil && !s.stopped.Load() {
+		return nil
+	}
+	return nil
+}
+
+// KillFrontEnd crashes a front end process.
+func (s *System) KillFrontEnd(name string) error {
+	s.mu.Lock()
+	node := s.feNodes[name]
+	s.mu.Unlock()
+	if node == "" {
+		return fmt.Errorf("core: unknown front end %s", name)
+	}
+	return s.Cluster.KillProcess(node, name)
+}
+
+// KillManager crashes the manager process.
+func (s *System) KillManager() error {
+	s.mu.Lock()
+	h := s.mgrHandle
+	s.mu.Unlock()
+	if h == nil {
+		return fmt.Errorf("core: no manager")
+	}
+	h.Kill()
+	return nil
+}
+
+// Workers returns the ids of currently tracked worker processes
+// (spawned and not yet reaped/killed), sorted.
+func (s *System) Workers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.workerNodes))
+	for id := range s.workerNodes {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CacheNodes returns the cache partition addresses.
+func (s *System) CacheNodes() map[string]san.Addr {
+	out := make(map[string]san.Addr, len(s.cacheNodes))
+	for k, v := range s.cacheNodes {
+		out[k] = v
+	}
+	return out
+}

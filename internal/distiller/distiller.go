@@ -1,0 +1,149 @@
+// Package distiller implements TranSend's datatype-specific workers
+// (paper §3.1.6) and the additional TACC services of §5.1. Each worker
+// is a stateless tacc.Worker: it reads its parameters from the stage
+// definition and the user profile, does real computation on the
+// content, and returns the transformed blob. Workers deliberately make
+// no fault-tolerance or threading decisions — that is the worker
+// stub's job.
+//
+// Profile/parameter keys honored by the image distillers:
+//
+//	scale    integer downscale factor (default 2)
+//	colors   SGIF palette size after distillation (default 16)
+//	quality  SJPG re-encode quality (default 25)
+//	blur     optional low-pass radius before encoding (default 0)
+//	minsize  objects at or below this size pass through untouched
+//	         (default 1024 — the paper's 1 KB distillation threshold)
+package distiller
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/media"
+	"repro/internal/tacc"
+)
+
+// Worker class names.
+const (
+	ClassSGIF    = "distill-sgif"
+	ClassSJPG    = "distill-sjpg"
+	ClassHTML    = "munge-html"
+	ClassKeyword = "filter-keyword"
+	ClassCulture = "aggregate-culture"
+	ClassSearch  = "aggregate-metasearch"
+	ClassEncrypt = "rewebber-encrypt"
+	ClassDecrypt = "rewebber-decrypt"
+	ClassThin    = "thin-client"
+)
+
+// DefaultMinSize is the 1 KB distillation threshold from §4.1:
+// "data under 1 KB is transferred to the client unmodified, since
+// distillation of such small content rarely results in a size
+// reduction."
+const DefaultMinSize = 1024
+
+// RegisterAll installs every worker class in a registry.
+func RegisterAll(reg *tacc.Registry) {
+	reg.Register(ClassSGIF, func() tacc.Worker { return SGIFDistiller{} })
+	reg.Register(ClassSJPG, func() tacc.Worker { return SJPGDistiller{} })
+	reg.Register(ClassHTML, func() tacc.Worker { return HTMLMunger{} })
+	reg.Register(ClassKeyword, func() tacc.Worker { return KeywordFilter{} })
+	reg.Register(ClassCulture, func() tacc.Worker { return CultureAggregator{} })
+	reg.Register(ClassSearch, func() tacc.Worker { return MetasearchAggregator{} })
+	reg.Register(ClassEncrypt, func() tacc.Worker { return EncryptWorker{} })
+	reg.Register(ClassDecrypt, func() tacc.Worker { return DecryptWorker{} })
+	reg.Register(ClassThin, func() tacc.Worker { return ThinClient{} })
+}
+
+// SGIFDistiller scales and palette-reduces SGIF images — the GIF
+// distiller ("GIF-to-JPEG conversion followed by JPEG degradation" is
+// approximated by palette + scale reduction on the same codec family,
+// keeping the size-linear cost profile of Figure 7).
+type SGIFDistiller struct{}
+
+// Class implements tacc.Worker.
+func (SGIFDistiller) Class() string { return ClassSGIF }
+
+// Process implements tacc.Worker.
+func (SGIFDistiller) Process(ctx context.Context, task *tacc.Task) (tacc.Blob, error) {
+	in := task.Input
+	if in.Size() <= task.ParamInt("minsize", DefaultMinSize) {
+		return in.WithMeta("distilled", "skipped-small"), nil
+	}
+	im, err := media.DecodeSGIF(in.Data)
+	if err != nil {
+		return tacc.Blob{}, fmt.Errorf("distiller: sgif: %w", err)
+	}
+	scale := task.ParamInt("scale", 2)
+	colors := task.ParamInt("colors", 16)
+	if r := task.ParamInt("blur", 0); r > 0 {
+		im = im.BoxBlur(r)
+	}
+	out := media.EncodeSGIF(im.Downscale(scale), colors)
+	blob := tacc.Blob{MIME: media.MIMESGIF, Data: out}
+	blob = blob.WithMeta("origSize", itoa(in.Size()))
+	return blob.WithMeta("distilled", "true"), nil
+}
+
+// SJPGDistiller scales, low-pass filters, and re-encodes SJPG images
+// at reduced quality — "scaling and low-pass filtering of JPEG images
+// using the off-the-shelf jpeg-6a library".
+type SJPGDistiller struct{}
+
+// Class implements tacc.Worker.
+func (SJPGDistiller) Class() string { return ClassSJPG }
+
+// Process implements tacc.Worker.
+func (SJPGDistiller) Process(ctx context.Context, task *tacc.Task) (tacc.Blob, error) {
+	in := task.Input
+	if in.Size() <= task.ParamInt("minsize", DefaultMinSize) {
+		return in.WithMeta("distilled", "skipped-small"), nil
+	}
+	im, err := media.DecodeSJPG(in.Data)
+	if err != nil {
+		return tacc.Blob{}, fmt.Errorf("distiller: sjpg: %w", err)
+	}
+	scale := task.ParamInt("scale", 2)
+	quality := task.ParamInt("quality", 25)
+	if r := task.ParamInt("blur", 0); r > 0 {
+		im = im.BoxBlur(r)
+	}
+	out := media.EncodeSJPG(im.Downscale(scale), quality)
+	blob := tacc.Blob{MIME: media.MIMESJPG, Data: out}
+	blob = blob.WithMeta("origSize", itoa(in.Size()))
+	return blob.WithMeta("distilled", "true"), nil
+}
+
+// HTMLMunger rewrites inline image references to point at the
+// distillation service, appends links to the originals, and prepends
+// the TranSend toolbar (Figure 4). The munger is where the service's
+// user interface lives: "the user interface for TranSend is thus
+// controlled by the HTML distiller".
+type HTMLMunger struct{}
+
+// Class implements tacc.Worker.
+func (HTMLMunger) Class() string { return ClassHTML }
+
+// Process implements tacc.Worker.
+func (HTMLMunger) Process(ctx context.Context, task *tacc.Task) (tacc.Blob, error) {
+	prefix := task.Param("distillPrefix", "/distill?url=")
+	quality := task.Param("quality", "25")
+	scale := task.Param("scale", "2")
+	toolbar := ""
+	if task.ParamBool("toolbar", true) {
+		toolbar = fmt.Sprintf(
+			`<div class="transend-toolbar">TranSend | quality=%s scale=%s | <a href="/prefs">preferences</a> | <a href="?raw=1">view original</a></div>`,
+			quality, scale)
+	}
+	out := media.RewriteHTML(task.Input.Data, media.MungeOptions{
+		RewriteSrc: func(src string) string {
+			return prefix + src + "&quality=" + quality + "&scale=" + scale
+		},
+		OriginalLink: task.ParamBool("originalLinks", true),
+		Toolbar:      toolbar,
+	})
+	return tacc.Blob{MIME: media.MIMEHTML, Data: out, Meta: map[string]string{"munged": "true"}}, nil
+}
+
+func itoa(v int) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,96 @@
+package distiller
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/media"
+	"repro/internal/tacc"
+)
+
+// Generators for the aggregation services' upstream content: cultural
+// listing pages and search-engine result pages. These stand in for the
+// live web sites the paper's aggregators scraped.
+
+var venues = []string{
+	"Zellerbach Hall", "Greek Theatre", "Fillmore", "Yerba Buena Center",
+	"Freight and Salvage", "Paramount Theatre", "Davies Symphony Hall",
+}
+
+var acts = []string{
+	"Symphony No. 5", "Jazz Quartet", "Poetry Slam", "Kodo Drummers",
+	"String Ensemble", "Modern Dance Revue", "Chamber Orchestra",
+	"Improv Night", "Film Retrospective",
+}
+
+var months = []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+	"Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+
+// GenerateCulturePage synthesizes one cultural-events listing with
+// nEvents real events plus noise text, some of which contains
+// date-like strings that the aggregator's loose heuristics will
+// (correctly, per the paper) pick up spuriously.
+func GenerateCulturePage(rng *rand.Rand, site string, nEvents int) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>%s events</title></head><body><h1>%s</h1>\n", site, site)
+	for i := 0; i < nEvents; i++ {
+		month := months[rng.Intn(len(months))]
+		day := 1 + rng.Intn(28)
+		fmt.Fprintf(&b, "<p>%s %d: %s at %s. Tickets at the door.</p>\n",
+			month, day, acts[rng.Intn(len(acts))], venues[rng.Intn(len(venues))])
+	}
+	// Noise paragraphs; roughly one in five contains a spurious
+	// date-like token (e.g. "version 3/14" — not an event).
+	for i := 0; i < nEvents/2+1; i++ {
+		if rng.Intn(5) == 0 {
+			fmt.Fprintf(&b, "<p>Our site was updated to version %d/%d last week.</p>\n",
+				1+rng.Intn(9), 1+rng.Intn(20))
+		} else {
+			b.WriteString("<p>Parking is available on site; see directions page.</p>\n")
+		}
+	}
+	b.WriteString("</body></html>\n")
+	return []byte(b.String())
+}
+
+// GenerateResultsPage synthesizes a search engine's result page for a
+// query: n ranked anchors in the shape MetasearchAggregator parses.
+func GenerateResultsPage(rng *rand.Rand, engine, query string, n int) []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>%s: %s</title></head><body><ol>\n", engine, query)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `<li><a href="http://site%d.example/%s/%d">%s result %d from %s</a></li>`+"\n",
+			rng.Intn(1000), query, i, query, i+1, engine)
+	}
+	b.WriteString("</ol></body></html>\n")
+	return []byte(b.String())
+}
+
+// TranSendRules returns the TranSend service's dispatch logic (§3.1.1):
+// images go to the matching distiller, HTML through the munger,
+// everything else (and anything the user disabled) passes through.
+func TranSendRules() tacc.DispatchRule {
+	return func(url, mime string, profile map[string]string) tacc.Pipeline {
+		if profile["transend"] == "off" {
+			return nil
+		}
+		switch mime {
+		case media.MIMESGIF:
+			return tacc.Pipeline{{Class: ClassSGIF}}
+		case media.MIMESJPG:
+			return tacc.Pipeline{{Class: ClassSJPG}}
+		case media.MIMEHTML:
+			p := tacc.Pipeline{{Class: ClassHTML}}
+			if profile["keywords"] != "" || profile["pattern"] != "" {
+				p = append(p, tacc.Stage{Class: ClassKeyword})
+			}
+			if profile["thin"] == "true" {
+				p = append(p, tacc.Stage{Class: ClassThin})
+			}
+			return p
+		default:
+			return nil // no distiller for this type: pass through
+		}
+	}
+}

@@ -1,0 +1,413 @@
+// Package frontend implements the SNS front end (paper §3.1.1): the
+// component that presents the service interface to the outside world,
+// shepherds each request — pair it with the user's profile, probe the
+// virtual cache, dispatch a distiller pipeline via the manager stub,
+// fall back to originals when workers fail — and sustains throughput
+// with a large worker pool despite long blocking operations.
+//
+// The front end also hosts the service's control decisions: dispatch
+// rules live here ("the behavior of the service as a whole [is]
+// defined almost entirely in the front end"), workers stay simple.
+package frontend
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/origin"
+	"repro/internal/profiledb"
+	"repro/internal/san"
+	"repro/internal/stub"
+	"repro/internal/tacc"
+	"repro/internal/vcache"
+)
+
+// Request is one client request entering the front end.
+type Request struct {
+	URL  string
+	User string
+	// Raw bypasses distillation (the munger's "view original" link).
+	Raw bool
+}
+
+// Response is what goes back to the client.
+type Response struct {
+	Blob tacc.Blob
+	// Source records how the response was produced: "cache-distilled",
+	// "cache-original", "distilled", "original", "fallback-original",
+	// "fallback-stale".
+	Source string
+	// Err is non-nil only when not even a degraded answer exists.
+}
+
+// Config assembles a front end.
+type Config struct {
+	Name string
+	Node string
+	Net  *san.Network
+
+	// Rules is the service's dispatch logic.
+	Rules tacc.DispatchRule
+	// Profiles is the write-through cache over the ACID profile DB.
+	Profiles *profiledb.ReadCache
+	// Origin fetches content on cache misses.
+	Origin origin.Fetcher
+	// CacheNodes maps cache partition names to their addresses.
+	CacheNodes map[string]san.Addr
+
+	// Threads is the worker-pool size (the paper's production front
+	// end ran ~400 threads). Default 64.
+	Threads int
+	// QueueCap bounds the pending-request queue. Default 4*Threads.
+	QueueCap int
+	// CacheTTL is the TTL for objects we cache. Zero = no expiry.
+	CacheTTL time.Duration
+	// HeartbeatInterval paces FE heartbeats to the manager.
+	HeartbeatInterval time.Duration
+	// MinDistillSize: objects at or below this bypass distillation
+	// (1 KB threshold, §4.1).
+	MinDistillSize int
+	// ManagerStub configures dispatch behavior.
+	ManagerStub stub.ManagerStubConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = 64
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 4 * c.Threads
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = stub.DefaultBeaconInterval
+	}
+	if c.MinDistillSize <= 0 {
+		c.MinDistillSize = 1024
+	}
+	return c
+}
+
+// Stats counts front-end activity.
+type Stats struct {
+	Requests       uint64
+	CacheDistilled uint64 // served a cached post-transform object
+	CacheOriginal  uint64 // original found in cache, then distilled
+	OriginFetches  uint64
+	Distilled      uint64
+	PassedThrough  uint64
+	Fallbacks      uint64 // distillation failed; original returned
+	Errors         uint64
+}
+
+type job struct {
+	ctx  context.Context
+	req  Request
+	resp chan Response
+	err  chan error
+}
+
+// FrontEnd implements cluster.Process.
+type FrontEnd struct {
+	cfg Config
+	ep  *san.Endpoint
+
+	mstub *stub.ManagerStub
+	cache *vcache.Client
+	jobs  chan job
+
+	running atomic.Bool
+	stats   struct {
+		requests, cacheDistilled, cacheOriginal, originFetches atomic.Uint64
+		distilled, passedThrough, fallbacks, errors            atomic.Uint64
+	}
+
+	mu       sync.Mutex
+	disabled bool
+}
+
+// New creates a front end and eagerly registers its endpoint.
+func New(cfg Config) *FrontEnd {
+	cfg = cfg.withDefaults()
+	fe := &FrontEnd{cfg: cfg, jobs: make(chan job, cfg.QueueCap)}
+	fe.ep = cfg.Net.Endpoint(fe.addr(), 4096)
+	fe.mstub = stub.NewManagerStub(fe.ep, cfg.ManagerStub)
+	fe.cache = vcache.NewClient(fe.ep)
+	for name, addr := range cfg.CacheNodes {
+		fe.cache.AddNode(name, addr)
+	}
+	return fe
+}
+
+func (fe *FrontEnd) addr() san.Addr { return san.Addr{Node: fe.cfg.Node, Proc: fe.cfg.Name} }
+
+// Addr returns the front end's SAN address.
+func (fe *FrontEnd) Addr() san.Addr { return fe.addr() }
+
+// ID implements cluster.Process.
+func (fe *FrontEnd) ID() string { return fe.cfg.Name }
+
+// ManagerStub exposes the stub (for stats and tests).
+func (fe *FrontEnd) ManagerStub() *stub.ManagerStub { return fe.mstub }
+
+// Cache exposes the virtual-cache client (for membership changes).
+func (fe *FrontEnd) Cache() *vcache.Client { return fe.cache }
+
+// Stats returns a snapshot of counters.
+func (fe *FrontEnd) Stats() Stats {
+	return Stats{
+		Requests:       fe.stats.requests.Load(),
+		CacheDistilled: fe.stats.cacheDistilled.Load(),
+		CacheOriginal:  fe.stats.cacheOriginal.Load(),
+		OriginFetches:  fe.stats.originFetches.Load(),
+		Distilled:      fe.stats.distilled.Load(),
+		PassedThrough:  fe.stats.passedThrough.Load(),
+		Fallbacks:      fe.stats.fallbacks.Load(),
+		Errors:         fe.stats.errors.Load(),
+	}
+}
+
+// Running reports whether the front end's Run loop is live.
+func (fe *FrontEnd) Running() bool { return fe.running.Load() }
+
+// Run implements cluster.Process: receive loop plus worker pool.
+func (fe *FrontEnd) Run(ctx context.Context) error {
+	if fe.ep == nil || !fe.cfg.Net.Lookup(fe.addr()) {
+		fe.ep = fe.cfg.Net.Endpoint(fe.addr(), 4096)
+		fe.mstub = stub.NewManagerStub(fe.ep, fe.cfg.ManagerStub)
+		fe.cache = vcache.NewClient(fe.ep)
+		for name, addr := range fe.cfg.CacheNodes {
+			fe.cache.AddNode(name, addr)
+		}
+	}
+	ep := fe.ep
+	defer ep.Close()
+	defer fe.mstub.Stop()
+	ep.Join(stub.GroupControl)
+
+	fe.running.Store(true)
+	defer fe.running.Store(false)
+
+	var wg sync.WaitGroup
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
+	for i := 0; i < fe.cfg.Threads; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-wctx.Done():
+					return
+				case j := <-fe.jobs:
+					resp, err := fe.handle(j.ctx, j.req)
+					if err != nil {
+						j.err <- err
+					} else {
+						j.resp <- resp
+					}
+				}
+			}
+		}()
+	}
+
+	hb := time.NewTicker(fe.cfg.HeartbeatInterval)
+	defer hb.Stop()
+	fe.heartbeat(ep)
+
+	var greeted san.Addr
+	for {
+		select {
+		case <-ctx.Done():
+			wcancel()
+			wg.Wait()
+			return nil
+		case <-hb.C:
+			fe.heartbeat(ep)
+		case msg, ok := <-ep.Inbox():
+			if !ok {
+				wcancel()
+				wg.Wait()
+				return fmt.Errorf("frontend: %s endpoint closed", fe.cfg.Name)
+			}
+			if fe.mstub.HandleMessage(msg) {
+				// Greet a newly discovered (or restarted) manager at
+				// once, so the process-peer watch covers this front
+				// end from its very first beacon — not a heartbeat
+				// tick later.
+				if mgr := fe.mstub.Manager(); !mgr.IsZero() && mgr != greeted {
+					greeted = mgr
+					fe.heartbeat(ep)
+				}
+				continue
+			}
+			switch msg.Kind {
+			case stub.MsgDisable:
+				fe.mu.Lock()
+				fe.disabled = true
+				fe.mu.Unlock()
+			case stub.MsgEnable:
+				fe.mu.Lock()
+				fe.disabled = false
+				fe.mu.Unlock()
+			}
+		}
+	}
+}
+
+func (fe *FrontEnd) heartbeat(ep *san.Endpoint) {
+	mgr := fe.mstub.Manager()
+	if !mgr.IsZero() {
+		_ = ep.Send(mgr, stub.MsgFEHello, stub.FEHeartbeat{
+			Name: fe.cfg.Name,
+			Addr: fe.addr(),
+			Node: fe.cfg.Node,
+		}, 48)
+	}
+	st := fe.Stats()
+	ep.Multicast(stub.GroupReports, stub.MsgMonReport, stub.StatusReport{
+		Component: fe.cfg.Name,
+		Kind:      "frontend",
+		Node:      fe.cfg.Node,
+		Metrics: map[string]float64{
+			"requests":  float64(st.Requests),
+			"fallbacks": float64(st.Fallbacks),
+			"errors":    float64(st.Errors),
+			"queue":     float64(len(fe.jobs)),
+		},
+	}, 96)
+}
+
+// ErrDisabled is returned while the front end is disabled for a hot
+// upgrade.
+var ErrDisabled = fmt.Errorf("frontend: disabled for upgrade")
+
+// ErrOverloaded is returned when the request queue is full.
+var ErrOverloaded = fmt.Errorf("frontend: request queue full")
+
+// Do submits a request and waits for the response — the programmatic
+// equivalent of an HTTP arrival (cmd/transend adapts net/http onto
+// this).
+func (fe *FrontEnd) Do(ctx context.Context, req Request) (Response, error) {
+	fe.mu.Lock()
+	disabled := fe.disabled
+	fe.mu.Unlock()
+	if disabled {
+		return Response{}, ErrDisabled
+	}
+	if !fe.running.Load() {
+		return Response{}, fmt.Errorf("frontend: %s not running", fe.cfg.Name)
+	}
+	j := job{ctx: ctx, req: req, resp: make(chan Response, 1), err: make(chan error, 1)}
+	select {
+	case fe.jobs <- j:
+	default:
+		fe.stats.errors.Add(1)
+		return Response{}, ErrOverloaded
+	}
+	select {
+	case resp := <-j.resp:
+		return resp, nil
+	case err := <-j.err:
+		return Response{}, err
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+}
+
+// handle shepherds one request end to end.
+func (fe *FrontEnd) handle(ctx context.Context, req Request) (Response, error) {
+	fe.stats.requests.Add(1)
+
+	// 1. Pair the request with the user's customization profile.
+	var profile map[string]string
+	if fe.cfg.Profiles != nil && req.User != "" {
+		profile = fe.cfg.Profiles.Get(req.User)
+	}
+
+	// 2. Service-specific dispatch logic decides the pipeline.
+	var pipeline tacc.Pipeline
+	if fe.cfg.Rules != nil && !req.Raw {
+		pipeline = fe.cfg.Rules(req.URL, mimeHint(req.URL), profile)
+	}
+	distillKey := pipeline.CacheKey(req.URL, profile)
+	origKey := "orig|" + req.URL
+
+	// 3. Distilled variant already cached?
+	if len(pipeline) > 0 {
+		if data, mime, ok := fe.cache.Get(ctx, distillKey); ok {
+			fe.stats.cacheDistilled.Add(1)
+			return Response{
+				Blob:   tacc.Blob{MIME: mime, Data: data},
+				Source: "cache-distilled",
+			}, nil
+		}
+	}
+
+	// 4. Fetch the original (cache first, then origin).
+	var orig tacc.Blob
+	if data, mime, ok := fe.cache.Get(ctx, origKey); ok {
+		fe.stats.cacheOriginal.Add(1)
+		orig = tacc.Blob{MIME: mime, Data: data}
+	} else {
+		if fe.cfg.Origin == nil {
+			fe.stats.errors.Add(1)
+			return Response{}, fmt.Errorf("frontend: no origin configured for %s", req.URL)
+		}
+		fetched, err := fe.cfg.Origin.Fetch(ctx, req.URL)
+		if err != nil {
+			fe.stats.errors.Add(1)
+			return Response{}, fmt.Errorf("frontend: fetch %s: %w", req.URL, err)
+		}
+		fe.stats.originFetches.Add(1)
+		orig = fetched
+		fe.cache.Put(ctx, origKey, orig.Data, orig.MIME, fe.cfg.CacheTTL)
+	}
+
+	// 5. Pass small or rule-less content through unmodified.
+	if len(pipeline) == 0 || orig.Size() <= fe.cfg.MinDistillSize {
+		fe.stats.passedThrough.Add(1)
+		return Response{Blob: orig, Source: "original"}, nil
+	}
+
+	// 6. Dispatch the pipeline. Failure means a degraded but fast
+	// answer, never an error page with nothing in it: "in all cases,
+	// an approximate answer delivered quickly is more useful than
+	// the exact answer delivered slowly" (§3.1.8).
+	task := &tacc.Task{Key: req.URL, Input: orig, Profile: profile}
+	out, err := fe.mstub.DispatchPipeline(ctx, pipeline, task)
+	if err != nil {
+		fe.stats.fallbacks.Add(1)
+		return Response{
+			Blob:   orig.WithMeta("degraded", err.Error()),
+			Source: "fallback-original",
+		}, nil
+	}
+	fe.stats.distilled.Add(1)
+
+	// 7. Inject the distilled variant for future hits.
+	fe.cache.Inject(ctx, distillKey, out.Data, out.MIME, fe.cfg.CacheTTL)
+	return Response{Blob: out, Source: "distilled"}, nil
+}
+
+// mimeHint guesses the MIME type from the URL extension so dispatch
+// rules can run before the content arrives; rules that need certainty
+// can re-check after fetch (our distillers verify magic bytes anyway).
+func mimeHint(url string) string {
+	switch {
+	case hasSuffix(url, ".sgif"):
+		return "image/sgif"
+	case hasSuffix(url, ".sjpg"):
+		return "image/sjpg"
+	case hasSuffix(url, ".html"), hasSuffix(url, "/"):
+		return "text/html"
+	default:
+		return "application/octet-stream"
+	}
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}

@@ -1,0 +1,33 @@
+package lottery
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func BenchmarkPick(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tickets := make([]float64, 32)
+	for i := range tickets {
+		tickets[i] = 1 / float64(1+i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Pick(rng, tickets)
+	}
+}
+
+func BenchmarkSchedulerPick(b *testing.B) {
+	s := NewScheduler(1, true)
+	now := time.Unix(0, 0)
+	ids := make([]string, 16)
+	for i := range ids {
+		ids[i] = string(rune('a' + i))
+		s.Report(ids[i], float64(i), now)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Pick(ids, now)
+	}
+}

@@ -1,0 +1,513 @@
+// Package manager implements the SNS layer's centralized,
+// fault-tolerant load-balancing manager (paper §2.2.2, §3.1.2): it
+// collects load reports from worker stubs, synthesizes hints as
+// weighted moving averages, piggybacks them on periodic multicast
+// beacons, spawns additional workers when a class's average queue
+// crosses the threshold H (damped by D seconds), recruits overflow
+// nodes for bursts and reaps them afterwards (§2.2.3), and carries the
+// process-peer duty of restarting crashed front ends.
+//
+// All manager state is soft (§3.1.3): workers re-register when they
+// see beacons from a restarted manager, so there is no crash-recovery
+// protocol at all — the BASE design that replaced the original
+// process-pair prototype.
+package manager
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/san"
+	"repro/internal/softstate"
+	"repro/internal/stub"
+)
+
+// Policy is the spawn/reap policy (§4.5). It is shared verbatim with
+// the discrete-event model so both systems embody the same rules.
+type Policy struct {
+	// SpawnThreshold H: spawn when a class's average queue length
+	// crosses it. "H maps to the greatest delay the user is willing
+	// to tolerate when the system is under high load."
+	SpawnThreshold float64
+	// Damping D: after any spawn in a class, spawning is disabled
+	// for this long so the new worker can stabilize the system.
+	Damping time.Duration
+	// ReapThreshold: reap an overflow worker when the class average
+	// falls below it.
+	ReapThreshold float64
+	// MaxPerClass bounds workers per class (0 = unlimited).
+	MaxPerClass int
+}
+
+// DefaultPolicy mirrors the values used in the Figure 8 experiment.
+func DefaultPolicy() Policy {
+	return Policy{
+		SpawnThreshold: 15,
+		Damping:        15 * time.Second,
+		ReapThreshold:  1,
+		MaxPerClass:    0,
+	}
+}
+
+// ShouldSpawn applies H/D given a class's average queue, live count,
+// and the time of its last spawn.
+func (p Policy) ShouldSpawn(classAvg float64, count int, now, lastSpawn time.Time) bool {
+	if p.MaxPerClass > 0 && count >= p.MaxPerClass {
+		return false
+	}
+	if now.Sub(lastSpawn) < p.Damping {
+		return false
+	}
+	return classAvg > p.SpawnThreshold
+}
+
+// ShouldReap reports whether an overflow worker should be released.
+func (p Policy) ShouldReap(classAvg float64, count int, now, lastSpawn time.Time) bool {
+	if count <= 1 {
+		return false
+	}
+	if now.Sub(lastSpawn) < p.Damping {
+		return false
+	}
+	return classAvg < p.ReapThreshold
+}
+
+// Spawner is the manager's lever on the cluster, wired up by the
+// platform layer (it stands in for the per-node daemons a production
+// deployment would run).
+type Spawner interface {
+	// SpawnWorker starts a fresh worker of class somewhere
+	// appropriate; overflow selects the overflow pool.
+	SpawnWorker(class string, overflow bool) (stub.WorkerInfo, error)
+	// ReapWorker stops a worker process.
+	ReapWorker(id string) error
+	// RestartFrontEnd restarts a crashed front end (process peer).
+	RestartFrontEnd(name string) error
+	// HasDedicatedCapacity reports whether a dedicated (non-
+	// overflow) node can host another worker.
+	HasDedicatedCapacity() bool
+}
+
+// Config tunes the manager.
+type Config struct {
+	Name   string
+	Node   string
+	Net    *san.Network
+	Policy Policy
+	// BeaconInterval is the multicast beacon period.
+	BeaconInterval time.Duration
+	// WorkerTTL expires workers that stop reporting ("timeouts are
+	// used as a backup mechanism to infer failures", §3.1.3).
+	WorkerTTL time.Duration
+	// FETTL expires front ends that stop heartbeating; expiry
+	// triggers the process-peer restart.
+	FETTL time.Duration
+	// Spawner performs cluster actions; may be nil (no spawning).
+	Spawner Spawner
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "manager"
+	}
+	if c.BeaconInterval <= 0 {
+		c.BeaconInterval = stub.DefaultBeaconInterval
+	}
+	if c.WorkerTTL <= 0 {
+		c.WorkerTTL = 5 * c.BeaconInterval
+	}
+	if c.FETTL <= 0 {
+		c.FETTL = 6 * c.BeaconInterval
+	}
+	if c.Policy == (Policy{}) {
+		c.Policy = DefaultPolicy()
+	}
+	return c
+}
+
+// Stats is a snapshot of manager activity.
+type Stats struct {
+	Workers        int
+	FrontEnds      int
+	Spawns         uint64
+	Reaps          uint64
+	FERestarts     uint64
+	ReportsHandled uint64
+	BeaconsSent    uint64
+	Registrations  uint64
+}
+
+type workerState struct {
+	info stub.WorkerInfo
+	avg  *softstate.MovingAverage
+}
+
+// Manager is the centralized load balancer. It implements
+// cluster.Process.
+type Manager struct {
+	cfg Config
+	ep  *san.Endpoint
+
+	mu           sync.Mutex
+	workers      *softstate.Table[*workerState]
+	fes          *softstate.Table[stub.FEHeartbeat]
+	desired      map[string]int // class -> replica floor (learned)
+	lastSpawn    map[string]time.Time
+	feRetry      []string
+	feRetryCount map[string]int
+	seq          uint64
+	stats        Stats
+}
+
+// New creates a manager and eagerly registers its SAN endpoint.
+func New(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:       cfg,
+		workers:   softstate.NewTable[*workerState](cfg.WorkerTTL, nil),
+		fes:       softstate.NewTable[stub.FEHeartbeat](cfg.FETTL, nil),
+		desired:   make(map[string]int),
+		lastSpawn: make(map[string]time.Time),
+	}
+	m.ep = cfg.Net.Endpoint(m.addr(), 4096)
+	return m
+}
+
+func (m *Manager) addr() san.Addr { return san.Addr{Node: m.cfg.Node, Proc: m.cfg.Name} }
+
+// Addr returns the manager's SAN address.
+func (m *Manager) Addr() san.Addr { return m.addr() }
+
+// ID implements cluster.Process.
+func (m *Manager) ID() string { return m.cfg.Name }
+
+// Stats returns a snapshot of counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.stats
+	st.Workers = m.workers.Len()
+	st.FrontEnds = m.fes.Len()
+	return st
+}
+
+// Run implements cluster.Process: serve until ctx is done.
+func (m *Manager) Run(ctx context.Context) error {
+	if m.ep == nil || !m.cfg.Net.Lookup(m.addr()) {
+		m.ep = m.cfg.Net.Endpoint(m.addr(), 4096)
+	}
+	ep := m.ep
+	defer ep.Close()
+	ep.Join(stub.GroupControl)
+
+	beacon := time.NewTicker(m.cfg.BeaconInterval)
+	defer beacon.Stop()
+	policy := time.NewTicker(m.cfg.BeaconInterval)
+	defer policy.Stop()
+
+	m.sendBeacon(ep) // announce immediately so workers register fast
+
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-beacon.C:
+			m.sendBeacon(ep)
+		case <-policy.C:
+			m.evaluatePolicy()
+		case msg, ok := <-ep.Inbox():
+			if !ok {
+				return fmt.Errorf("manager: endpoint closed")
+			}
+			m.handle(msg)
+		}
+	}
+}
+
+func (m *Manager) handle(msg san.Message) {
+	switch msg.Kind {
+	case stub.MsgRegister:
+		r, ok := msg.Body.(stub.RegisterMsg)
+		if !ok {
+			return
+		}
+		m.mu.Lock()
+		ws := &workerState{info: r.Info, avg: &softstate.MovingAverage{Alpha: 0.3}}
+		m.workers.Put(r.Info.ID, ws)
+		m.stats.Registrations++
+		// The replica floor learns the highest concurrent count per
+		// class, so crashed workers get replaced.
+		count := m.classCountLocked(r.Info.Class)
+		if count > m.desired[r.Info.Class] {
+			m.desired[r.Info.Class] = count
+		}
+		m.mu.Unlock()
+	case stub.MsgDeregister:
+		d, ok := msg.Body.(stub.DeregisterMsg)
+		if !ok {
+			return
+		}
+		m.mu.Lock()
+		if ws, ok := m.workers.Get(d.ID); ok {
+			class := ws.info.Class
+			m.workers.Delete(d.ID)
+			// A voluntary de-registration lowers the floor: this
+			// worker is not coming back.
+			if m.desired[class] > m.classCountLocked(class) {
+				m.desired[class] = m.classCountLocked(class)
+			}
+		}
+		m.mu.Unlock()
+	case stub.MsgLoadReport:
+		r, ok := msg.Body.(stub.LoadReport)
+		if !ok {
+			return
+		}
+		m.mu.Lock()
+		m.stats.ReportsHandled++
+		if ws, ok := m.workers.Get(r.ID); ok {
+			ws.avg.Add(float64(r.QLen))
+			m.workers.Put(r.ID, ws) // refresh TTL
+		} else if r.Info.ID == r.ID && !r.Info.Addr.IsZero() {
+			// A report from a worker we expired (e.g. marooned by a
+			// SAN partition that has since healed): re-admit it. Soft
+			// state rebuilds from periodic messages alone (§3.1.3).
+			ws := &workerState{info: r.Info, avg: &softstate.MovingAverage{Alpha: 0.3}}
+			ws.avg.Add(float64(r.QLen))
+			m.workers.Put(r.ID, ws)
+			m.stats.Registrations++
+			if count := m.classCountLocked(r.Info.Class); count > m.desired[r.Info.Class] {
+				m.desired[r.Info.Class] = count
+			}
+		}
+		m.mu.Unlock()
+	case stub.MsgFEHello:
+		hb, ok := msg.Body.(stub.FEHeartbeat)
+		if !ok {
+			return
+		}
+		m.mu.Lock()
+		m.fes.Put(hb.Name, hb)
+		m.mu.Unlock()
+	case stub.MsgSpawnReq:
+		req, ok := msg.Body.(stub.SpawnReq)
+		if !ok {
+			return
+		}
+		m.trySpawn(req.Class, "front-end request")
+	}
+}
+
+// sendBeacon multicasts the manager's existence plus the current load
+// hints, and reports itself to the monitor.
+func (m *Manager) sendBeacon(ep *san.Endpoint) {
+	m.mu.Lock()
+	m.seq++
+	seq := m.seq
+	snap := m.workers.Snapshot()
+	workers := make([]stub.WorkerInfo, 0, len(snap))
+	for _, ws := range snap {
+		info := ws.info
+		info.QLen = ws.avg.Value()
+		workers = append(workers, info)
+	}
+	m.stats.BeaconsSent++
+	m.mu.Unlock()
+	sort.Slice(workers, func(i, j int) bool { return workers[i].ID < workers[j].ID })
+	ep.Multicast(stub.GroupControl, stub.MsgBeacon, stub.Beacon{
+		Manager: m.addr(),
+		Seq:     seq,
+		Workers: workers,
+	}, 64+len(workers)*48)
+	ep.Multicast(stub.GroupReports, stub.MsgMonReport, stub.StatusReport{
+		Component: m.cfg.Name,
+		Kind:      "manager",
+		Node:      m.cfg.Node,
+		Metrics: map[string]float64{
+			"workers": float64(len(workers)),
+			"seq":     float64(seq),
+		},
+	}, 96)
+}
+
+// evaluatePolicy runs expiry, replacement, spawn-on-load, reaping, and
+// front-end process-peer checks.
+func (m *Manager) evaluatePolicy() {
+	now := time.Now()
+
+	// 1. Expire silent workers (timeout failure inference).
+	m.mu.Lock()
+	m.workers.Expired()
+
+	// Gather per-class views.
+	type classView struct {
+		avg      float64
+		count    int
+		overflow []stub.WorkerInfo
+	}
+	classes := make(map[string]*classView)
+	for _, ws := range m.workers.Snapshot() {
+		cv := classes[ws.info.Class]
+		if cv == nil {
+			cv = &classView{}
+			classes[ws.info.Class] = cv
+		}
+		cv.avg += ws.avg.Value()
+		cv.count++
+		if ws.info.Overflow {
+			cv.overflow = append(cv.overflow, ws.info)
+		}
+	}
+	for _, cv := range classes {
+		if cv.count > 0 {
+			cv.avg /= float64(cv.count)
+		}
+	}
+	desired := make(map[string]int, len(m.desired))
+	for c, d := range m.desired {
+		desired[c] = d
+	}
+	lastSpawn := make(map[string]time.Time, len(m.lastSpawn))
+	for c, t := range m.lastSpawn {
+		lastSpawn[c] = t
+	}
+	m.mu.Unlock()
+
+	if m.cfg.Spawner == nil {
+		return
+	}
+
+	// 2. Replace crashed workers below the replica floor.
+	for class, want := range desired {
+		cv := classes[class]
+		have := 0
+		if cv != nil {
+			have = cv.count
+		}
+		for have < want {
+			if _, err := m.spawn(class, "replace crashed worker"); err != nil {
+				break
+			}
+			have++
+		}
+	}
+
+	// 3. Spawn on load (threshold H, damping D).
+	for class, cv := range classes {
+		if m.cfg.Policy.ShouldSpawn(cv.avg, cv.count, now, lastSpawn[class]) {
+			m.trySpawn(class, "load threshold")
+		}
+	}
+
+	// 4. Reap idle overflow workers once the burst subsides.
+	for class, cv := range classes {
+		if len(cv.overflow) == 0 {
+			continue
+		}
+		if m.cfg.Policy.ShouldReap(cv.avg, cv.count, now, lastSpawn[class]) {
+			victim := cv.overflow[0]
+			_ = m.ep.Send(victim.Addr, stub.MsgShutdown, nil, 16)
+			if err := m.cfg.Spawner.ReapWorker(victim.ID); err == nil {
+				m.mu.Lock()
+				m.workers.Delete(victim.ID)
+				if m.desired[class] > 0 {
+					m.desired[class]--
+				}
+				m.stats.Reaps++
+				m.mu.Unlock()
+			}
+		}
+	}
+
+	// 5. Front-end process peer: restart silent front ends. Failed
+	// restarts are retried on subsequent ticks — a watcher keeps
+	// watching until the peer is back.
+	m.mu.Lock()
+	goneFEs := append(m.fes.Expired(), m.feRetry...)
+	m.feRetry = nil
+	m.mu.Unlock()
+	for _, name := range goneFEs {
+		if err := m.cfg.Spawner.RestartFrontEnd(name); err == nil {
+			m.mu.Lock()
+			m.stats.FERestarts++
+			delete(m.feRetryCount, name)
+			m.mu.Unlock()
+		} else {
+			m.mu.Lock()
+			if m.feRetryCount == nil {
+				m.feRetryCount = make(map[string]int)
+			}
+			m.feRetryCount[name]++
+			if m.feRetryCount[name] < 10 {
+				m.feRetry = append(m.feRetry, name)
+			} else {
+				delete(m.feRetryCount, name)
+			}
+			m.mu.Unlock()
+		}
+	}
+}
+
+// trySpawn spawns a worker of class if the damping window allows.
+func (m *Manager) trySpawn(class, reason string) {
+	m.mu.Lock()
+	last := m.lastSpawn[class]
+	m.mu.Unlock()
+	if time.Since(last) < m.cfg.Policy.Damping {
+		return
+	}
+	_, _ = m.spawn(class, reason)
+}
+
+// spawn starts a worker, preferring dedicated capacity and falling
+// back to the overflow pool (§2.2.3).
+func (m *Manager) spawn(class, reason string) (stub.WorkerInfo, error) {
+	if m.cfg.Spawner == nil {
+		return stub.WorkerInfo{}, fmt.Errorf("manager: no spawner configured")
+	}
+	overflow := !m.cfg.Spawner.HasDedicatedCapacity()
+	info, err := m.cfg.Spawner.SpawnWorker(class, overflow)
+	if err != nil {
+		return stub.WorkerInfo{}, err
+	}
+	m.mu.Lock()
+	m.lastSpawn[class] = time.Now()
+	m.stats.Spawns++
+	if c := m.classCountLocked(class) + 1; c > m.desired[class] {
+		m.desired[class] = c
+	}
+	m.mu.Unlock()
+	_ = reason // reasons surface via the monitor's spawn metric
+	return info, nil
+}
+
+func (m *Manager) classCountLocked(class string) int {
+	n := 0
+	for _, ws := range m.workers.Snapshot() {
+		if ws.info.Class == class {
+			n++
+		}
+	}
+	return n
+}
+
+// ClassAverages exposes per-class average queue lengths (used by
+// experiments and the monitor).
+func (m *Manager) ClassAverages() map[string]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, ws := range m.workers.Snapshot() {
+		sums[ws.info.Class] += ws.avg.Value()
+		counts[ws.info.Class]++
+	}
+	out := make(map[string]float64, len(sums))
+	for c, s := range sums {
+		out[c] = s / float64(counts[c])
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package media
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// This file provides the HTML half of the content domain: a generator
+// that synthesizes realistic pages (text, links, inline image
+// references) at a target byte size, and the scanning primitives the
+// HTML-munger distiller is built on (paper §3.1.6: mark up inline
+// image references with distillation preferences, add links to the
+// originals, and prepend a control toolbar).
+
+var loremWords = strings.Fields(`
+lorem ipsum dolor sit amet consectetur adipiscing elit sed do eiusmod
+tempor incididunt ut labore et dolore magna aliqua enim ad minim veniam
+quis nostrud exercitation ullamco laboris nisi aliquip ex ea commodo
+consequat duis aute irure in reprehenderit voluptate velit esse cillum
+fugiat nulla pariatur excepteur sint occaecat cupidatat non proident
+sunt culpa qui officia deserunt mollit anim id est laborum berkeley
+cluster network service scalable proxy distillation cache worker`)
+
+// GenerateHTML synthesizes a page of roughly targetBytes, containing
+// paragraphs, anchors and inline image references. imageRefs returns
+// the src values to embed (in order); pass nil for defaults.
+func GenerateHTML(rng *rand.Rand, targetBytes int, imageRefs []string) []byte {
+	if targetBytes < 128 {
+		targetBytes = 128
+	}
+	var b strings.Builder
+	b.Grow(targetBytes + 256)
+	b.WriteString("<html><head><title>")
+	writeWords(&b, rng, 4)
+	b.WriteString("</title></head><body>\n")
+	imgIdx := 0
+	for b.Len() < targetBytes-32 {
+		switch rng.Intn(6) {
+		case 0: // heading
+			b.WriteString("<h2>")
+			writeWords(&b, rng, 3+rng.Intn(4))
+			b.WriteString("</h2>\n")
+		case 1: // link
+			fmt.Fprintf(&b, `<a href="http://origin%d.example/page%d.html">`, rng.Intn(50), rng.Intn(1000))
+			writeWords(&b, rng, 2+rng.Intn(3))
+			b.WriteString("</a>\n")
+		case 2: // inline image
+			var src string
+			if imgIdx < len(imageRefs) {
+				src = imageRefs[imgIdx]
+				imgIdx++
+			} else {
+				src = fmt.Sprintf("http://origin%d.example/img%d.sgif", rng.Intn(50), rng.Intn(1000))
+			}
+			fmt.Fprintf(&b, `<img src="%s" alt="figure">`+"\n", src)
+		default: // paragraph
+			b.WriteString("<p>")
+			writeWords(&b, rng, 20+rng.Intn(40))
+			b.WriteString("</p>\n")
+		}
+	}
+	b.WriteString("</body></html>\n")
+	return []byte(b.String())
+}
+
+func writeWords(b *strings.Builder, rng *rand.Rand, n int) {
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(loremWords[rng.Intn(len(loremWords))])
+	}
+}
+
+// ImageRef is one inline image reference found in a page.
+type ImageRef struct {
+	Src        string
+	TagStart   int // byte offset of '<'
+	TagEnd     int // byte offset one past '>'
+	SrcStart   int // byte offset of the src value
+	SrcEnd     int // byte offset one past the src value
+	AttrsExtra string
+}
+
+// FindImageRefs scans HTML for <img ...> tags and returns their src
+// attributes with offsets. The scanner is deliberately forgiving —
+// TranSend's HTML distiller had to survive pathological pages.
+func FindImageRefs(html []byte) []ImageRef {
+	var refs []ImageRef
+	s := string(html)
+	lower := strings.ToLower(s)
+	pos := 0
+	for {
+		i := strings.Index(lower[pos:], "<img")
+		if i < 0 {
+			return refs
+		}
+		start := pos + i
+		end := strings.IndexByte(s[start:], '>')
+		if end < 0 {
+			return refs
+		}
+		end = start + end + 1
+		tag := s[start:end]
+		tagLower := lower[start:end]
+		if j := strings.Index(tagLower, "src="); j >= 0 {
+			valStart := j + len("src=")
+			var valEnd int
+			if valStart < len(tag) && (tag[valStart] == '"' || tag[valStart] == '\'') {
+				quote := tag[valStart]
+				valStart++
+				rel := strings.IndexByte(tag[valStart:], quote)
+				if rel < 0 {
+					pos = end
+					continue
+				}
+				valEnd = valStart + rel
+			} else {
+				rel := strings.IndexAny(tag[valStart:], " \t\n>")
+				if rel < 0 {
+					rel = len(tag) - valStart
+				}
+				valEnd = valStart + rel
+			}
+			refs = append(refs, ImageRef{
+				Src:      tag[valStart:valEnd],
+				TagStart: start,
+				TagEnd:   end,
+				SrcStart: start + valStart,
+				SrcEnd:   start + valEnd,
+			})
+		}
+		pos = end
+	}
+}
+
+// MungeOptions controls RewriteHTML, mirroring the knobs the paper's
+// HTML distiller exposed per user profile.
+type MungeOptions struct {
+	// RewriteSrc maps an original image URL to its distilled URL.
+	// Nil leaves sources untouched.
+	RewriteSrc func(src string) string
+	// OriginalLink, if set, appends an anchor to the original
+	// content after each rewritten image.
+	OriginalLink bool
+	// Toolbar, if non-empty, is inserted immediately after <body>
+	// (the paper's Figure 4 control toolbar).
+	Toolbar string
+}
+
+// RewriteHTML applies the munge options and returns the new page.
+func RewriteHTML(html []byte, opt MungeOptions) []byte {
+	refs := FindImageRefs(html)
+	var b strings.Builder
+	b.Grow(len(html) + 512)
+	s := string(html)
+	last := 0
+	for _, ref := range refs {
+		newSrc := ref.Src
+		if opt.RewriteSrc != nil {
+			newSrc = opt.RewriteSrc(ref.Src)
+		}
+		b.WriteString(s[last:ref.SrcStart])
+		b.WriteString(newSrc)
+		b.WriteString(s[ref.SrcEnd:ref.TagEnd])
+		if opt.OriginalLink {
+			fmt.Fprintf(&b, `<a href="%s">[original]</a>`, ref.Src)
+		}
+		last = ref.TagEnd
+	}
+	b.WriteString(s[last:])
+	out := b.String()
+	if opt.Toolbar != "" {
+		lower := strings.ToLower(out)
+		if i := strings.Index(lower, "<body"); i >= 0 {
+			if j := strings.IndexByte(out[i:], '>'); j >= 0 {
+				at := i + j + 1
+				out = out[:at] + opt.Toolbar + out[at:]
+			}
+		} else {
+			out = opt.Toolbar + out
+		}
+	}
+	return []byte(out)
+}
+
+// StripTags removes all markup, returning the text content — the
+// thin-client ("PalmPilot") simplification primitive from §5.1.
+func StripTags(html []byte) []byte {
+	var b strings.Builder
+	b.Grow(len(html))
+	inTag := false
+	for _, c := range string(html) {
+		switch {
+		case c == '<':
+			inTag = true
+		case c == '>':
+			inTag = false
+			b.WriteByte(' ')
+		case !inTag:
+			b.WriteRune(c)
+		}
+	}
+	return []byte(strings.Join(strings.Fields(b.String()), " "))
+}

@@ -1,0 +1,179 @@
+// Package media provides the content domain TranSend's distillers
+// operate on (paper §3.1.6): a synthetic grayscale raster type, two
+// image codecs — SGIF (palette + run-length, the GIF stand-in) and
+// SJPG (8×8 block DCT with quality-scaled quantisation, the JPEG
+// stand-in) — and an HTML generator/munger substrate.
+//
+// The codecs do real, CPU-bound, size-reducing work: distillation
+// decodes, downscales and re-encodes at lower fidelity, so the latency
+// and size behaviour the paper measures (Figure 3's 10 KB → 1.5 KB,
+// Figure 7's size-linear distillation cost) emerges from actual
+// computation rather than a canned table.
+package media
+
+import "math/rand"
+
+// MIME types for the synthetic content universe, used throughout the
+// service for dispatch decisions (the paper's GIF/JPEG/HTML trio).
+const (
+	MIMESGIF  = "image/sgif"
+	MIMESJPG  = "image/sjpg"
+	MIMEHTML  = "text/html"
+	MIMEOther = "application/octet-stream"
+)
+
+// Image is an 8-bit grayscale raster.
+type Image struct {
+	W, H int
+	Pix  []byte // row-major, len == W*H
+}
+
+// NewImage allocates a zeroed image.
+func NewImage(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic("media: image dimensions must be positive")
+	}
+	return &Image{W: w, H: h, Pix: make([]byte, w*h)}
+}
+
+// At returns the pixel at (x, y), clamping coordinates to the image
+// bounds (convenient for block codecs at the edges).
+func (im *Image) At(x, y int) byte {
+	if x < 0 {
+		x = 0
+	}
+	if x >= im.W {
+		x = im.W - 1
+	}
+	if y < 0 {
+		y = 0
+	}
+	if y >= im.H {
+		y = im.H - 1
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Set writes the pixel at (x, y); out-of-bounds writes are ignored.
+func (im *Image) Set(x, y int, v byte) {
+	if x < 0 || x >= im.W || y < 0 || y >= im.H {
+		return
+	}
+	im.Pix[y*im.W+x] = v
+}
+
+// Generate synthesizes a natural-looking image: low-frequency value
+// noise (bilinear-interpolated coarse grid) plus fine-grain noise.
+// Smooth large-scale structure is what makes the codecs' compression
+// behave like real photo compression.
+func Generate(rng *rand.Rand, w, h int) *Image {
+	const cell = 16
+	gw, gh := w/cell+2, h/cell+2
+	grid := make([]float64, gw*gh)
+	for i := range grid {
+		grid[i] = rng.Float64() * 255
+	}
+	im := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		gy := float64(y) / cell
+		y0 := int(gy)
+		fy := gy - float64(y0)
+		for x := 0; x < w; x++ {
+			gx := float64(x) / cell
+			x0 := int(gx)
+			fx := gx - float64(x0)
+			v00 := grid[y0*gw+x0]
+			v10 := grid[y0*gw+x0+1]
+			v01 := grid[(y0+1)*gw+x0]
+			v11 := grid[(y0+1)*gw+x0+1]
+			v := v00*(1-fx)*(1-fy) + v10*fx*(1-fy) + v01*(1-fx)*fy + v11*fx*fy
+			v += (rng.Float64() - 0.5) * 12 // sensor noise
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			im.Pix[y*w+x] = byte(v)
+		}
+	}
+	return im
+}
+
+// Downscale returns the image reduced by an integer factor using a box
+// filter (the paper's Figure 3 "scaling by a factor of 2 in each
+// dimension"). Factor <= 1 returns a copy.
+func (im *Image) Downscale(factor int) *Image {
+	if factor <= 1 {
+		out := NewImage(im.W, im.H)
+		copy(out.Pix, im.Pix)
+		return out
+	}
+	w := im.W / factor
+	h := im.H / factor
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	out := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			sum, n := 0, 0
+			for dy := 0; dy < factor; dy++ {
+				for dx := 0; dx < factor; dx++ {
+					sx, sy := x*factor+dx, y*factor+dy
+					if sx < im.W && sy < im.H {
+						sum += int(im.Pix[sy*im.W+sx])
+						n++
+					}
+				}
+			}
+			out.Pix[y*w+x] = byte(sum / n)
+		}
+	}
+	return out
+}
+
+// BoxBlur applies a low-pass box filter of the given radius — the
+// "low-pass filtering of JPEG images" distillation primitive.
+func (im *Image) BoxBlur(radius int) *Image {
+	if radius <= 0 {
+		out := NewImage(im.W, im.H)
+		copy(out.Pix, im.Pix)
+		return out
+	}
+	out := NewImage(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			sum, n := 0, 0
+			for dy := -radius; dy <= radius; dy++ {
+				for dx := -radius; dx <= radius; dx++ {
+					sum += int(im.At(x+dx, y+dy))
+					n++
+				}
+			}
+			out.Pix[y*im.W+x] = byte(sum / n)
+		}
+	}
+	return out
+}
+
+// MeanAbsDiff returns the mean absolute pixel difference between two
+// images of identical dimensions, a simple quality metric for codec
+// round-trip tests. It panics on dimension mismatch.
+func MeanAbsDiff(a, b *Image) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("media: dimension mismatch")
+	}
+	sum := 0.0
+	for i := range a.Pix {
+		d := int(a.Pix[i]) - int(b.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += float64(d)
+	}
+	return sum / float64(len(a.Pix))
+}

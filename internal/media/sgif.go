@@ -1,0 +1,180 @@
+package media
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// SGIF is the repository's GIF stand-in: a palette-indexed,
+// run-length-encoded raster format. Like GIF it is lossless given the
+// palette, and distillation reduces size by shrinking dimensions and
+// palette depth.
+//
+// Layout (all integers unsigned varints unless noted):
+//
+//	magic "SGIF" | width | height | paletteSize |
+//	palette bytes (paletteSize gray values) |
+//	runs: (runLength varint, paletteIndex byte)* covering W*H pixels
+
+var sgifMagic = []byte("SGIF")
+
+// ErrCorrupt reports undecodable image data. Distillers treat it the
+// way TranSend treated pathological inputs: the worker errors out and
+// the front end falls back to the original bytes.
+var ErrCorrupt = errors.New("media: corrupt image data")
+
+// EncodeSGIF encodes an image with the given palette size (2..256
+// gray levels). Fewer levels means longer runs and a smaller file.
+func EncodeSGIF(im *Image, colors int) []byte {
+	if colors < 2 {
+		colors = 2
+	}
+	if colors > 256 {
+		colors = 256
+	}
+	buf := make([]byte, 0, len(im.Pix)/4+64)
+	buf = append(buf, sgifMagic...)
+	buf = binary.AppendUvarint(buf, uint64(im.W))
+	buf = binary.AppendUvarint(buf, uint64(im.H))
+	buf = binary.AppendUvarint(buf, uint64(colors))
+	for i := 0; i < colors; i++ {
+		buf = append(buf, byte(i*255/(colors-1)))
+	}
+	quant := func(v byte) byte {
+		return byte((int(v)*(colors-1) + 127) / 255)
+	}
+	i := 0
+	for i < len(im.Pix) {
+		idx := quant(im.Pix[i])
+		run := 1
+		for i+run < len(im.Pix) && quant(im.Pix[i+run]) == idx {
+			run++
+		}
+		buf = binary.AppendUvarint(buf, uint64(run))
+		buf = append(buf, idx)
+		i += run
+	}
+	return buf
+}
+
+// DecodeSGIF decodes SGIF data. It never panics on corrupt input.
+func DecodeSGIF(data []byte) (*Image, error) {
+	r := reader{data: data}
+	if !r.expect(sgifMagic) {
+		return nil, fmt.Errorf("%w: bad SGIF magic", ErrCorrupt)
+	}
+	w := r.uvarint()
+	h := r.uvarint()
+	colors := r.uvarint()
+	if r.err != nil || w == 0 || h == 0 || colors < 2 || colors > 256 || w*h > 1<<28 {
+		return nil, fmt.Errorf("%w: bad SGIF header", ErrCorrupt)
+	}
+	palette := r.bytes(int(colors))
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: truncated SGIF palette", ErrCorrupt)
+	}
+	im := NewImage(int(w), int(h))
+	pos := 0
+	for pos < len(im.Pix) {
+		run := r.uvarint()
+		idx := r.byte()
+		if r.err != nil || run == 0 || int(idx) >= len(palette) || pos+int(run) > len(im.Pix) {
+			return nil, fmt.Errorf("%w: bad SGIF run at pixel %d", ErrCorrupt, pos)
+		}
+		v := palette[idx]
+		for j := 0; j < int(run); j++ {
+			im.Pix[pos+j] = v
+		}
+		pos += int(run)
+	}
+	return im, nil
+}
+
+// SGIFInfo reports the dimensions and palette size without a full
+// decode.
+func SGIFInfo(data []byte) (w, h, colors int, err error) {
+	r := reader{data: data}
+	if !r.expect(sgifMagic) {
+		return 0, 0, 0, fmt.Errorf("%w: bad SGIF magic", ErrCorrupt)
+	}
+	uw, uh, uc := r.uvarint(), r.uvarint(), r.uvarint()
+	if r.err != nil {
+		return 0, 0, 0, fmt.Errorf("%w: truncated SGIF header", ErrCorrupt)
+	}
+	return int(uw), int(uh), int(uc), nil
+}
+
+// reader is a bounds-checked byte cursor shared by the codecs.
+type reader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *reader) expect(magic []byte) bool {
+	if r.pos+len(magic) > len(r.data) {
+		r.err = ErrCorrupt
+		return false
+	}
+	for i, b := range magic {
+		if r.data[r.pos+i] != b {
+			r.err = ErrCorrupt
+			return false
+		}
+	}
+	r.pos += len(magic)
+	return true
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.err = ErrCorrupt
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		r.err = ErrCorrupt
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.data) {
+		r.err = ErrCorrupt
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.pos+n > len(r.data) {
+		r.err = ErrCorrupt
+		return nil
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}

@@ -1,0 +1,254 @@
+package media
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// SJPG is the repository's JPEG stand-in: a lossy 8×8 block-DCT codec
+// with a quality-scaled quantisation table (the same scheme as
+// baseline JPEG luminance coding, minus the Huffman stage). Lower
+// quality discards more high-frequency coefficients, so files shrink
+// and blocks blur — real transform coding, not a size table.
+//
+// Layout:
+//
+//	magic "SJPG" | width | height | quality |
+//	per 8×8 block: nCoef byte (0..64) then nCoef signed varints
+//	(zigzag-ordered quantised coefficients, trailing zeros dropped)
+
+var sjpgMagic = []byte("SJPG")
+
+// baseQuant is the standard JPEG luminance quantisation table.
+var baseQuant = [64]int{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// zigzag maps scan position to block index.
+var zigzag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// cosTable[u][x] = cos((2x+1)uπ/16), precomputed for the DCT.
+var cosTable [8][8]float64
+
+func init() {
+	for u := 0; u < 8; u++ {
+		for x := 0; x < 8; x++ {
+			cosTable[u][x] = math.Cos(float64(2*x+1) * float64(u) * math.Pi / 16)
+		}
+	}
+}
+
+// quantTable scales the base table for a quality in 1..100, following
+// the IJG convention (quality 50 = base table).
+func quantTable(quality int) [64]int {
+	if quality < 1 {
+		quality = 1
+	}
+	if quality > 100 {
+		quality = 100
+	}
+	var scale int
+	if quality < 50 {
+		scale = 5000 / quality
+	} else {
+		scale = 200 - 2*quality
+	}
+	var q [64]int
+	for i, b := range baseQuant {
+		v := (b*scale + 50) / 100
+		if v < 1 {
+			v = 1
+		}
+		if v > 255 {
+			v = 255
+		}
+		q[i] = v
+	}
+	return q
+}
+
+// fdct computes the 2D DCT-II of one 8×8 block (level-shifted by 128).
+func fdct(block *[64]float64) {
+	var tmp [64]float64
+	// Rows.
+	for y := 0; y < 8; y++ {
+		for u := 0; u < 8; u++ {
+			sum := 0.0
+			for x := 0; x < 8; x++ {
+				sum += block[y*8+x] * cosTable[u][x]
+			}
+			c := 0.5
+			if u == 0 {
+				c = 1 / (2 * math.Sqrt2)
+			}
+			tmp[y*8+u] = sum * c
+		}
+	}
+	// Columns.
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			sum := 0.0
+			for y := 0; y < 8; y++ {
+				sum += tmp[y*8+u] * cosTable[v][y]
+			}
+			c := 0.5
+			if v == 0 {
+				c = 1 / (2 * math.Sqrt2)
+			}
+			block[v*8+u] = sum * c
+		}
+	}
+}
+
+// idct computes the inverse 2D DCT of one 8×8 block.
+func idct(block *[64]float64) {
+	var tmp [64]float64
+	for v := 0; v < 8; v++ {
+		for x := 0; x < 8; x++ {
+			sum := 0.0
+			for u := 0; u < 8; u++ {
+				c := 0.5
+				if u == 0 {
+					c = 1 / (2 * math.Sqrt2)
+				}
+				sum += c * block[v*8+u] * cosTable[u][x]
+			}
+			tmp[v*8+x] = sum
+		}
+	}
+	for x := 0; x < 8; x++ {
+		for y := 0; y < 8; y++ {
+			sum := 0.0
+			for v := 0; v < 8; v++ {
+				c := 0.5
+				if v == 0 {
+					c = 1 / (2 * math.Sqrt2)
+				}
+				sum += c * tmp[v*8+x] * cosTable[v][y]
+			}
+			block[y*8+x] = sum
+		}
+	}
+}
+
+// EncodeSJPG encodes an image at the given quality (1..100).
+func EncodeSJPG(im *Image, quality int) []byte {
+	if quality < 1 {
+		quality = 1
+	}
+	if quality > 100 {
+		quality = 100
+	}
+	q := quantTable(quality)
+	buf := make([]byte, 0, len(im.Pix)/3+64)
+	buf = append(buf, sjpgMagic...)
+	buf = binary.AppendUvarint(buf, uint64(im.W))
+	buf = binary.AppendUvarint(buf, uint64(im.H))
+	buf = binary.AppendUvarint(buf, uint64(quality))
+
+	var block [64]float64
+	var coefs [64]int64
+	for by := 0; by < im.H; by += 8 {
+		for bx := 0; bx < im.W; bx += 8 {
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					block[y*8+x] = float64(im.At(bx+x, by+y)) - 128
+				}
+			}
+			fdct(&block)
+			last := -1
+			for i := 0; i < 64; i++ {
+				c := int64(math.Round(block[zigzag[i]] / float64(q[zigzag[i]])))
+				coefs[i] = c
+				if c != 0 {
+					last = i
+				}
+			}
+			n := last + 1
+			buf = append(buf, byte(n))
+			for i := 0; i < n; i++ {
+				buf = binary.AppendVarint(buf, coefs[i])
+			}
+		}
+	}
+	return buf
+}
+
+// DecodeSJPG decodes SJPG data. It never panics on corrupt input.
+func DecodeSJPG(data []byte) (*Image, error) {
+	r := reader{data: data}
+	if !r.expect(sjpgMagic) {
+		return nil, fmt.Errorf("%w: bad SJPG magic", ErrCorrupt)
+	}
+	w := r.uvarint()
+	h := r.uvarint()
+	quality := r.uvarint()
+	if r.err != nil || w == 0 || h == 0 || quality < 1 || quality > 100 || w*h > 1<<28 {
+		return nil, fmt.Errorf("%w: bad SJPG header", ErrCorrupt)
+	}
+	q := quantTable(int(quality))
+	im := NewImage(int(w), int(h))
+	var block [64]float64
+	for by := 0; by < im.H; by += 8 {
+		for bx := 0; bx < im.W; bx += 8 {
+			n := int(r.byte())
+			if r.err != nil || n > 64 {
+				return nil, fmt.Errorf("%w: bad SJPG block header at (%d,%d)", ErrCorrupt, bx, by)
+			}
+			for i := range block {
+				block[i] = 0
+			}
+			for i := 0; i < n; i++ {
+				c := r.varint()
+				if r.err != nil {
+					return nil, fmt.Errorf("%w: truncated SJPG block at (%d,%d)", ErrCorrupt, bx, by)
+				}
+				block[zigzag[i]] = float64(c) * float64(q[zigzag[i]])
+			}
+			idct(&block)
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					v := block[y*8+x] + 128
+					if v < 0 {
+						v = 0
+					}
+					if v > 255 {
+						v = 255
+					}
+					im.Set(bx+x, by+y, byte(v))
+				}
+			}
+		}
+	}
+	return im, nil
+}
+
+// SJPGInfo reports dimensions and quality without a full decode.
+func SJPGInfo(data []byte) (w, h, quality int, err error) {
+	r := reader{data: data}
+	if !r.expect(sjpgMagic) {
+		return 0, 0, 0, fmt.Errorf("%w: bad SJPG magic", ErrCorrupt)
+	}
+	uw, uh, uq := r.uvarint(), r.uvarint(), r.uvarint()
+	if r.err != nil {
+		return 0, 0, 0, fmt.Errorf("%w: truncated SJPG header", ErrCorrupt)
+	}
+	return int(uw), int(uh), int(uq), nil
+}

@@ -1,0 +1,247 @@
+// Package monitor implements the SNS graphical monitor (paper §3.1.7)
+// minus the Tcl/Tk pixels: it subscribes to the multicast report
+// group, presents a unified view of the system as a single virtual
+// entity, raises asynchronous alerts when a component falls silent
+// ("the monitor can page or email the system operator ... if it stops
+// receiving reports from some component"), and supports temporarily
+// disabling components for hot upgrades (§2.1).
+package monitor
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/san"
+	"repro/internal/stub"
+)
+
+// ComponentStatus is the monitor's view of one component.
+type ComponentStatus struct {
+	Component string
+	Kind      string
+	Node      string
+	Metrics   map[string]float64
+	LastSeen  time.Time
+	Silent    bool // no report within the alert window
+}
+
+// Alert is an asynchronous operator notification (the email/pager
+// analogue).
+type Alert struct {
+	Time      time.Time
+	Component string
+	Message   string
+}
+
+// Config tunes the monitor.
+type Config struct {
+	Name string
+	Node string
+	Net  *san.Network
+	// SilenceAfter marks a component silent (and alerts) when no
+	// report arrives for this long. Default 4x the report interval.
+	SilenceAfter time.Duration
+	// OnAlert is invoked for every alert (nil = collect only).
+	OnAlert func(Alert)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Name == "" {
+		c.Name = "monitor"
+	}
+	if c.SilenceAfter <= 0 {
+		c.SilenceAfter = 4 * stub.DefaultReportInterval
+	}
+	return c
+}
+
+// Monitor implements cluster.Process.
+type Monitor struct {
+	cfg Config
+	ep  *san.Endpoint
+
+	mu       sync.Mutex
+	seen     map[string]*ComponentStatus
+	alerts   []Alert
+	alerted  map[string]bool // component -> alert outstanding
+	disabled map[san.Addr]bool
+}
+
+// New creates a monitor and registers its endpoint.
+func New(cfg Config) *Monitor {
+	cfg = cfg.withDefaults()
+	m := &Monitor{
+		cfg:      cfg,
+		seen:     make(map[string]*ComponentStatus),
+		alerted:  make(map[string]bool),
+		disabled: make(map[san.Addr]bool),
+	}
+	m.ep = cfg.Net.Endpoint(m.addr(), 4096)
+	return m
+}
+
+func (m *Monitor) addr() san.Addr { return san.Addr{Node: m.cfg.Node, Proc: m.cfg.Name} }
+
+// Addr returns the monitor's SAN address.
+func (m *Monitor) Addr() san.Addr { return m.addr() }
+
+// ID implements cluster.Process.
+func (m *Monitor) ID() string { return m.cfg.Name }
+
+// Run implements cluster.Process.
+func (m *Monitor) Run(ctx context.Context) error {
+	if m.ep == nil || !m.cfg.Net.Lookup(m.addr()) {
+		m.ep = m.cfg.Net.Endpoint(m.addr(), 4096)
+	}
+	ep := m.ep
+	defer ep.Close()
+	ep.Join(stub.GroupReports)
+	ep.Join(stub.GroupControl) // beacons double as manager liveness
+
+	scan := time.NewTicker(m.cfg.SilenceAfter / 2)
+	defer scan.Stop()
+
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-scan.C:
+			m.scanSilence()
+		case msg, ok := <-ep.Inbox():
+			if !ok {
+				return fmt.Errorf("monitor: endpoint closed")
+			}
+			m.handle(msg)
+		}
+	}
+}
+
+func (m *Monitor) handle(msg san.Message) {
+	switch msg.Kind {
+	case stub.MsgMonReport:
+		r, ok := msg.Body.(stub.StatusReport)
+		if !ok {
+			return
+		}
+		m.mu.Lock()
+		m.seen[r.Component] = &ComponentStatus{
+			Component: r.Component,
+			Kind:      r.Kind,
+			Node:      r.Node,
+			Metrics:   r.Metrics,
+			LastSeen:  time.Now(),
+		}
+		if m.alerted[r.Component] {
+			delete(m.alerted, r.Component)
+			m.emitLocked(r.Component, "component recovered")
+		}
+		m.mu.Unlock()
+	case stub.MsgBeacon:
+		b, ok := msg.Body.(stub.Beacon)
+		if !ok {
+			return
+		}
+		m.mu.Lock()
+		m.seen[b.Manager.Proc] = &ComponentStatus{
+			Component: b.Manager.Proc,
+			Kind:      "manager",
+			Node:      b.Manager.Node,
+			Metrics:   map[string]float64{"workers": float64(len(b.Workers))},
+			LastSeen:  time.Now(),
+		}
+		m.mu.Unlock()
+	}
+}
+
+func (m *Monitor) scanSilence() {
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, st := range m.seen {
+		if now.Sub(st.LastSeen) > m.cfg.SilenceAfter {
+			st.Silent = true
+			if !m.alerted[name] {
+				m.alerted[name] = true
+				m.emitLocked(name, fmt.Sprintf("no reports for %v", now.Sub(st.LastSeen).Round(time.Millisecond)))
+			}
+		} else {
+			st.Silent = false
+		}
+	}
+}
+
+func (m *Monitor) emitLocked(component, message string) {
+	a := Alert{Time: time.Now(), Component: component, Message: message}
+	m.alerts = append(m.alerts, a)
+	if m.cfg.OnAlert != nil {
+		// Deliver outside the lock.
+		go m.cfg.OnAlert(a)
+	}
+}
+
+// Snapshot returns the current component table, sorted by name.
+func (m *Monitor) Snapshot() []ComponentStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ComponentStatus, 0, len(m.seen))
+	for _, st := range m.seen {
+		cp := *st
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Component < out[j].Component })
+	return out
+}
+
+// Alerts returns all alerts so far.
+func (m *Monitor) Alerts() []Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Alert(nil), m.alerts...)
+}
+
+// Disable sends a hot-upgrade disable to a component (§2.1 "temporary
+// disabling of system components for hot upgrades").
+func (m *Monitor) Disable(addr san.Addr) error {
+	m.mu.Lock()
+	m.disabled[addr] = true
+	m.mu.Unlock()
+	return m.ep.Send(addr, stub.MsgDisable, nil, 16)
+}
+
+// Enable re-enables a disabled component.
+func (m *Monitor) Enable(addr san.Addr) error {
+	m.mu.Lock()
+	delete(m.disabled, addr)
+	m.mu.Unlock()
+	return m.ep.Send(addr, stub.MsgEnable, nil, 16)
+}
+
+// RenderTable renders the system view as text — the visualization
+// panel's textual equivalent.
+func (m *Monitor) RenderTable() string {
+	snap := m.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %-10s %-8s %-8s %s\n", "COMPONENT", "KIND", "NODE", "STATE", "METRICS")
+	for _, st := range snap {
+		state := "ok"
+		if st.Silent {
+			state = "SILENT"
+		}
+		keys := make([]string, 0, len(st.Metrics))
+		for k := range st.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var metrics []string
+		for _, k := range keys {
+			metrics = append(metrics, fmt.Sprintf("%s=%.1f", k, st.Metrics[k]))
+		}
+		fmt.Fprintf(&b, "%-16s %-10s %-8s %-8s %s\n",
+			st.Component, st.Kind, st.Node, state, strings.Join(metrics, " "))
+	}
+	return b.String()
+}

@@ -1,0 +1,153 @@
+package monitor
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/san"
+	"repro/internal/stub"
+)
+
+func startMonitor(t *testing.T, net *san.Network, silence time.Duration) (*Monitor, *atomic.Int32) {
+	t.Helper()
+	var alerts atomic.Int32
+	m := New(Config{
+		Node:         "mon",
+		Net:          net,
+		SilenceAfter: silence,
+		OnAlert:      func(Alert) { alerts.Add(1) },
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go m.Run(ctx)
+	return m, &alerts
+}
+
+func report(ep *san.Endpoint, component, kind string) {
+	ep.Multicast(stub.GroupReports, stub.MsgMonReport, stub.StatusReport{
+		Component: component,
+		Kind:      kind,
+		Node:      "n1",
+		Metrics:   map[string]float64{"qlen": 3},
+	}, 64)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestMonitorTracksReports(t *testing.T) {
+	net := san.NewNetwork(1)
+	m, _ := startMonitor(t, net, time.Hour)
+	ep := net.Endpoint(san.Addr{Node: "n1", Proc: "w0"}, 16)
+	waitFor(t, "component visible", func() bool {
+		report(ep, "w0", "worker")
+		snap := m.Snapshot()
+		return len(snap) == 1 && snap[0].Component == "w0" && snap[0].Kind == "worker"
+	})
+	snap := m.Snapshot()
+	if snap[0].Metrics["qlen"] != 3 || snap[0].Silent {
+		t.Fatalf("status = %+v", snap[0])
+	}
+}
+
+func TestMonitorSilenceAlertAndRecovery(t *testing.T) {
+	net := san.NewNetwork(1)
+	m, alerts := startMonitor(t, net, 40*time.Millisecond)
+	ep := net.Endpoint(san.Addr{Node: "n1", Proc: "w0"}, 16)
+	waitFor(t, "component visible", func() bool {
+		report(ep, "w0", "worker")
+		return len(m.Snapshot()) == 1
+	})
+	// Go silent: alert fires and the component is marked SILENT.
+	waitFor(t, "silence alert", func() bool { return alerts.Load() >= 1 })
+	waitFor(t, "marked silent", func() bool {
+		snap := m.Snapshot()
+		return len(snap) == 1 && snap[0].Silent
+	})
+	if !strings.Contains(m.RenderTable(), "SILENT") {
+		t.Fatal("render does not show silent state")
+	}
+	// Duplicate alerts are suppressed while still silent.
+	n := alerts.Load()
+	time.Sleep(100 * time.Millisecond)
+	if alerts.Load() > n+1 {
+		t.Fatalf("alert storm: %d alerts", alerts.Load())
+	}
+	// Recovery: a fresh report clears the state and emits a
+	// recovery alert.
+	before := len(m.Alerts())
+	waitFor(t, "recovery", func() bool {
+		report(ep, "w0", "worker")
+		snap := m.Snapshot()
+		return len(snap) == 1 && !snap[0].Silent
+	})
+	found := false
+	for _, a := range m.Alerts()[before:] {
+		if strings.Contains(a.Message, "recovered") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no recovery alert")
+	}
+}
+
+func TestMonitorSeesManagerBeacons(t *testing.T) {
+	net := san.NewNetwork(1)
+	m, _ := startMonitor(t, net, time.Hour)
+	mgr := net.Endpoint(san.Addr{Node: "m", Proc: "manager"}, 16)
+	waitFor(t, "manager visible", func() bool {
+		mgr.Multicast(stub.GroupControl, stub.MsgBeacon, stub.Beacon{
+			Manager: mgr.Addr(),
+			Workers: []stub.WorkerInfo{{ID: "w0"}},
+		}, 64)
+		snap := m.Snapshot()
+		return len(snap) == 1 && snap[0].Kind == "manager" && snap[0].Metrics["workers"] == 1
+	})
+}
+
+func TestMonitorDisableEnable(t *testing.T) {
+	net := san.NewNetwork(1)
+	m, _ := startMonitor(t, net, time.Hour)
+	target := net.Endpoint(san.Addr{Node: "n1", Proc: "w0"}, 16)
+	if err := m.Disable(target.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	msg := <-target.Inbox()
+	if msg.Kind != stub.MsgDisable {
+		t.Fatalf("got %s", msg.Kind)
+	}
+	if err := m.Enable(target.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	msg = <-target.Inbox()
+	if msg.Kind != stub.MsgEnable {
+		t.Fatalf("got %s", msg.Kind)
+	}
+}
+
+func TestRenderTableFormatting(t *testing.T) {
+	net := san.NewNetwork(1)
+	m, _ := startMonitor(t, net, time.Hour)
+	ep := net.Endpoint(san.Addr{Node: "n1", Proc: "a-worker"}, 16)
+	waitFor(t, "component", func() bool {
+		report(ep, "a-worker", "worker")
+		return len(m.Snapshot()) == 1
+	})
+	out := m.RenderTable()
+	if !strings.Contains(out, "a-worker") || !strings.Contains(out, "qlen=3.0") {
+		t.Fatalf("render = %q", out)
+	}
+}

@@ -1,0 +1,370 @@
+// Package profiledb implements the customization database — the one
+// ACID island in an otherwise BASE system (paper §1.4, §2.3, §3.1.4).
+// It maps a user identification token to a list of key-value pairs,
+// exactly the schema the paper prescribes, and is used by front ends
+// to pair every request with the user's preferences.
+//
+// The paper used gdbm (TranSend) and parallel Informix (HotBot); here
+// the store is a write-ahead-logged, crash-recoverable KV database:
+// every mutation is appended to a checksummed log before being
+// applied, recovery replays the log and truncates at the first torn
+// record, and compaction rewrites the log as a snapshot. Reads vastly
+// outnumber writes in this workload, so the front end wraps the DB in
+// the write-through read cache of §3.1.4.
+package profiledb
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// record is one logged mutation.
+type record struct {
+	Op   string `json:"op"` // "set", "del", "delu"
+	User string `json:"u"`
+	Key  string `json:"k,omitempty"`
+	Val  string `json:"v,omitempty"`
+}
+
+// DB is the ACID profile store. All methods are safe for concurrent
+// use.
+type DB struct {
+	// SyncWrites forces an fsync after every append, making commits
+	// durable across OS crashes (full ACID "D"). Tests leave it off
+	// for speed; the cmd/ tools turn it on.
+	SyncWrites bool
+
+	mu   sync.Mutex
+	dir  string
+	log  *os.File
+	mem  map[string]map[string]string
+	logN int // records in the log (drives compaction heuristics)
+}
+
+const logName = "profiles.wal"
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("profiledb: closed")
+
+// Open opens (or creates) a database in dir, replaying the write-ahead
+// log. A torn final record — the signature of a crash mid-append — is
+// discarded and the log truncated to the last complete record.
+func Open(dir string) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("profiledb: %w", err)
+	}
+	db := &DB{dir: dir, mem: make(map[string]map[string]string)}
+	path := filepath.Join(dir, logName)
+	valid, n, err := db.replay(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("profiledb: %w", err)
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("profiledb: truncate torn log: %w", err)
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("profiledb: %w", err)
+	}
+	db.log = f
+	db.logN = n
+	return db, nil
+}
+
+// replay loads the log into memory, returning the byte offset of the
+// last complete record and the number of records applied.
+func (db *DB) replay(path string) (validOffset int64, records int, err error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("profiledb: read log: %w", err)
+	}
+	off := 0
+	for {
+		if off+8 > len(data) {
+			break
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n == 0 || n > 1<<20 || off+8+int(n) > len(data) {
+			break
+		}
+		payload := data[off+8 : off+8+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		var rec record
+		if json.Unmarshal(payload, &rec) != nil {
+			break
+		}
+		db.apply(rec)
+		off += 8 + int(n)
+		records++
+	}
+	return int64(off), records, nil
+}
+
+func (db *DB) apply(rec record) {
+	switch rec.Op {
+	case "set":
+		prof := db.mem[rec.User]
+		if prof == nil {
+			prof = make(map[string]string)
+			db.mem[rec.User] = prof
+		}
+		prof[rec.Key] = rec.Val
+	case "del":
+		if prof := db.mem[rec.User]; prof != nil {
+			delete(prof, rec.Key)
+			if len(prof) == 0 {
+				delete(db.mem, rec.User)
+			}
+		}
+	case "delu":
+		delete(db.mem, rec.User)
+	}
+}
+
+// append writes one record to the log (and syncs if configured),
+// then applies it to memory. Caller holds db.mu.
+func (db *DB) append(rec record) error {
+	if db.log == nil {
+		return ErrClosed
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("profiledb: encode: %w", err)
+	}
+	buf := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
+	copy(buf[8:], payload)
+	if _, err := db.log.Write(buf); err != nil {
+		return fmt.Errorf("profiledb: append: %w", err)
+	}
+	if db.SyncWrites {
+		if err := db.log.Sync(); err != nil {
+			return fmt.Errorf("profiledb: sync: %w", err)
+		}
+	}
+	db.apply(rec)
+	db.logN++
+	return nil
+}
+
+// Set stores one key-value pair in a user's profile.
+func (db *DB) Set(user, key, val string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.append(record{Op: "set", User: user, Key: key, Val: val})
+}
+
+// Delete removes one key from a user's profile.
+func (db *DB) Delete(user, key string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.append(record{Op: "del", User: user, Key: key})
+}
+
+// DeleteUser removes a user's entire profile.
+func (db *DB) DeleteUser(user string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.append(record{Op: "delu", User: user})
+}
+
+// Get returns a copy of the user's profile (nil if absent).
+func (db *DB) Get(user string) map[string]string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	prof := db.mem[user]
+	if prof == nil {
+		return nil
+	}
+	out := make(map[string]string, len(prof))
+	for k, v := range prof {
+		out[k] = v
+	}
+	return out
+}
+
+// GetKey returns one profile value.
+func (db *DB) GetKey(user, key string) (string, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	prof := db.mem[user]
+	if prof == nil {
+		return "", false
+	}
+	v, ok := prof[key]
+	return v, ok
+}
+
+// Users returns the number of users with non-empty profiles.
+func (db *DB) Users() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.mem)
+}
+
+// LogRecords returns the number of records in the current log.
+func (db *DB) LogRecords() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.logN
+}
+
+// Compact rewrites the log as a minimal snapshot (one "set" per live
+// pair), atomically replacing the old log.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.log == nil {
+		return ErrClosed
+	}
+	tmpPath := filepath.Join(db.dir, logName+".tmp")
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("profiledb: compact: %w", err)
+	}
+	count := 0
+	write := func(rec record) error {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, 8+len(payload))
+		binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+		binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
+		copy(buf[8:], payload)
+		_, err = tmp.Write(buf)
+		return err
+	}
+	for user, prof := range db.mem {
+		for k, v := range prof {
+			if err := write(record{Op: "set", User: user, Key: k, Val: v}); err != nil {
+				tmp.Close()
+				os.Remove(tmpPath)
+				return fmt.Errorf("profiledb: compact: %w", err)
+			}
+			count++
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("profiledb: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("profiledb: compact: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(db.dir, logName)); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("profiledb: compact: %w", err)
+	}
+	old := db.log
+	f, err := os.OpenFile(filepath.Join(db.dir, logName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("profiledb: compact reopen: %w", err)
+	}
+	old.Close()
+	db.log = f
+	db.logN = count
+	return nil
+}
+
+// Close flushes and closes the database.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.log == nil {
+		return nil
+	}
+	err := db.log.Sync()
+	if cerr := db.log.Close(); err == nil {
+		err = cerr
+	}
+	db.log = nil
+	return err
+}
+
+// ReadCache is the front end's write-through profile cache (§3.1.4):
+// "user preference reads are much more frequent than writes, and the
+// reads are absorbed by a write-through cache in the front end."
+type ReadCache struct {
+	db *DB
+
+	mu     sync.Mutex
+	cache  map[string]map[string]string
+	hits   uint64
+	misses uint64
+}
+
+// NewReadCache wraps a DB.
+func NewReadCache(db *DB) *ReadCache {
+	return &ReadCache{db: db, cache: make(map[string]map[string]string)}
+}
+
+// Get returns the user's profile, consulting the cache first.
+func (c *ReadCache) Get(user string) map[string]string {
+	c.mu.Lock()
+	if prof, ok := c.cache[user]; ok {
+		c.hits++
+		out := make(map[string]string, len(prof))
+		for k, v := range prof {
+			out[k] = v
+		}
+		c.mu.Unlock()
+		return out
+	}
+	c.misses++
+	c.mu.Unlock()
+	prof := c.db.Get(user)
+	c.mu.Lock()
+	if prof == nil {
+		c.cache[user] = map[string]string{}
+	} else {
+		c.cache[user] = prof
+	}
+	c.mu.Unlock()
+	return prof
+}
+
+// Set writes through: the DB commits first (preserving ACID), then the
+// cache is updated.
+func (c *ReadCache) Set(user, key, val string) error {
+	if err := c.db.Set(user, key, val); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prof := c.cache[user]
+	if prof == nil {
+		prof = make(map[string]string)
+		c.cache[user] = prof
+	}
+	prof[key] = val
+	return nil
+}
+
+// Stats returns cache hit/miss counts.
+func (c *ReadCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

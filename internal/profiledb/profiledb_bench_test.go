@@ -1,0 +1,56 @@
+package profiledb
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkSet(b *testing.B) {
+	db, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Set(fmt.Sprintf("u%d", i%1000), "quality", "25"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetCached(b *testing.B) {
+	db, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	c := NewReadCache(db)
+	for i := 0; i < 1000; i++ {
+		c.Set(fmt.Sprintf("u%d", i), "quality", "25")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(fmt.Sprintf("u%d", i%1000))
+	}
+}
+
+func BenchmarkRecovery(b *testing.B) {
+	dir := b.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		db.Set(fmt.Sprintf("u%d", i%500), fmt.Sprintf("k%d", i%10), "v")
+	}
+	db.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db, err := Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		db.Close()
+	}
+}

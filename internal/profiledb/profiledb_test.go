@@ -1,0 +1,339 @@
+package profiledb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func openTemp(t *testing.T) (*DB, string) {
+	t.Helper()
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db, dir
+}
+
+func TestSetGet(t *testing.T) {
+	db, _ := openTemp(t)
+	if err := db.Set("u1", "maxImageSize", "2048"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Set("u1", "quality", "25"); err != nil {
+		t.Fatal(err)
+	}
+	prof := db.Get("u1")
+	if prof["maxImageSize"] != "2048" || prof["quality"] != "25" {
+		t.Fatalf("profile = %v", prof)
+	}
+	if v, ok := db.GetKey("u1", "quality"); !ok || v != "25" {
+		t.Fatalf("GetKey = %q, %v", v, ok)
+	}
+	if db.Get("unknown") != nil {
+		t.Fatal("unknown user should be nil")
+	}
+	if _, ok := db.GetKey("u1", "nope"); ok {
+		t.Fatal("missing key reported present")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	db, _ := openTemp(t)
+	db.Set("u1", "k", "v")
+	prof := db.Get("u1")
+	prof["k"] = "mutated"
+	if v, _ := db.GetKey("u1", "k"); v != "v" {
+		t.Fatal("Get exposed internal map")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	db, _ := openTemp(t)
+	db.Set("u1", "a", "1")
+	db.Set("u1", "b", "2")
+	if err := db.Delete("u1", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.GetKey("u1", "a"); ok {
+		t.Fatal("deleted key still present")
+	}
+	if err := db.DeleteUser("u1"); err != nil {
+		t.Fatal(err)
+	}
+	if db.Users() != 0 {
+		t.Fatalf("Users = %d", db.Users())
+	}
+}
+
+func TestRecoveryAfterReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		db.Set(fmt.Sprintf("u%d", i%10), fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+	db.Delete("u0", "k0")
+	db.Close()
+
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Users() != 10 {
+		t.Fatalf("Users after recovery = %d, want 10", db2.Users())
+	}
+	if _, ok := db2.GetKey("u0", "k0"); ok {
+		t.Fatal("deleted key resurrected")
+	}
+	if v, ok := db2.GetKey("u9", "k99"); !ok || v != "v99" {
+		t.Fatalf("lost write: %q %v", v, ok)
+	}
+}
+
+func TestTornLogTruncated(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Set("u1", "a", "1")
+	db.Set("u1", "b", "2")
+	db.Close()
+
+	// Simulate a crash mid-append: chop bytes off the log tail.
+	path := filepath.Join(dir, logName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if v, ok := db2.GetKey("u1", "a"); !ok || v != "1" {
+		t.Fatal("complete record lost")
+	}
+	if _, ok := db2.GetKey("u1", "b"); ok {
+		t.Fatal("torn record applied")
+	}
+	// New writes after recovery must persist.
+	db2.Set("u1", "c", "3")
+	db2.Close()
+	db3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	if v, _ := db3.GetKey("u1", "c"); v != "3" {
+		t.Fatal("post-recovery write lost")
+	}
+}
+
+func TestCorruptChecksumStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Set("u1", "a", "1")
+	db.Set("u1", "b", "2")
+	db.Close()
+	path := filepath.Join(dir, logName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the second record's payload.
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if _, ok := db2.GetKey("u1", "b"); ok {
+		t.Fatal("corrupt record applied")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		db.Set("u1", "k", fmt.Sprintf("v%d", i)) // 50 overwrites
+	}
+	if db.LogRecords() != 50 {
+		t.Fatalf("log records = %d", db.LogRecords())
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if db.LogRecords() != 1 {
+		t.Fatalf("log records after compact = %d, want 1", db.LogRecords())
+	}
+	if v, _ := db.GetKey("u1", "k"); v != "v49" {
+		t.Fatalf("value after compact = %q", v)
+	}
+	// Writes after compaction still recover.
+	db.Set("u1", "k2", "x")
+	db.Close()
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if v, _ := db2.GetKey("u1", "k2"); v != "x" {
+		t.Fatal("post-compact write lost")
+	}
+	if v, _ := db2.GetKey("u1", "k"); v != "v49" {
+		t.Fatal("compacted state lost")
+	}
+}
+
+func TestClosedDBErrors(t *testing.T) {
+	db, _ := openTemp(t)
+	db.Close()
+	if err := db.Set("u", "k", "v"); err == nil {
+		t.Fatal("Set on closed DB succeeded")
+	}
+	if err := db.Compact(); err == nil {
+		t.Fatal("Compact on closed DB succeeded")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+func TestRecoveryIdempotent(t *testing.T) {
+	// Property: open/close cycles without writes never change state.
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(user, key, val string) bool {
+		if user == "" || key == "" {
+			return true
+		}
+		if err := db.Set(user, key, val); err != nil {
+			return false
+		}
+		db.Close()
+		db, err = Open(dir)
+		if err != nil {
+			return false
+		}
+		got, ok := db.GetKey(user, key)
+		return ok && got == val
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+}
+
+func TestConcurrentWriters(t *testing.T) {
+	db, _ := openTemp(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			user := fmt.Sprintf("u%d", g)
+			for i := 0; i < 100; i++ {
+				if err := db.Set(user, fmt.Sprintf("k%d", i), "v"); err != nil {
+					t.Error(err)
+					return
+				}
+				db.Get(user)
+			}
+		}()
+	}
+	wg.Wait()
+	if db.Users() != 8 {
+		t.Fatalf("Users = %d", db.Users())
+	}
+}
+
+func TestReadCache(t *testing.T) {
+	db, _ := openTemp(t)
+	db.Set("u1", "k", "v")
+	c := NewReadCache(db)
+	if prof := c.Get("u1"); prof["k"] != "v" {
+		t.Fatalf("Get = %v", prof)
+	}
+	c.Get("u1")
+	c.Get("u1")
+	hits, misses := c.Stats()
+	if misses != 1 || hits != 2 {
+		t.Fatalf("hits=%d misses=%d, want 2/1", hits, misses)
+	}
+	// Write-through: both cache and DB updated.
+	if err := c.Set("u1", "k", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	if prof := c.Get("u1"); prof["k"] != "v2" {
+		t.Fatal("cache not updated on write-through")
+	}
+	if v, _ := db.GetKey("u1", "k"); v != "v2" {
+		t.Fatal("DB not updated on write-through")
+	}
+	// Unknown users are negatively cached.
+	if c.Get("ghost") != nil {
+		t.Fatal("ghost profile should be nil")
+	}
+	c.Get("ghost")
+	// Hits so far: 2 initial + 1 after write-through + 1 ghost re-read.
+	hits2, _ := c.Stats()
+	if hits2 != 4 {
+		t.Fatalf("negative caching failed: hits=%d", hits2)
+	}
+}
+
+func TestReadCacheWriteThroughFailure(t *testing.T) {
+	db, _ := openTemp(t)
+	c := NewReadCache(db)
+	db.Close()
+	if err := c.Set("u1", "k", "v"); err == nil {
+		t.Fatal("Set should fail when DB is closed")
+	}
+	// The failed write must not poison the cache.
+	db2, _ := openTemp(t)
+	_ = db2
+	if prof := c.Get("u1"); prof != nil && prof["k"] == "v" {
+		t.Fatal("failed write visible in cache")
+	}
+}
+
+func TestSyncWrites(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SyncWrites = true
+	if err := db.Set("u", "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+}

@@ -1,0 +1,490 @@
+// Package san implements the system-area network (SAN) that connects
+// SNS components (paper §2.1). It provides addressed point-to-point
+// messaging, best-effort multicast groups (the paper's IP-multicast
+// analogue used for manager beacons and monitor reports), and failure
+// injection: message loss, latency, and network partitions.
+//
+// The network is in-process: endpoints are registered per logical
+// process and messages are delivered to buffered inboxes. Components
+// communicate only through this interface, so the protocol paths are
+// identical to a wire implementation; the impairment knobs let tests
+// reproduce the paper's SAN saturation and partition scenarios.
+package san
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Addr identifies a process endpoint on the SAN. Node is the hosting
+// workstation (used for partition and node-failure semantics); Proc is
+// the process name, unique per node.
+type Addr struct {
+	Node string
+	Proc string
+}
+
+// String renders the address as "node/proc".
+func (a Addr) String() string { return a.Node + "/" + a.Proc }
+
+// IsZero reports whether the address is unset.
+func (a Addr) IsZero() bool { return a.Node == "" && a.Proc == "" }
+
+// Message is a datagram on the SAN. Body is an arbitrary value (the
+// in-process analogue of a serialized payload); Size is the simulated
+// wire size in bytes, used for bandwidth accounting and stats.
+type Message struct {
+	From  Addr
+	To    Addr   // zero for multicast
+	Group string // non-empty for multicast deliveries
+	Kind  string
+	Body  any
+	Size  int
+
+	// CallID and Reply implement the request/response convention:
+	// a caller tags a request with a fresh CallID; the responder
+	// echoes it with Reply=true.
+	CallID uint64
+	Reply  bool
+}
+
+// Stats counts network activity.
+type Stats struct {
+	Sent         uint64 // point-to-point messages delivered
+	Dropped      uint64 // lost to impairments, partitions, or full inboxes
+	McastSent    uint64 // multicast deliveries attempted
+	McastDropped uint64 // multicast deliveries lost
+	Bytes        uint64 // bytes delivered
+}
+
+// Errors returned by endpoint operations.
+var (
+	ErrClosed      = errors.New("san: endpoint closed")
+	ErrUnknownAddr = errors.New("san: unknown address")
+	ErrTimeout     = errors.New("san: call timed out")
+)
+
+// Network is an in-process SAN. The zero value is not usable;
+// construct with NewNetwork.
+type Network struct {
+	mu        sync.RWMutex
+	endpoints map[Addr]*Endpoint
+	groups    map[string]map[Addr]*Endpoint
+	partition map[string]int // node -> partition id; absent = 0
+	rng       *rand.Rand
+	rngMu     sync.Mutex
+
+	// Impairments. Loss probabilities are applied per delivery.
+	lossP      float64 // point-to-point loss probability
+	mcastLossP float64 // multicast delivery loss probability
+	latency    func() time.Duration
+
+	sent         atomic.Uint64
+	dropped      atomic.Uint64
+	mcastSent    atomic.Uint64
+	mcastDropped atomic.Uint64
+	bytes        atomic.Uint64
+}
+
+// NewNetwork returns an unimpaired network seeded for deterministic
+// loss decisions.
+func NewNetwork(seed int64) *Network {
+	return &Network{
+		endpoints: make(map[Addr]*Endpoint),
+		groups:    make(map[string]map[Addr]*Endpoint),
+		partition: make(map[string]int),
+		rng:       rand.New(rand.NewSource(seed)),
+	}
+}
+
+// SetLoss configures point-to-point and multicast loss probabilities
+// in [0, 1]. The paper observed that multicast control traffic is the
+// first casualty of SAN saturation (§4.6); tests reproduce that by
+// raising mcast loss.
+func (n *Network) SetLoss(p2p, mcast float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.lossP, n.mcastLossP = p2p, mcast
+}
+
+// SetLatency installs a per-message latency source (nil for instant
+// delivery). Latency is applied with real timers; keep it small in
+// tests.
+func (n *Network) SetLatency(f func() time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = f
+}
+
+// Partition assigns nodes to partition groups. Messages between nodes
+// in different groups are dropped. Nodes not mentioned are in group 0.
+func (n *Network) Partition(groups map[string]int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partition = make(map[string]int, len(groups))
+	for node, g := range groups {
+		n.partition[node] = g
+	}
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() { n.Partition(nil) }
+
+// Stats returns a snapshot of network counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Sent:         n.sent.Load(),
+		Dropped:      n.dropped.Load(),
+		McastSent:    n.mcastSent.Load(),
+		McastDropped: n.mcastDropped.Load(),
+		Bytes:        n.bytes.Load(),
+	}
+}
+
+// Endpoint registers a new endpoint for addr with the given inbox
+// capacity. Registering an address twice replaces the old endpoint
+// (the old one is closed), which models a restarted process reclaiming
+// its name.
+func (n *Network) Endpoint(addr Addr, inboxCap int) *Endpoint {
+	if inboxCap <= 0 {
+		inboxCap = 256
+	}
+	ep := &Endpoint{
+		net:     n,
+		addr:    addr,
+		inbox:   make(chan Message, inboxCap),
+		pending: make(map[uint64]chan Message),
+	}
+	n.mu.Lock()
+	old := n.endpoints[addr]
+	n.endpoints[addr] = ep
+	n.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return ep
+}
+
+// Lookup reports whether an endpoint is registered for addr.
+func (n *Network) Lookup(addr Addr) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	_, ok := n.endpoints[addr]
+	return ok
+}
+
+// Drop closes a single endpoint abruptly (process crash): it vanishes
+// from the address table and all groups without any goodbye traffic.
+func (n *Network) Drop(addr Addr) {
+	n.mu.Lock()
+	ep, ok := n.endpoints[addr]
+	if ok {
+		delete(n.endpoints, addr)
+	}
+	for _, members := range n.groups {
+		delete(members, addr)
+	}
+	n.mu.Unlock()
+	if ok {
+		ep.closeLocked()
+	}
+}
+
+// DropNode closes every endpoint hosted on the named node and removes
+// it from all groups, modelling a workstation crash.
+func (n *Network) DropNode(node string) {
+	n.mu.Lock()
+	var victims []*Endpoint
+	for addr, ep := range n.endpoints {
+		if addr.Node == node {
+			victims = append(victims, ep)
+			delete(n.endpoints, addr)
+		}
+	}
+	for _, members := range n.groups {
+		for addr := range members {
+			if addr.Node == node {
+				delete(members, addr)
+			}
+		}
+	}
+	n.mu.Unlock()
+	for _, ep := range victims {
+		ep.closeLocked()
+	}
+}
+
+func (n *Network) samePartition(a, b string) bool {
+	return n.partition[a] == n.partition[b]
+}
+
+func (n *Network) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	n.rngMu.Lock()
+	v := n.rng.Float64()
+	n.rngMu.Unlock()
+	return v < p
+}
+
+// deliver places msg in ep's inbox, applying latency. Returns false if
+// the inbox was full or the endpoint closed.
+func (n *Network) deliver(ep *Endpoint, msg Message, latency func() time.Duration) bool {
+	if latency != nil {
+		d := latency()
+		if d > 0 {
+			time.AfterFunc(d, func() { ep.push(msg) })
+			return true // counted as sent; late drop still possible
+		}
+	}
+	return ep.push(msg)
+}
+
+// Endpoint is one process's attachment to the SAN.
+type Endpoint struct {
+	net   *Network
+	addr  Addr
+	inbox chan Message
+
+	mu      sync.Mutex
+	closed  bool
+	nextID  uint64
+	pending map[uint64]chan Message
+	groups  []string
+}
+
+// Addr returns the endpoint's address.
+func (e *Endpoint) Addr() Addr { return e.addr }
+
+// Inbox returns the receive channel. The channel is closed when the
+// endpoint closes.
+func (e *Endpoint) Inbox() <-chan Message { return e.inbox }
+
+// push attempts non-blocking delivery.
+func (e *Endpoint) push(msg Message) bool {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return false
+	}
+	select {
+	case e.inbox <- msg:
+		e.mu.Unlock()
+		return true
+	default:
+		e.mu.Unlock()
+		return false
+	}
+}
+
+// Close detaches the endpoint: it leaves all groups, unregisters the
+// address, fails pending calls, and closes the inbox.
+func (e *Endpoint) Close() {
+	n := e.net
+	n.mu.Lock()
+	if n.endpoints[e.addr] == e {
+		delete(n.endpoints, e.addr)
+	}
+	for _, g := range e.groupsLocked() {
+		if members, ok := n.groups[g]; ok {
+			delete(members, e.addr)
+		}
+	}
+	n.mu.Unlock()
+	e.closeLocked()
+}
+
+func (e *Endpoint) groupsLocked() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.groups...)
+}
+
+func (e *Endpoint) closeLocked() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	for id, ch := range e.pending {
+		close(ch)
+		delete(e.pending, id)
+	}
+	close(e.inbox)
+	e.mu.Unlock()
+}
+
+// Join subscribes the endpoint to a multicast group.
+func (e *Endpoint) Join(group string) {
+	n := e.net
+	n.mu.Lock()
+	members := n.groups[group]
+	if members == nil {
+		members = make(map[Addr]*Endpoint)
+		n.groups[group] = members
+	}
+	members[e.addr] = e
+	n.mu.Unlock()
+	e.mu.Lock()
+	e.groups = append(e.groups, group)
+	e.mu.Unlock()
+}
+
+// Leave unsubscribes the endpoint from a multicast group.
+func (e *Endpoint) Leave(group string) {
+	n := e.net
+	n.mu.Lock()
+	if members, ok := n.groups[group]; ok {
+		delete(members, e.addr)
+	}
+	n.mu.Unlock()
+	e.mu.Lock()
+	for i, g := range e.groups {
+		if g == group {
+			e.groups = append(e.groups[:i], e.groups[i+1:]...)
+			break
+		}
+	}
+	e.mu.Unlock()
+}
+
+// Send delivers a point-to-point message. It returns ErrUnknownAddr if
+// no endpoint holds the destination address; losses and partition
+// drops are silent (datagram semantics), mirroring a real SAN.
+func (e *Endpoint) Send(to Addr, kind string, body any, size int) error {
+	return e.send(to, kind, body, size, 0, false)
+}
+
+func (e *Endpoint) send(to Addr, kind string, body any, size int, callID uint64, reply bool) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed // a dead process sends nothing
+	}
+	n := e.net
+	n.mu.RLock()
+	dst, ok := n.endpoints[to]
+	lat := n.latency
+	lossP := n.lossP
+	same := n.samePartition(e.addr.Node, to.Node)
+	n.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownAddr, to)
+	}
+	if !same || n.chance(lossP) {
+		n.dropped.Add(1)
+		return nil
+	}
+	msg := Message{From: e.addr, To: to, Kind: kind, Body: body, Size: size, CallID: callID, Reply: reply}
+	if n.deliver(dst, msg, lat) {
+		n.sent.Add(1)
+		n.bytes.Add(uint64(size))
+	} else {
+		n.dropped.Add(1)
+	}
+	return nil
+}
+
+// Multicast delivers a best-effort message to every group member
+// except the sender. It returns the number of members the message was
+// handed to (before loss).
+func (e *Endpoint) Multicast(group, kind string, body any, size int) int {
+	n := e.net
+	n.mu.RLock()
+	members := make([]*Endpoint, 0, len(n.groups[group]))
+	for _, ep := range n.groups[group] {
+		if ep.addr != e.addr {
+			members = append(members, ep)
+		}
+	}
+	lat := n.latency
+	lossP := n.mcastLossP
+	n.mu.RUnlock()
+	delivered := 0
+	for _, dst := range members {
+		n.mcastSent.Add(1)
+		n.mu.RLock()
+		same := n.samePartition(e.addr.Node, dst.addr.Node)
+		n.mu.RUnlock()
+		if !same || n.chance(lossP) {
+			n.mcastDropped.Add(1)
+			continue
+		}
+		msg := Message{From: e.addr, Group: group, Kind: kind, Body: body, Size: size}
+		if n.deliver(dst, msg, lat) {
+			delivered++
+			n.bytes.Add(uint64(size))
+		} else {
+			n.mcastDropped.Add(1)
+		}
+	}
+	return delivered
+}
+
+// Call sends a request and waits for the matching reply or context
+// cancellation. The component owning the destination endpoint must
+// respond via Respond. The caller's receive loop must route reply
+// messages through DeliverReply.
+func (e *Endpoint) Call(ctx context.Context, to Addr, kind string, body any, size int) (Message, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return Message{}, ErrClosed
+	}
+	e.nextID++
+	id := e.nextID
+	ch := make(chan Message, 1)
+	e.pending[id] = ch
+	e.mu.Unlock()
+
+	defer func() {
+		e.mu.Lock()
+		delete(e.pending, id)
+		e.mu.Unlock()
+	}()
+
+	if err := e.send(to, kind, body, size, id, false); err != nil {
+		return Message{}, err
+	}
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			return Message{}, ErrClosed
+		}
+		return m, nil
+	case <-ctx.Done():
+		return Message{}, fmt.Errorf("%w: %s to %s", ErrTimeout, kind, to)
+	}
+}
+
+// DeliverReply routes a reply message to a waiting Call. It returns
+// true if the message was consumed. Receive loops should call this
+// first for every inbound message.
+func (e *Endpoint) DeliverReply(msg Message) bool {
+	if !msg.Reply || msg.CallID == 0 {
+		return false
+	}
+	e.mu.Lock()
+	ch, ok := e.pending[msg.CallID]
+	if ok {
+		delete(e.pending, msg.CallID)
+	}
+	e.mu.Unlock()
+	if ok {
+		ch <- msg
+	}
+	return true // replies are consumed even if the caller gave up
+}
+
+// Respond answers a request message received from Call.
+func (e *Endpoint) Respond(req Message, kind string, body any, size int) error {
+	return e.send(req.From, kind, body, size, req.CallID, true)
+}

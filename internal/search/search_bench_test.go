@@ -1,0 +1,37 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkShardSearch(b *testing.B) {
+	docs := GenerateCorpus(rand.New(rand.NewSource(1)), 10000, 3000)
+	shard := BuildShard(0, docs)
+	queries := []string{"ba de", "ka ne ro", "be", "du bi ha"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shard.Search(queries[i%len(queries)], 10)
+	}
+}
+
+func BenchmarkBuildShard(b *testing.B) {
+	docs := GenerateCorpus(rand.New(rand.NewSource(1)), 2000, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildShard(0, docs)
+	}
+}
+
+func BenchmarkMergeHits(b *testing.B) {
+	lists := make([][]Hit, 16)
+	for i := range lists {
+		for j := 0; j < 10; j++ {
+			lists[i] = append(lists[i], Hit{Doc: i*100 + j, Score: float64(j)})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MergeHits(lists, 10)
+	}
+}

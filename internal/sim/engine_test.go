@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New(1)
+	var got []int
+	e.At(3*time.Second, func() { got = append(got, 3) })
+	e.At(1*time.Second, func() { got = append(got, 1) })
+	e.At(2*time.Second, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("Now = %v, want 3s", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Second, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New(1)
+	fired := false
+	ev := e.After(time.Second, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double-cancel is a no-op.
+	ev.Cancel()
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	e := New(1)
+	fired := false
+	later := e.At(2*time.Second, func() { fired = true })
+	e.At(1*time.Second, func() { later.Cancel() })
+	e.Run()
+	if fired {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New(1)
+	e.At(time.Second, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.At(time.Millisecond, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New(1)
+	var fired []time.Duration
+	for _, d := range []time.Duration{1 * time.Second, 2 * time.Second, 5 * time.Second} {
+		d := d
+		e.At(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(3 * time.Second)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if e.Now() != 3*time.Second {
+		t.Fatalf("Now = %v, want 3s", e.Now())
+	}
+	e.Run()
+	if len(fired) != 3 {
+		t.Fatalf("fired %d events after Run, want 3", len(fired))
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := New(1)
+	n := 0
+	tk := e.Every(0, time.Second, func() {
+		n++
+		if n == 5 {
+			// Stopping from inside the callback must halt cleanly.
+		}
+	})
+	e.RunUntil(4500 * time.Millisecond)
+	if n != 5 { // fires at 0,1,2,3,4
+		t.Fatalf("ticker fired %d times, want 5", n)
+	}
+	tk.Stop()
+	e.RunUntil(10 * time.Second)
+	if n != 5 {
+		t.Fatalf("ticker fired after Stop: %d", n)
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	e := New(1)
+	n := 0
+	var tk *Ticker
+	tk = e.Every(0, time.Second, func() {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if n != 3 {
+		t.Fatalf("ticker fired %d times, want 3", n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		e := New(42)
+		var out []float64
+		e.Every(0, time.Second, func() { out = append(out, e.Rand().Float64()) })
+		e.RunUntil(10 * time.Second)
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNewStreamIndependence(t *testing.T) {
+	e := New(7)
+	s1 := e.NewStream("alpha")
+	s2 := e.NewStream("beta")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if s1.Int63() == s2.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams look correlated: %d identical draws", same)
+	}
+}
+
+func TestLogNormalMeanCalibration(t *testing.T) {
+	e := New(3)
+	const want, sigma = 5131.0, 1.0
+	mu := LogNormalMean(want, sigma)
+	var w Welford
+	for i := 0; i < 200000; i++ {
+		w.Add(LogNormal(e.Rand(), mu, sigma))
+	}
+	if math.Abs(w.Mean()-want)/want > 0.05 {
+		t.Fatalf("lognormal mean = %.0f, want ~%.0f", w.Mean(), want)
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	e := New(4)
+	for i := 0; i < 10000; i++ {
+		v := Pareto(e.Rand(), 1.2, 0.1, 100)
+		if v < 0.1-1e-9 || v > 100+1e-9 {
+			t.Fatalf("Pareto out of bounds: %v", v)
+		}
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	q := Quantiles(xs, 0, 0.5, 1)
+	if q[0] != 1 || q[1] != 3 || q[2] != 5 {
+		t.Fatalf("quantiles = %v", q)
+	}
+	if got := Quantiles(nil, 0.5); got[0] != 0 {
+		t.Fatalf("empty quantiles = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewLogHistogram(10, 1e6, 50)
+	h.Add(5)    // below range -> first bin
+	h.Add(2e6)  // above range -> last bin
+	h.Add(1000) // interior
+	if h.N() != 3 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Bins[0] != 1 || h.Bins[len(h.Bins)-1] != 1 {
+		t.Fatalf("edge clamping failed: %v", h.Bins)
+	}
+	sum := 0.0
+	for i := range h.Bins {
+		sum += h.Probability(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+	if c := h.BinCenter(0); c <= 10 || c >= 1e6 {
+		t.Fatalf("bin center out of range: %v", c)
+	}
+}
+
+func TestWelfordMatchesDirect(t *testing.T) {
+	check := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		// Bound magnitudes so float error stays small.
+		var w Welford
+		mean := 0.0
+		for i, x := range xs {
+			x = math.Mod(x, 1000)
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			xs[i] = x
+			w.Add(x)
+			mean += x
+		}
+		mean /= float64(len(xs))
+		return math.Abs(w.Mean()-mean) < 1e-6*(1+math.Abs(mean))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp broken")
+	}
+}
+
+func TestSecondsRoundTrip(t *testing.T) {
+	if Seconds(1.5) != 1500*time.Millisecond {
+		t.Fatal("Seconds broken")
+	}
+	if ToSeconds(2*time.Second) != 2.0 {
+		t.Fatal("ToSeconds broken")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	e := New(9)
+	z := Zipf(e.Rand(), 1.2, 1000)
+	counts := map[int]int{}
+	for i := 0; i < 50000; i++ {
+		counts[z()]++
+	}
+	if counts[0] <= counts[10] {
+		t.Fatalf("Zipf not skewed: rank0=%d rank10=%d", counts[0], counts[10])
+	}
+}

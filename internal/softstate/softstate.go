@@ -1,0 +1,310 @@
+// Package softstate provides the BASE building blocks the paper's SNS
+// layer is made of (§1.4, §2.2.4, §3.1.3): TTL tables whose entries
+// are kept alive by periodic beacons and silently expire otherwise,
+// beacon tickers, and process-peer watchdogs that infer failure from
+// silence and restart their peer rather than mirror its state.
+//
+// Nothing here is durable and nothing needs crash recovery: a restarted
+// component simply rebuilds its tables from the next few beacons,
+// which is precisely the simplification BASE buys over the original
+// process-pair/hard-state manager prototype described in §3.1.3.
+package softstate
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for tests. The zero value of components uses
+// real time.
+type Clock func() time.Time
+
+func (c Clock) now() time.Time {
+	if c == nil {
+		return time.Now()
+	}
+	return c()
+}
+
+// Entry is a soft-state record with its refresh metadata.
+type Entry[V any] struct {
+	Value     V
+	Refreshed time.Time
+}
+
+// Table is a TTL-expiring map: entries must be refreshed via Put
+// before TTL elapses or they vanish. It is safe for concurrent use.
+type Table[V any] struct {
+	ttl   time.Duration
+	clock Clock
+
+	mu sync.Mutex
+	m  map[string]Entry[V]
+}
+
+// NewTable creates a table whose entries expire ttl after their last
+// refresh. A nil clock uses real time.
+func NewTable[V any](ttl time.Duration, clock Clock) *Table[V] {
+	if ttl <= 0 {
+		panic("softstate: ttl must be positive")
+	}
+	return &Table[V]{ttl: ttl, clock: clock, m: make(map[string]Entry[V])}
+}
+
+// Put inserts or refreshes an entry.
+func (t *Table[V]) Put(key string, v V) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[key] = Entry[V]{Value: v, Refreshed: t.clock.now()}
+}
+
+// Touch refreshes an entry's TTL without changing its value. It
+// reports whether the entry existed (and was still live).
+func (t *Table[V]) Touch(key string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.m[key]
+	if !ok || t.expired(e) {
+		delete(t.m, key)
+		return false
+	}
+	e.Refreshed = t.clock.now()
+	t.m[key] = e
+	return true
+}
+
+// Get returns a live entry's value.
+func (t *Table[V]) Get(key string) (V, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.m[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	if t.expired(e) {
+		delete(t.m, key)
+		var zero V
+		return zero, false
+	}
+	return e.Value, true
+}
+
+// Delete removes an entry immediately (explicit de-registration).
+func (t *Table[V]) Delete(key string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.m, key)
+}
+
+// Len returns the number of live entries (pruning expired ones).
+func (t *Table[V]) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pruneLocked()
+	return len(t.m)
+}
+
+// Snapshot returns all live entries.
+func (t *Table[V]) Snapshot() map[string]V {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pruneLocked()
+	out := make(map[string]V, len(t.m))
+	for k, e := range t.m {
+		out[k] = e.Value
+	}
+	return out
+}
+
+// Expired returns the keys that just expired and removes them. Useful
+// for components that need to act on expiry (e.g. the manager
+// reporting a lost worker).
+func (t *Table[V]) Expired() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var gone []string
+	for k, e := range t.m {
+		if t.expired(e) {
+			gone = append(gone, k)
+			delete(t.m, k)
+		}
+	}
+	return gone
+}
+
+func (t *Table[V]) expired(e Entry[V]) bool {
+	return t.clock.now().Sub(e.Refreshed) > t.ttl
+}
+
+func (t *Table[V]) pruneLocked() {
+	for k, e := range t.m {
+		if t.expired(e) {
+			delete(t.m, k)
+		}
+	}
+}
+
+// Watchdog implements process-peer fault tolerance (§2.2.4): it
+// expects Feed to be called at least every Timeout (normally on every
+// beacon from the watched peer); on silence it invokes OnSilence —
+// typically "restart the peer" — then keeps watching. Unlike process
+// pairs, the watchdog carries none of the peer's state.
+type Watchdog struct {
+	Timeout   time.Duration
+	OnSilence func(silences int)
+
+	mu       sync.Mutex
+	timer    *time.Timer
+	silences int
+	stopped  bool
+}
+
+// Start arms the watchdog. It must be called before Feed.
+func (w *Watchdog) Start() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.timer != nil {
+		return
+	}
+	w.stopped = false
+	w.timer = time.AfterFunc(w.Timeout, w.fire)
+}
+
+// Feed resets the silence timer; call it whenever the peer shows life.
+func (w *Watchdog) Feed() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.timer == nil || w.stopped {
+		return
+	}
+	w.silences = 0
+	w.timer.Reset(w.Timeout)
+}
+
+// Stop disarms the watchdog.
+func (w *Watchdog) Stop() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.stopped = true
+	if w.timer != nil {
+		w.timer.Stop()
+		w.timer = nil
+	}
+}
+
+// Silences returns how many consecutive timeouts have fired since the
+// last Feed.
+func (w *Watchdog) Silences() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.silences
+}
+
+func (w *Watchdog) fire() {
+	w.mu.Lock()
+	if w.stopped || w.timer == nil {
+		w.mu.Unlock()
+		return
+	}
+	w.silences++
+	n := w.silences
+	cb := w.OnSilence
+	// Re-arm before invoking so a hung callback cannot disable
+	// monitoring.
+	w.timer.Reset(w.Timeout)
+	w.mu.Unlock()
+	if cb != nil {
+		cb(n)
+	}
+}
+
+// Beacon periodically invokes a send function — the paper's
+// "periodically beacons its existence on a multicast group" (§3.1.2).
+type Beacon struct {
+	Interval time.Duration
+	Send     func()
+
+	mu     sync.Mutex
+	ticker *time.Ticker
+	done   chan struct{}
+}
+
+// Start begins beaconing immediately (one beacon right away, then
+// every Interval).
+func (b *Beacon) Start() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.done != nil {
+		return
+	}
+	b.done = make(chan struct{})
+	b.ticker = time.NewTicker(b.Interval)
+	go func(done chan struct{}, tk *time.Ticker) {
+		b.Send()
+		for {
+			select {
+			case <-tk.C:
+				b.Send()
+			case <-done:
+				return
+			}
+		}
+	}(b.done, b.ticker)
+}
+
+// Stop halts beaconing.
+func (b *Beacon) Stop() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.done == nil {
+		return
+	}
+	close(b.done)
+	b.ticker.Stop()
+	b.done = nil
+	b.ticker = nil
+}
+
+// MovingAverage is the weighted (exponential) moving average the
+// manager applies to worker load reports (§3.1.2): "computes weighted
+// moving averages ... and piggybacks the resulting information on its
+// beacons".
+type MovingAverage struct {
+	Alpha float64 // weight of the newest sample, in (0, 1]
+
+	mu      sync.Mutex
+	value   float64
+	samples int
+}
+
+// Add incorporates a sample and returns the new average.
+func (m *MovingAverage) Add(x float64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	a := m.Alpha
+	if a <= 0 || a > 1 {
+		a = 0.3
+	}
+	if m.samples == 0 {
+		m.value = x
+	} else {
+		m.value = a*x + (1-a)*m.value
+	}
+	m.samples++
+	return m.value
+}
+
+// Value returns the current average (0 before any samples).
+func (m *MovingAverage) Value() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.value
+}
+
+// Samples returns how many samples have been added.
+func (m *MovingAverage) Samples() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.samples
+}

@@ -1,0 +1,257 @@
+package softstate
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for TTL tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+}
+
+func TestTableExpiry(t *testing.T) {
+	fc := &fakeClock{now: time.Unix(0, 0)}
+	tb := NewTable[string](time.Second, fc.Now)
+	tb.Put("w1", "distiller")
+	if v, ok := tb.Get("w1"); !ok || v != "distiller" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	fc.Advance(999 * time.Millisecond)
+	if _, ok := tb.Get("w1"); !ok {
+		t.Fatal("entry expired early")
+	}
+	fc.Advance(2 * time.Millisecond)
+	if _, ok := tb.Get("w1"); ok {
+		t.Fatal("entry survived past TTL")
+	}
+}
+
+func TestTableRefresh(t *testing.T) {
+	fc := &fakeClock{now: time.Unix(0, 0)}
+	tb := NewTable[int](time.Second, fc.Now)
+	tb.Put("k", 1)
+	for i := 0; i < 5; i++ {
+		fc.Advance(900 * time.Millisecond)
+		if !tb.Touch("k") {
+			t.Fatalf("Touch failed at refresh %d", i)
+		}
+	}
+	if _, ok := tb.Get("k"); !ok {
+		t.Fatal("refreshed entry expired")
+	}
+	fc.Advance(1100 * time.Millisecond)
+	if tb.Touch("k") {
+		t.Fatal("Touch succeeded on expired entry")
+	}
+}
+
+func TestTableExpiredReporting(t *testing.T) {
+	fc := &fakeClock{now: time.Unix(0, 0)}
+	tb := NewTable[int](time.Second, fc.Now)
+	tb.Put("a", 1)
+	tb.Put("b", 2)
+	fc.Advance(500 * time.Millisecond)
+	tb.Put("c", 3)
+	fc.Advance(600 * time.Millisecond)
+	gone := tb.Expired()
+	if len(gone) != 2 {
+		t.Fatalf("Expired = %v, want a and b", gone)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tb.Len())
+	}
+	if snap := tb.Snapshot(); len(snap) != 1 || snap["c"] != 3 {
+		t.Fatalf("Snapshot = %v", snap)
+	}
+}
+
+func TestTableDelete(t *testing.T) {
+	tb := NewTable[int](time.Hour, nil)
+	tb.Put("k", 1)
+	tb.Delete("k")
+	if _, ok := tb.Get("k"); ok {
+		t.Fatal("deleted entry still present")
+	}
+}
+
+func TestTableConcurrency(t *testing.T) {
+	tb := NewTable[int](time.Hour, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			key := string(rune('a' + g))
+			for i := 0; i < 1000; i++ {
+				tb.Put(key, i)
+				tb.Get(key)
+				tb.Touch(key)
+			}
+		}()
+	}
+	wg.Wait()
+	if tb.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", tb.Len())
+	}
+}
+
+func TestWatchdogFiresOnSilence(t *testing.T) {
+	var fired atomic.Int32
+	w := &Watchdog{
+		Timeout:   20 * time.Millisecond,
+		OnSilence: func(n int) { fired.Add(1) },
+	}
+	w.Start()
+	defer w.Stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for fired.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if fired.Load() == 0 {
+		t.Fatal("watchdog never fired")
+	}
+}
+
+func TestWatchdogFedStaysQuiet(t *testing.T) {
+	var fired atomic.Int32
+	w := &Watchdog{
+		Timeout:   50 * time.Millisecond,
+		OnSilence: func(n int) { fired.Add(1) },
+	}
+	w.Start()
+	defer w.Stop()
+	for i := 0; i < 10; i++ {
+		time.Sleep(10 * time.Millisecond)
+		w.Feed()
+	}
+	if fired.Load() != 0 {
+		t.Fatalf("watchdog fired %d times while fed", fired.Load())
+	}
+}
+
+func TestWatchdogCountsConsecutiveSilences(t *testing.T) {
+	counts := make(chan int, 16)
+	w := &Watchdog{
+		Timeout:   10 * time.Millisecond,
+		OnSilence: func(n int) { counts <- n },
+	}
+	w.Start()
+	defer w.Stop()
+	first := <-counts
+	second := <-counts
+	if first != 1 || second != 2 {
+		t.Fatalf("silence counts = %d, %d; want 1, 2", first, second)
+	}
+	w.Feed()
+	if w.Silences() != 0 {
+		t.Fatal("Feed did not reset silence count")
+	}
+}
+
+func TestWatchdogStop(t *testing.T) {
+	var fired atomic.Int32
+	w := &Watchdog{Timeout: 10 * time.Millisecond, OnSilence: func(int) { fired.Add(1) }}
+	w.Start()
+	w.Stop()
+	time.Sleep(50 * time.Millisecond)
+	if fired.Load() != 0 {
+		t.Fatal("stopped watchdog fired")
+	}
+	// Feed after stop is a no-op, not a crash.
+	w.Feed()
+}
+
+func TestBeacon(t *testing.T) {
+	var n atomic.Int32
+	b := &Beacon{Interval: 10 * time.Millisecond, Send: func() { n.Add(1) }}
+	b.Start()
+	b.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for n.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	b.Stop()
+	b.Stop() // idempotent
+	if n.Load() < 3 {
+		t.Fatalf("beacon fired %d times, want >= 3", n.Load())
+	}
+	at := n.Load()
+	time.Sleep(50 * time.Millisecond)
+	if n.Load() != at {
+		t.Fatal("beacon fired after Stop")
+	}
+}
+
+func TestMovingAverageFirstSample(t *testing.T) {
+	m := &MovingAverage{Alpha: 0.5}
+	if got := m.Add(10); got != 10 {
+		t.Fatalf("first sample average = %v, want 10", got)
+	}
+	if got := m.Add(0); got != 5 {
+		t.Fatalf("second average = %v, want 5", got)
+	}
+	if m.Samples() != 2 {
+		t.Fatalf("Samples = %d", m.Samples())
+	}
+}
+
+func TestMovingAverageBounds(t *testing.T) {
+	// Property: the average always stays within [min, max] of inputs.
+	check := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		m := &MovingAverage{Alpha: 0.3}
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			// Constrain inputs to a sane range.
+			if x != x || x > 1e12 || x < -1e12 {
+				x = 0
+			}
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+			v := m.Add(x)
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMovingAverageDefaultAlpha(t *testing.T) {
+	m := &MovingAverage{} // Alpha 0 -> default
+	m.Add(10)
+	v := m.Add(20)
+	if v <= 10 || v >= 20 {
+		t.Fatalf("average with default alpha = %v", v)
+	}
+	if m.Value() != v {
+		t.Fatal("Value mismatch")
+	}
+}

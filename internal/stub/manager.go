@@ -1,0 +1,319 @@
+package stub
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/lottery"
+	"repro/internal/san"
+	"repro/internal/softstate"
+	"repro/internal/tacc"
+)
+
+// ManagerStubConfig tunes a front end's manager stub.
+type ManagerStubConfig struct {
+	// WorkerTTL expires cached worker entries that stop appearing
+	// in beacons. Generous by design: the cache must carry the
+	// front end through a manager crash (§3.1.8 "stale load
+	// balancing data"). Default 10x the beacon interval.
+	WorkerTTL time.Duration
+	// CallTimeout bounds one dispatch attempt to one worker.
+	CallTimeout time.Duration
+	// Retries is how many distinct workers to try before failing.
+	Retries int
+	// UseDelta enables the §4.5 queue-delta estimator.
+	UseDelta bool
+	// ManagerTimeout is the process-peer watchdog period: silence
+	// longer than this triggers OnManagerSilence. Zero disables.
+	ManagerTimeout time.Duration
+	// OnManagerSilence is the process-peer action, typically
+	// "restart the manager" wired up by the platform layer.
+	OnManagerSilence func()
+	// Seed feeds the lottery scheduler.
+	Seed int64
+}
+
+func (c ManagerStubConfig) withDefaults() ManagerStubConfig {
+	if c.WorkerTTL <= 0 {
+		c.WorkerTTL = 10 * DefaultBeaconInterval
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = DefaultCallTimeout
+	}
+	if c.Retries <= 0 {
+		c.Retries = 3
+	}
+	return c
+}
+
+// ManagerStub is the front-end half of the SNS narrow interface: it
+// consumes manager beacons, caches worker locations and load hints,
+// selects workers by lottery scheduling, dispatches tasks with
+// timeout-and-retry, and watches the manager as a process peer.
+type ManagerStub struct {
+	ep  *san.Endpoint
+	cfg ManagerStubConfig
+
+	workers *softstate.Table[WorkerInfo]
+	sched   *lottery.Scheduler
+	wd      *softstate.Watchdog
+
+	mu      sync.Mutex
+	manager san.Addr
+	lastSeq uint64
+
+	// Stats.
+	dispatches  uint64
+	retries     uint64
+	failovers   uint64
+	exhausted   uint64
+	spawnAsks   uint64
+	beaconsSeen uint64
+}
+
+// ManagerStubStats is a snapshot of dispatch counters.
+type ManagerStubStats struct {
+	Dispatches  uint64
+	Retries     uint64
+	Failovers   uint64
+	Exhausted   uint64
+	SpawnAsks   uint64
+	BeaconsSeen uint64
+}
+
+// NewManagerStub builds a stub over the front end's endpoint. The
+// owner's receive loop must route every inbound message through
+// HandleMessage (which also routes replies).
+func NewManagerStub(ep *san.Endpoint, cfg ManagerStubConfig) *ManagerStub {
+	cfg = cfg.withDefaults()
+	ms := &ManagerStub{
+		ep:      ep,
+		cfg:     cfg,
+		workers: softstate.NewTable[WorkerInfo](cfg.WorkerTTL, nil),
+		sched:   lottery.NewScheduler(cfg.Seed, cfg.UseDelta),
+	}
+	if cfg.ManagerTimeout > 0 && cfg.OnManagerSilence != nil {
+		ms.wd = &softstate.Watchdog{
+			Timeout:   cfg.ManagerTimeout,
+			OnSilence: func(int) { cfg.OnManagerSilence() },
+		}
+		ms.wd.Start()
+	}
+	return ms
+}
+
+// Stop releases the watchdog.
+func (ms *ManagerStub) Stop() {
+	if ms.wd != nil {
+		ms.wd.Stop()
+	}
+}
+
+// HandleMessage processes one inbound SAN message if it belongs to the
+// stub; it returns true when consumed. Call it for every message the
+// front end receives.
+func (ms *ManagerStub) HandleMessage(msg san.Message) bool {
+	if ms.ep.DeliverReply(msg) {
+		return true
+	}
+	if msg.Kind != MsgBeacon {
+		return false
+	}
+	b, ok := msg.Body.(Beacon)
+	if !ok {
+		return true
+	}
+	ms.mu.Lock()
+	ms.manager = b.Manager
+	ms.lastSeq = b.Seq
+	ms.beaconsSeen++
+	ms.mu.Unlock()
+	if ms.wd != nil {
+		ms.wd.Feed()
+	}
+	now := time.Now()
+	live := make(map[string]bool, len(b.Workers))
+	for _, w := range b.Workers {
+		live[w.ID] = true
+		ms.workers.Put(w.ID, w)
+		ms.sched.Report(w.ID, w.QLen, now)
+	}
+	// Workers the manager no longer advertises are gone (the manager
+	// "reports distiller failures to the manager stubs, which update
+	// their caches", §3.1.3).
+	for id := range ms.workers.Snapshot() {
+		if !live[id] {
+			ms.workers.Delete(id)
+			ms.sched.Forget(id)
+		}
+	}
+	return true
+}
+
+// Manager returns the last known manager address.
+func (ms *ManagerStub) Manager() san.Addr {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.manager
+}
+
+// Workers returns the cached workers of a class, sorted by ID.
+func (ms *ManagerStub) Workers(class string) []WorkerInfo {
+	snap := ms.workers.Snapshot()
+	var out []WorkerInfo
+	for _, w := range snap {
+		if w.Class == class {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Stats returns dispatch counters.
+func (ms *ManagerStub) Stats() ManagerStubStats {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ManagerStubStats{
+		Dispatches:  ms.dispatches,
+		Retries:     ms.retries,
+		Failovers:   ms.failovers,
+		Exhausted:   ms.exhausted,
+		SpawnAsks:   ms.spawnAsks,
+		BeaconsSeen: ms.beaconsSeen,
+	}
+}
+
+// Errors returned by dispatch.
+var (
+	ErrNoWorkers = errors.New("stub: no workers available for class")
+	ErrExhausted = errors.New("stub: all dispatch attempts failed")
+)
+
+// Dispatch runs one task on some worker of the class: lottery pick,
+// bounded call, retry elsewhere on timeout or overload. Dead workers
+// are dropped from the local cache immediately — the timeout is the
+// BASE failure detector (§3.1.8: "if a request is sent to a worker
+// that no longer exists, the request will time out and another worker
+// will be chosen").
+func (ms *ManagerStub) Dispatch(ctx context.Context, class string, task *tacc.Task) (tacc.Blob, error) {
+	ms.mu.Lock()
+	ms.dispatches++
+	ms.mu.Unlock()
+
+	tried := make(map[string]bool)
+	for attempt := 0; attempt < ms.cfg.Retries; attempt++ {
+		var ids []string
+		for _, w := range ms.Workers(class) {
+			if !tried[w.ID] {
+				ids = append(ids, w.ID)
+			}
+		}
+		if len(ids) == 0 {
+			if attempt == 0 {
+				// Nothing known: ask the manager to spawn and give
+				// the beacons a moment to propagate.
+				ms.requestSpawn(class)
+				if !ms.waitForWorker(ctx, class) {
+					return tacc.Blob{}, fmt.Errorf("%w: %s", ErrNoWorkers, class)
+				}
+				continue
+			}
+			break
+		}
+		id := ms.sched.Pick(ids, time.Now())
+		tried[id] = true
+		info, ok := ms.workers.Get(id)
+		if !ok {
+			continue
+		}
+		if attempt > 0 {
+			ms.mu.Lock()
+			ms.retries++
+			ms.mu.Unlock()
+		}
+		cctx, cancel := context.WithTimeout(ctx, ms.cfg.CallTimeout)
+		resp, err := ms.ep.Call(cctx, info.Addr, MsgTask, TaskMsg{Task: *task}, task.Input.Size()+128)
+		cancel()
+		if err != nil {
+			// Timeout or vanished endpoint: treat the worker as
+			// dead until the next beacon says otherwise.
+			ms.workers.Delete(id)
+			ms.sched.Forget(id)
+			ms.mu.Lock()
+			ms.failovers++
+			ms.mu.Unlock()
+			continue
+		}
+		res, ok := resp.Body.(ResultMsg)
+		if !ok {
+			continue
+		}
+		if res.Err != "" {
+			if res.Err == "queue full" || res.Err == "worker disabled" {
+				continue // overloaded/disabled: try another instance
+			}
+			// A genuine task error (e.g. pathological input) is
+			// not retryable: every instance would fail the same way.
+			return tacc.Blob{}, fmt.Errorf("stub: worker %s: %s", id, res.Err)
+		}
+		return res.Blob, nil
+	}
+	ms.mu.Lock()
+	ms.exhausted++
+	ms.mu.Unlock()
+	return tacc.Blob{}, fmt.Errorf("%w: class %s", ErrExhausted, class)
+}
+
+// DispatchPipeline chains stages through remote workers: the output of
+// stage i is the input of stage i+1 (the distributed counterpart of
+// tacc.Registry.Run).
+func (ms *ManagerStub) DispatchPipeline(ctx context.Context, p tacc.Pipeline, task *tacc.Task) (tacc.Blob, error) {
+	if len(p) == 0 {
+		return task.Input, nil
+	}
+	cur := *task
+	for i, stage := range p {
+		cur.Params = stage.Params
+		out, err := ms.Dispatch(ctx, stage.Class, &cur)
+		if err != nil {
+			return tacc.Blob{}, fmt.Errorf("stub: pipeline stage %d (%s): %w", i, stage.Class, err)
+		}
+		cur.Input = out
+		cur.Inputs = nil
+	}
+	return cur.Input, nil
+}
+
+// requestSpawn asks the manager for a new worker of class.
+func (ms *ManagerStub) requestSpawn(class string) {
+	mgr := ms.Manager()
+	if mgr.IsZero() {
+		return
+	}
+	ms.mu.Lock()
+	ms.spawnAsks++
+	ms.mu.Unlock()
+	_ = ms.ep.Send(mgr, MsgSpawnReq, SpawnReq{Class: class}, 32)
+}
+
+// waitForWorker polls the cached table briefly for a worker of class
+// to appear (spawn + beacon round trip).
+func (ms *ManagerStub) waitForWorker(ctx context.Context, class string) bool {
+	deadline := time.Now().Add(ms.cfg.CallTimeout)
+	for time.Now().Before(deadline) {
+		if len(ms.Workers(class)) > 0 {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	return len(ms.Workers(class)) > 0
+}

@@ -1,0 +1,490 @@
+package stub
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/san"
+	"repro/internal/tacc"
+)
+
+// echoWorker returns its input with a marker, or fails/panics on
+// demand via the task params.
+type echoWorker struct{}
+
+func (echoWorker) Class() string { return "echo" }
+
+func (echoWorker) Process(ctx context.Context, task *tacc.Task) (tacc.Blob, error) {
+	switch task.Param("mode", "") {
+	case "fail":
+		return tacc.Blob{}, errors.New("pathological input")
+	case "panic":
+		panic("worker bug")
+	case "slow":
+		select {
+		case <-time.After(time.Second):
+		case <-ctx.Done():
+		}
+	}
+	return tacc.Blob{MIME: "text/plain", Data: append([]byte("echo:"), task.Input.Data...)}, nil
+}
+
+// fakeManager beacons periodically and records registrations.
+type fakeManager struct {
+	net      *san.Network
+	ep       *san.Endpoint
+	interval time.Duration
+
+	registered   atomic.Int64
+	deregistered atomic.Int64
+	loadReports  atomic.Int64
+	spawnReqs    atomic.Int64
+	workers      chan WorkerInfo
+}
+
+func newFakeManager(net *san.Network, interval time.Duration) *fakeManager {
+	fm := &fakeManager{
+		net:      net,
+		interval: interval,
+		workers:  make(chan WorkerInfo, 64),
+	}
+	fm.ep = net.Endpoint(san.Addr{Node: "mgr", Proc: "manager"}, 1024)
+	fm.ep.Join(GroupControl)
+	return fm
+}
+
+func (fm *fakeManager) run(ctx context.Context, advertise func() []WorkerInfo) {
+	tk := time.NewTicker(fm.interval)
+	defer tk.Stop()
+	seq := uint64(0)
+	send := func() {
+		seq++
+		fm.ep.Multicast(GroupControl, MsgBeacon, Beacon{
+			Manager: fm.ep.Addr(), Seq: seq, Workers: advertise(),
+		}, 128)
+	}
+	send()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tk.C:
+			send()
+		case msg, ok := <-fm.ep.Inbox():
+			if !ok {
+				return
+			}
+			switch msg.Kind {
+			case MsgRegister:
+				fm.registered.Add(1)
+				fm.workers <- msg.Body.(RegisterMsg).Info
+			case MsgDeregister:
+				fm.deregistered.Add(1)
+			case MsgLoadReport:
+				fm.loadReports.Add(1)
+			case MsgSpawnReq:
+				fm.spawnReqs.Add(1)
+			}
+		}
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// feEndpoint builds a front-end-like endpoint with a manager stub and
+// a pump routing messages into it.
+func feEndpoint(t *testing.T, net *san.Network, cfg ManagerStubConfig) (*san.Endpoint, *ManagerStub) {
+	t.Helper()
+	ep := net.Endpoint(san.Addr{Node: "fe", Proc: "fe0"}, 1024)
+	ep.Join(GroupControl)
+	ms := NewManagerStub(ep, cfg)
+	go func() {
+		for msg := range ep.Inbox() {
+			ms.HandleMessage(msg)
+		}
+	}()
+	t.Cleanup(ms.Stop)
+	return ep, ms
+}
+
+func TestWorkerRegistersAndServes(t *testing.T) {
+	net := san.NewNetwork(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	fm := newFakeManager(net, 10*time.Millisecond)
+	var advertised atomic.Value
+	advertised.Store([]WorkerInfo{})
+	go fm.run(ctx, func() []WorkerInfo { return advertised.Load().([]WorkerInfo) })
+
+	ws := NewWorkerStub("w0", "n1", echoWorker{}, net, WorkerConfig{ReportInterval: 10 * time.Millisecond})
+	go ws.Run(ctx)
+
+	// Worker must register after seeing a beacon.
+	waitFor(t, "registration", func() bool { return fm.registered.Load() == 1 })
+	info := <-fm.workers
+	if info.Class != "echo" || info.ID != "w0" {
+		t.Fatalf("info = %+v", info)
+	}
+	advertised.Store([]WorkerInfo{info})
+
+	// Load reports must flow.
+	waitFor(t, "load reports", func() bool { return fm.loadReports.Load() >= 2 })
+
+	// Dispatch through a manager stub.
+	_, ms := feEndpoint(t, net, ManagerStubConfig{CallTimeout: time.Second})
+	waitFor(t, "worker visible in stub", func() bool { return len(ms.Workers("echo")) == 1 })
+	out, err := ms.Dispatch(ctx, "echo", &tacc.Task{Input: tacc.Blob{Data: []byte("hi")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out.Data) != "echo:hi" {
+		t.Fatalf("out = %q", out.Data)
+	}
+}
+
+func TestWorkerTaskErrorPropagates(t *testing.T) {
+	net := san.NewNetwork(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fm := newFakeManager(net, 10*time.Millisecond)
+	var adv atomic.Value
+	adv.Store([]WorkerInfo{})
+	go fm.run(ctx, func() []WorkerInfo { return adv.Load().([]WorkerInfo) })
+
+	ws := NewWorkerStub("w0", "n1", echoWorker{}, net, WorkerConfig{ReportInterval: 10 * time.Millisecond})
+	go ws.Run(ctx)
+	waitFor(t, "registration", func() bool { return fm.registered.Load() == 1 })
+	adv.Store([]WorkerInfo{<-fm.workers})
+
+	_, ms := feEndpoint(t, net, ManagerStubConfig{CallTimeout: time.Second})
+	waitFor(t, "worker visible", func() bool { return len(ms.Workers("echo")) == 1 })
+	_, err := ms.Dispatch(ctx, "echo", &tacc.Task{Params: map[string]string{"mode": "fail"}})
+	if err == nil || !strings.Contains(err.Error(), "pathological") {
+		t.Fatalf("err = %v", err)
+	}
+	// Task errors are not retried on other instances.
+	if st := ms.Stats(); st.Failovers != 0 {
+		t.Fatalf("failovers = %d on a task error", st.Failovers)
+	}
+}
+
+func TestWorkerPanicCrashesStub(t *testing.T) {
+	net := san.NewNetwork(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fm := newFakeManager(net, 10*time.Millisecond)
+	var adv atomic.Value
+	adv.Store([]WorkerInfo{})
+	go fm.run(ctx, func() []WorkerInfo { return adv.Load().([]WorkerInfo) })
+
+	ws := NewWorkerStub("w0", "n1", echoWorker{}, net, WorkerConfig{ReportInterval: 10 * time.Millisecond})
+	exit := make(chan error, 1)
+	go func() { exit <- ws.Run(ctx) }()
+	waitFor(t, "registration", func() bool { return fm.registered.Load() == 1 })
+	adv.Store([]WorkerInfo{<-fm.workers})
+
+	ep, ms := feEndpoint(t, net, ManagerStubConfig{CallTimeout: time.Second})
+	_ = ep
+	waitFor(t, "worker visible", func() bool { return len(ms.Workers("echo")) == 1 })
+	_, err := ms.Dispatch(ctx, "echo", &tacc.Task{Params: map[string]string{"mode": "panic"}})
+	if err == nil {
+		t.Fatal("panic should surface as an error to the caller")
+	}
+	select {
+	case runErr := <-exit:
+		var crash errWorkerCrash
+		if !errors.As(runErr, &crash) {
+			t.Fatalf("stub exit = %v, want worker crash", runErr)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stub did not crash on worker panic")
+	}
+}
+
+func TestWorkerPanicSurvivesWhenConfigured(t *testing.T) {
+	net := san.NewNetwork(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fm := newFakeManager(net, 10*time.Millisecond)
+	var adv atomic.Value
+	adv.Store([]WorkerInfo{})
+	go fm.run(ctx, func() []WorkerInfo { return adv.Load().([]WorkerInfo) })
+
+	ws := NewWorkerStub("w0", "n1", echoWorker{}, net,
+		WorkerConfig{ReportInterval: 10 * time.Millisecond, SurvivePanic: true})
+	go ws.Run(ctx)
+	waitFor(t, "registration", func() bool { return fm.registered.Load() == 1 })
+	adv.Store([]WorkerInfo{<-fm.workers})
+	_, ms := feEndpoint(t, net, ManagerStubConfig{CallTimeout: time.Second})
+	waitFor(t, "worker visible", func() bool { return len(ms.Workers("echo")) == 1 })
+
+	if _, err := ms.Dispatch(ctx, "echo", &tacc.Task{Params: map[string]string{"mode": "panic"}}); err == nil {
+		t.Fatal("panic should error")
+	}
+	// Stub survives and still serves.
+	out, err := ms.Dispatch(ctx, "echo", &tacc.Task{Input: tacc.Blob{Data: []byte("ok")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out.Data) != "echo:ok" {
+		t.Fatalf("out = %q", out.Data)
+	}
+}
+
+func TestDispatchFailsOverToLiveWorker(t *testing.T) {
+	net := san.NewNetwork(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fm := newFakeManager(net, 10*time.Millisecond)
+	var adv atomic.Value
+	adv.Store([]WorkerInfo{})
+	go fm.run(ctx, func() []WorkerInfo { return adv.Load().([]WorkerInfo) })
+
+	// One live worker plus one advertised ghost (crashed but still
+	// in the stale beacon — exactly the §3.1.8 scenario).
+	ws := NewWorkerStub("w-live", "n1", echoWorker{}, net, WorkerConfig{ReportInterval: 10 * time.Millisecond})
+	go ws.Run(ctx)
+	waitFor(t, "registration", func() bool { return fm.registered.Load() == 1 })
+	live := <-fm.workers
+	ghost := WorkerInfo{ID: "w-ghost", Class: "echo", Addr: san.Addr{Node: "gone", Proc: "w-ghost"}, Node: "gone"}
+	adv.Store([]WorkerInfo{live, ghost})
+
+	_, ms := feEndpoint(t, net, ManagerStubConfig{CallTimeout: 50 * time.Millisecond, Retries: 3})
+	waitFor(t, "both visible", func() bool { return len(ms.Workers("echo")) == 2 })
+
+	// Run enough dispatches that the lottery must hit the ghost at
+	// least once; every request must still succeed via failover.
+	for i := 0; i < 10; i++ {
+		out, err := ms.Dispatch(ctx, "echo", &tacc.Task{Input: tacc.Blob{Data: []byte("x")}})
+		if err != nil {
+			t.Fatalf("dispatch %d: %v", i, err)
+		}
+		if string(out.Data) != "echo:x" {
+			t.Fatalf("out = %q", out.Data)
+		}
+	}
+}
+
+func TestQueueFullRejection(t *testing.T) {
+	net := san.NewNetwork(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fm := newFakeManager(net, 10*time.Millisecond)
+	var adv atomic.Value
+	adv.Store([]WorkerInfo{})
+	go fm.run(ctx, func() []WorkerInfo { return adv.Load().([]WorkerInfo) })
+
+	// Tiny queue + slow tasks = rejections.
+	ws := NewWorkerStub("w0", "n1", echoWorker{}, net,
+		WorkerConfig{QueueCap: 1, ReportInterval: 10 * time.Millisecond})
+	go ws.Run(ctx)
+	waitFor(t, "registration", func() bool { return fm.registered.Load() == 1 })
+	info := <-fm.workers
+	adv.Store([]WorkerInfo{info})
+
+	ep, _ := feEndpoint(t, net, ManagerStubConfig{CallTimeout: 100 * time.Millisecond})
+	// Saturate: send slow tasks directly.
+	slow := TaskMsg{Task: tacc.Task{Params: map[string]string{"mode": "slow"}}}
+	for i := 0; i < 3; i++ {
+		go ep.Call(ctx, info.Addr, MsgTask, slow, 64)
+	}
+	waitFor(t, "queue to fill", func() bool { return ws.QueueLen() >= 1 })
+	cctx, ccancel := context.WithTimeout(ctx, time.Second)
+	defer ccancel()
+	resp, err := ep.Call(cctx, info.Addr, MsgTask, slow, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := resp.Body.(ResultMsg)
+	if res.Err != "queue full" {
+		t.Fatalf("res = %+v, want queue full", res)
+	}
+}
+
+func TestManagerStubSurvivesManagerDeath(t *testing.T) {
+	net := san.NewNetwork(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	mgrCtx, mgrCancel := context.WithCancel(ctx)
+	fm := newFakeManager(net, 10*time.Millisecond)
+	var adv atomic.Value
+	adv.Store([]WorkerInfo{})
+	go fm.run(mgrCtx, func() []WorkerInfo { return adv.Load().([]WorkerInfo) })
+
+	ws := NewWorkerStub("w0", "n1", echoWorker{}, net, WorkerConfig{ReportInterval: 10 * time.Millisecond})
+	go ws.Run(ctx)
+	waitFor(t, "registration", func() bool { return fm.registered.Load() == 1 })
+	adv.Store([]WorkerInfo{<-fm.workers})
+
+	_, ms := feEndpoint(t, net, ManagerStubConfig{
+		CallTimeout: time.Second,
+		WorkerTTL:   10 * time.Second, // generous: cache must outlive the manager
+	})
+	waitFor(t, "worker visible", func() bool { return len(ms.Workers("echo")) == 1 })
+
+	// Kill the manager; dispatch must keep working from cache.
+	mgrCancel()
+	net.DropNode("mgr")
+	time.Sleep(50 * time.Millisecond)
+	for i := 0; i < 5; i++ {
+		out, err := ms.Dispatch(ctx, "echo", &tacc.Task{Input: tacc.Blob{Data: []byte("x")}})
+		if err != nil {
+			t.Fatalf("dispatch with dead manager: %v", err)
+		}
+		if string(out.Data) != "echo:x" {
+			t.Fatalf("out = %q", out.Data)
+		}
+	}
+}
+
+func TestManagerWatchdogFires(t *testing.T) {
+	net := san.NewNetwork(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	mgrCtx, mgrCancel := context.WithCancel(ctx)
+	fm := newFakeManager(net, 10*time.Millisecond)
+	go fm.run(mgrCtx, func() []WorkerInfo { return nil })
+
+	var restarts atomic.Int32
+	_, ms := feEndpoint(t, net, ManagerStubConfig{
+		ManagerTimeout:   60 * time.Millisecond,
+		OnManagerSilence: func() { restarts.Add(1) },
+	})
+	waitFor(t, "first beacon", func() bool { return ms.Stats().BeaconsSeen > 0 })
+	if restarts.Load() != 0 {
+		t.Fatal("watchdog fired while manager alive")
+	}
+	mgrCancel()
+	waitFor(t, "watchdog", func() bool { return restarts.Load() >= 1 })
+}
+
+func TestHotUpgradeDisableEnable(t *testing.T) {
+	net := san.NewNetwork(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fm := newFakeManager(net, 10*time.Millisecond)
+	var adv atomic.Value
+	adv.Store([]WorkerInfo{})
+	go fm.run(ctx, func() []WorkerInfo { return adv.Load().([]WorkerInfo) })
+
+	ws := NewWorkerStub("w0", "n1", echoWorker{}, net, WorkerConfig{ReportInterval: 10 * time.Millisecond})
+	go ws.Run(ctx)
+	waitFor(t, "registration", func() bool { return fm.registered.Load() == 1 })
+	info := <-fm.workers
+	adv.Store([]WorkerInfo{info})
+
+	ep, _ := feEndpoint(t, net, ManagerStubConfig{CallTimeout: time.Second})
+	ctl := net.Endpoint(san.Addr{Node: "mon", Proc: "monitor"}, 16)
+	if err := ctl.Send(info.Addr, MsgDisable, nil, 8); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "deregistration", func() bool { return fm.deregistered.Load() >= 1 })
+
+	cctx, ccancel := context.WithTimeout(ctx, time.Second)
+	defer ccancel()
+	resp, err := ep.Call(cctx, info.Addr, MsgTask, TaskMsg{}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Body.(ResultMsg).Err != "worker disabled" {
+		t.Fatalf("resp = %+v", resp.Body)
+	}
+
+	// Enable: worker re-registers and serves again.
+	before := fm.registered.Load()
+	if err := ctl.Send(info.Addr, MsgEnable, nil, 8); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "re-registration", func() bool { return fm.registered.Load() > before })
+	resp, err = ep.Call(cctx, info.Addr, MsgTask,
+		TaskMsg{Task: tacc.Task{Input: tacc.Blob{Data: []byte("hi")}}}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := resp.Body.(ResultMsg); res.Err != "" || string(res.Blob.Data) != "echo:hi" {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestDispatchNoWorkersAsksForSpawn(t *testing.T) {
+	net := san.NewNetwork(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fm := newFakeManager(net, 10*time.Millisecond)
+	go fm.run(ctx, func() []WorkerInfo { return nil })
+
+	_, ms := feEndpoint(t, net, ManagerStubConfig{CallTimeout: 50 * time.Millisecond})
+	waitFor(t, "beacon", func() bool { return ms.Stats().BeaconsSeen > 0 })
+	_, err := ms.Dispatch(ctx, "echo", &tacc.Task{})
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v", err)
+	}
+	waitFor(t, "spawn request", func() bool { return fm.spawnReqs.Load() >= 1 })
+}
+
+func TestDispatchPipelineChains(t *testing.T) {
+	net := san.NewNetwork(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fm := newFakeManager(net, 10*time.Millisecond)
+	var adv atomic.Value
+	adv.Store([]WorkerInfo{})
+	go fm.run(ctx, func() []WorkerInfo { return adv.Load().([]WorkerInfo) })
+
+	ws := NewWorkerStub("w0", "n1", echoWorker{}, net, WorkerConfig{ReportInterval: 10 * time.Millisecond})
+	go ws.Run(ctx)
+	waitFor(t, "registration", func() bool { return fm.registered.Load() == 1 })
+	adv.Store([]WorkerInfo{<-fm.workers})
+
+	_, ms := feEndpoint(t, net, ManagerStubConfig{CallTimeout: time.Second})
+	waitFor(t, "worker visible", func() bool { return len(ms.Workers("echo")) == 1 })
+	out, err := ms.DispatchPipeline(ctx,
+		tacc.Pipeline{{Class: "echo"}, {Class: "echo"}},
+		&tacc.Task{Input: tacc.Blob{Data: []byte("x")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out.Data) != "echo:echo:x" {
+		t.Fatalf("out = %q", out.Data)
+	}
+	// Empty pipeline passes through.
+	out, err = ms.DispatchPipeline(ctx, nil, &tacc.Task{Input: tacc.Blob{Data: []byte("raw")}})
+	if err != nil || string(out.Data) != "raw" {
+		t.Fatalf("out = %q, %v", out.Data, err)
+	}
+}
+
+func TestBeaconRemovesVanishedWorkers(t *testing.T) {
+	net := san.NewNetwork(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fm := newFakeManager(net, 10*time.Millisecond)
+	var adv atomic.Value
+	w1 := WorkerInfo{ID: "w1", Class: "echo", Addr: san.Addr{Node: "n1", Proc: "w1"}}
+	w2 := WorkerInfo{ID: "w2", Class: "echo", Addr: san.Addr{Node: "n2", Proc: "w2"}}
+	adv.Store([]WorkerInfo{w1, w2})
+	go fm.run(ctx, func() []WorkerInfo { return adv.Load().([]WorkerInfo) })
+
+	_, ms := feEndpoint(t, net, ManagerStubConfig{})
+	waitFor(t, "two workers", func() bool { return len(ms.Workers("echo")) == 2 })
+	adv.Store([]WorkerInfo{w1}) // manager reports w2 gone
+	waitFor(t, "w2 dropped", func() bool { return len(ms.Workers("echo")) == 1 })
+	if ms.Workers("echo")[0].ID != "w1" {
+		t.Fatal("wrong worker dropped")
+	}
+}

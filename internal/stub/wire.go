@@ -1,0 +1,133 @@
+// Package stub implements the narrow interface between service-
+// specific workers and the SNS layer (paper §2.2.5): the worker stub,
+// which hides queueing, load reporting, fault isolation and discovery
+// from worker code; and the manager stub, linked into front ends,
+// which caches load-balancing state from manager beacons, dispatches
+// tasks by lottery, and carries the process-peer duties (restart a
+// silent manager).
+package stub
+
+import (
+	"time"
+
+	"repro/internal/san"
+	"repro/internal/tacc"
+)
+
+// Multicast groups. Components discover each other exclusively through
+// these — the paper's "use of IP multicast provides a level of
+// indirection and relieves components of having to explicitly locate
+// each other" (§3.1.2).
+const (
+	GroupControl = "sns.control" // manager beacons, registration traffic
+	GroupReports = "sns.reports" // monitor state reports
+)
+
+// Message kinds.
+const (
+	MsgBeacon     = "mgr.beacon"   // manager -> group: Beacon
+	MsgRegister   = "wrk.register" // worker -> manager: RegisterMsg
+	MsgDeregister = "wrk.dereg"    // worker -> manager: DeregisterMsg
+	MsgLoadReport = "wrk.load"     // worker -> manager: LoadReport
+	MsgTask       = "wrk.task"     // front end -> worker: TaskMsg
+	MsgResult     = "wrk.result"   // worker -> front end (reply): ResultMsg
+	MsgFEHello    = "fe.heartbeat" // front end -> manager: FEHeartbeat
+	MsgSpawnReq   = "mgr.spawnreq" // front end -> manager: SpawnReq
+	MsgShutdown   = "ctl.shutdown" // manager -> worker: graceful reap
+	MsgDisable    = "ctl.disable"  // monitor -> component: hot upgrade
+	MsgEnable     = "ctl.enable"   // monitor -> component
+	MsgMonReport  = "mon.report"   // component -> reports group: StatusReport
+)
+
+// WorkerInfo describes one live worker as carried in beacons.
+type WorkerInfo struct {
+	ID    string
+	Class string
+	Addr  san.Addr
+	Node  string
+	// QLen is the manager's weighted moving average of the worker's
+	// reported queue length.
+	QLen float64
+	// Overflow marks workers running on overflow-pool nodes.
+	Overflow bool
+}
+
+// Beacon is the manager's periodic multicast: its own address (for
+// registration and spawn requests) plus the load-balancing hints the
+// front ends cache (§2.2.2).
+type Beacon struct {
+	Manager san.Addr
+	Seq     uint64
+	Workers []WorkerInfo
+}
+
+// RegisterMsg announces a worker to the manager.
+type RegisterMsg struct {
+	Info WorkerInfo
+}
+
+// DeregisterMsg removes a worker (clean shutdown).
+type DeregisterMsg struct {
+	ID string
+}
+
+// LoadReport carries one worker's queue length to the manager. The
+// paper characterizes distiller load "in terms of the queue length at
+// the distiller, optionally weighted by the expected cost of
+// distilling each item".
+type LoadReport struct {
+	ID      string
+	Class   string
+	QLen    int
+	CostMs  float64 // average per-task cost observed, milliseconds
+	Done    uint64  // tasks completed since start
+	Errors  uint64
+	Crashes uint64
+	// Info lets the manager re-admit a worker it expired (e.g. after
+	// a healed SAN partition): soft state regenerates from the very
+	// next periodic message, no explicit rejoin protocol needed.
+	Info WorkerInfo
+}
+
+// TaskMsg asks a worker to run one task.
+type TaskMsg struct {
+	Task tacc.Task
+}
+
+// ResultMsg answers a TaskMsg.
+type ResultMsg struct {
+	Blob tacc.Blob
+	Err  string // empty on success
+}
+
+// FEHeartbeat tells the manager a front end is alive (process-peer
+// input for "the manager detects and restarts a crashed front end").
+type FEHeartbeat struct {
+	Name string
+	Addr san.Addr
+	Node string
+}
+
+// SpawnReq asks the manager to start a worker of a class the front end
+// found no instances of.
+type SpawnReq struct {
+	Class string
+}
+
+// StatusReport is the monitor's food: any component multicasts these
+// on GroupReports.
+type StatusReport struct {
+	Component string // process name
+	Kind      string // "worker", "frontend", "manager", "cache"
+	Node      string
+	Metrics   map[string]float64
+}
+
+// Timing defaults shared across the SNS layer. The paper beacons every
+// few seconds; tests compress time via Config knobs.
+const (
+	DefaultBeaconInterval = 500 * time.Millisecond
+	DefaultReportInterval = 500 * time.Millisecond
+	DefaultWorkerTTL      = 5 * DefaultReportInterval
+	DefaultCallTimeout    = 2 * time.Second
+)

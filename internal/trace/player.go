@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Player is the high-performance trace playback engine (paper §4.1):
+// it can generate requests at a constant, dynamically tunable rate, or
+// faithfully replay a trace according to its timestamps (optionally
+// time-compressed), giving fine-grained control over both the amount
+// and the nature of offered load.
+type Player struct {
+	// Concurrency bounds in-flight requests (the engine's
+	// simulated client population). Default 64.
+	Concurrency int
+	// Speedup divides faithful-mode inter-arrival gaps (10 means
+	// 10x real time). Default 1.
+	Speedup float64
+
+	rate atomic.Uint64 // constant-rate mode: req/s as math.Float64bits
+}
+
+// RequestFunc executes one request and returns an error on failure.
+type RequestFunc func(ctx context.Context, rec Record) error
+
+// Stats summarizes a playback run.
+type Stats struct {
+	Issued    int
+	Errors    int
+	Elapsed   time.Duration
+	Latency   sim.Welford // seconds
+	Latencies []float64   // per-request seconds, for quantiles
+	Offered   float64     // issued / elapsed, req/s
+}
+
+// SetRate changes the constant-rate mode's request rate (req/s); it
+// may be called while PlayConstant is running ("dynamically tunable").
+func (p *Player) SetRate(reqPerSec float64) {
+	p.rate.Store(uint64FromFloat(reqPerSec))
+}
+
+func uint64FromFloat(f float64) uint64 {
+	if f < 0 {
+		f = 0
+	}
+	// Store microreq/s to avoid importing math for Float64bits in
+	// hot paths; precision is ample.
+	return uint64(f * 1e6)
+}
+
+func (p *Player) currentRate() float64 {
+	return float64(p.rate.Load()) / 1e6
+}
+
+// PlayFaithful replays records honoring timestamps (divided by
+// Speedup), invoking fn for each record from a bounded worker pool.
+func (p *Player) PlayFaithful(ctx context.Context, records []Record, fn RequestFunc) Stats {
+	speed := p.Speedup
+	if speed <= 0 {
+		speed = 1
+	}
+	start := time.Now()
+	issue := make(chan Record)
+	stats := p.collect(ctx, issue, fn)
+
+	base := time.Now()
+	var t0 time.Duration
+	if len(records) > 0 {
+		t0 = records[0].T
+	}
+loop:
+	for _, rec := range records {
+		due := base.Add(time.Duration(float64(rec.T-t0) / speed))
+		if d := time.Until(due); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				break loop
+			}
+		}
+		select {
+		case issue <- rec:
+		case <-ctx.Done():
+			break loop
+		}
+	}
+	close(issue)
+	st := <-stats
+	st.Elapsed = time.Since(start)
+	if st.Elapsed > 0 {
+		st.Offered = float64(st.Issued) / st.Elapsed.Seconds()
+	}
+	return st
+}
+
+// PlayConstant issues records in order at the rate set via SetRate
+// (initially rate), until records are exhausted or ctx is cancelled.
+func (p *Player) PlayConstant(ctx context.Context, records []Record, rate float64, fn RequestFunc) Stats {
+	p.SetRate(rate)
+	start := time.Now()
+	issue := make(chan Record)
+	stats := p.collect(ctx, issue, fn)
+
+	ticker := time.NewTicker(time.Millisecond)
+	defer ticker.Stop()
+	credit := 0.0
+	last := time.Now()
+	i := 0
+loop:
+	for i < len(records) {
+		select {
+		case <-ctx.Done():
+			break loop
+		case now := <-ticker.C:
+			credit += now.Sub(last).Seconds() * p.currentRate()
+			last = now
+			for credit >= 1 && i < len(records) {
+				credit--
+				select {
+				case issue <- records[i]:
+					i++
+				case <-ctx.Done():
+					break loop
+				}
+			}
+		}
+	}
+	close(issue)
+	st := <-stats
+	st.Elapsed = time.Since(start)
+	if st.Elapsed > 0 {
+		st.Offered = float64(st.Issued) / st.Elapsed.Seconds()
+	}
+	return st
+}
+
+// collect runs the worker pool; the returned channel yields the final
+// stats once the issue channel closes and workers drain.
+func (p *Player) collect(ctx context.Context, issue <-chan Record, fn RequestFunc) <-chan Stats {
+	conc := p.Concurrency
+	if conc <= 0 {
+		conc = 64
+	}
+	var mu sync.Mutex
+	st := Stats{}
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rec := range issue {
+				t0 := time.Now()
+				err := fn(ctx, rec)
+				lat := time.Since(t0).Seconds()
+				mu.Lock()
+				st.Issued++
+				if err != nil {
+					st.Errors++
+				}
+				st.Latency.Add(lat)
+				st.Latencies = append(st.Latencies, lat)
+				mu.Unlock()
+			}
+		}()
+	}
+	out := make(chan Stats, 1)
+	go func() {
+		wg.Wait()
+		out <- st
+	}()
+	return out
+}

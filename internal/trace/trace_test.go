@@ -1,0 +1,337 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/sim"
+)
+
+func TestSizeModelMeans(t *testing.T) {
+	// Figure 5 calibration: sampled means must track the paper's.
+	cases := []struct {
+		model *SizeModel
+		want  float64
+	}{
+		{GIFSizes(), MeanGIF},
+		{HTMLSizes(), MeanHTML},
+		{JPEGSizes(), MeanJPEG},
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range cases {
+		var w sim.Welford
+		for i := 0; i < 300000; i++ {
+			w.Add(float64(c.model.Sample(rng)))
+		}
+		if math.Abs(w.Mean()-c.want)/c.want > 0.12 {
+			t.Errorf("%s mean = %.0f, want ~%.0f", c.model.MIME, w.Mean(), c.want)
+		}
+	}
+}
+
+func TestGIFBimodal(t *testing.T) {
+	// The 1 KB threshold must split icons from photos: a healthy
+	// mass on each side (paper: "two plateaus").
+	rng := rand.New(rand.NewSource(2))
+	m := GIFSizes()
+	below, above := 0, 0
+	for i := 0; i < 50000; i++ {
+		if m.Sample(rng) < 1024 {
+			below++
+		} else {
+			above++
+		}
+	}
+	fb := float64(below) / 50000
+	if fb < 0.30 || fb > 0.70 {
+		t.Fatalf("GIF mass below 1KB = %.2f, want bimodal split near 0.5", fb)
+	}
+}
+
+func TestJPEGFallsOffBelow1KB(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := JPEGSizes()
+	below := 0
+	for i := 0; i < 50000; i++ {
+		if m.Sample(rng) < 1024 {
+			below++
+		}
+	}
+	if frac := float64(below) / 50000; frac > 0.12 {
+		t.Fatalf("JPEG mass below 1KB = %.2f, want < 0.12", frac)
+	}
+}
+
+func TestContentModelMix(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := NewContentModel()
+	counts := map[string]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		mime, size := m.Sample(rng)
+		counts[mime]++
+		if size < 64 {
+			t.Fatalf("size %d below floor", size)
+		}
+	}
+	check := func(mime string, want float64) {
+		got := float64(counts[mime]) / n
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("%s fraction = %.3f, want %.2f", mime, got, want)
+		}
+	}
+	check(media.MIMESGIF, FracGIF)
+	check(media.MIMEHTML, FracHTML)
+	check(media.MIMESJPG, FracJPEG)
+	check(media.MIMEOther, FracOther)
+}
+
+func TestArrivalMeanRate(t *testing.T) {
+	m := DefaultArrivals(5)
+	rng := rand.New(rand.NewSource(5))
+	times := m.Generate(rng, 0, 24*time.Hour)
+	got := float64(len(times)) / (24 * 3600)
+	if math.Abs(got-m.MeanRate)/m.MeanRate > 0.15 {
+		t.Fatalf("24h mean rate = %.2f req/s, want ~%.1f", got, m.MeanRate)
+	}
+}
+
+func TestArrivalBurstinessAcrossScales(t *testing.T) {
+	// Figure 6's qualitative claim: peak/avg grows as buckets
+	// shrink, and short windows still show multi-x bursts.
+	m := DefaultArrivals(6)
+	rng := rand.New(rand.NewSource(6))
+	times := m.Generate(rng, 0, 24*time.Hour)
+
+	c24 := Bucketize(times, 0, 24*time.Hour, 2*time.Minute)
+	avg24, peak24 := BucketStats(c24, 2*time.Minute)
+	if peak24/avg24 < 1.5 {
+		t.Fatalf("24h peak/avg = %.2f, want bursty (>1.5)", peak24/avg24)
+	}
+
+	c1s := Bucketize(times, 12*time.Hour, 12*time.Hour+200*time.Second, time.Second)
+	_, peak1s := BucketStats(c1s, time.Second)
+	if peak1s < avg24*1.5 {
+		t.Fatalf("1s-bucket peak %.1f not bursty vs daily avg %.1f", peak1s, avg24)
+	}
+}
+
+func TestDailyCycleShape(t *testing.T) {
+	m := DefaultArrivals(7)
+	night := m.daily(4 * time.Hour)
+	evening := m.daily(16 * time.Hour)
+	if night >= evening {
+		t.Fatalf("daily(4h)=%.2f >= daily(16h)=%.2f; trough should be at night", night, evening)
+	}
+	// Mean multiplier over the day ~1.
+	sum := 0.0
+	for h := 0; h < 24; h++ {
+		sum += m.daily(time.Duration(h) * time.Hour)
+	}
+	if math.Abs(sum/24-1) > 0.05 {
+		t.Fatalf("daily mean multiplier = %.3f, want ~1", sum/24)
+	}
+}
+
+func TestCascadeMeanOne(t *testing.T) {
+	m := DefaultArrivals(8)
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += m.cascade(time.Duration(i) * 4 * time.Second)
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.25 {
+		t.Fatalf("cascade mean = %.3f, want ~1", mean)
+	}
+	// Bias 0.5 disables bursts entirely.
+	flat := *m
+	flat.CascadeBias = 0.5
+	if flat.cascade(time.Hour) != 1 {
+		t.Fatal("bias 0.5 should yield multiplier 1")
+	}
+}
+
+func TestGenerateTraceDeterministic(t *testing.T) {
+	cfg := DefaultConfig(9)
+	cfg.Duration = 2 * time.Minute
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("lens = %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("records diverge at %d", i)
+		}
+	}
+}
+
+func TestObjectAttrsStable(t *testing.T) {
+	m := NewContentModel()
+	mime1, size1 := ObjectAttrs(1, 42, m)
+	mime2, size2 := ObjectAttrs(1, 42, m)
+	if mime1 != mime2 || size1 != size2 {
+		t.Fatal("object attributes not deterministic")
+	}
+	url := ObjectURL(42, mime1)
+	if url == "" {
+		t.Fatal("empty URL")
+	}
+}
+
+func TestTraceRepeatsObjects(t *testing.T) {
+	// Zipf popularity must produce repeated objects — the property
+	// caching depends on.
+	cfg := DefaultConfig(10)
+	cfg.Duration = 10 * time.Minute
+	cfg.Objects = 5000
+	recs := Generate(cfg)
+	seen := map[int]int{}
+	for _, r := range recs {
+		seen[r.Object]++
+	}
+	if len(seen) >= len(recs) {
+		t.Fatalf("no repeats: %d unique of %d", len(seen), len(recs))
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(11)
+	cfg.Duration = time.Minute
+	recs := Generate(cfg)
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip %d != %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestReadGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("{bad json")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.jsonl")
+	cfg := DefaultConfig(12)
+	cfg.Duration = 30 * time.Second
+	recs := Generate(cfg)
+	if err := WriteFile(path, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("file round trip %d != %d", len(got), len(recs))
+	}
+}
+
+func TestBucketizeEdges(t *testing.T) {
+	times := []time.Duration{0, time.Second, 2*time.Second - 1, 5 * time.Second}
+	counts := Bucketize(times, 0, 4*time.Second, time.Second)
+	if len(counts) != 4 || counts[0] != 1 || counts[1] != 2 || counts[2] != 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if Bucketize(times, 0, 0, time.Second) != nil {
+		t.Fatal("empty range should return nil")
+	}
+}
+
+func TestPlayConstantRate(t *testing.T) {
+	recs := make([]Record, 200)
+	p := &Player{Concurrency: 32}
+	var served atomic.Int32
+	start := time.Now()
+	st := p.PlayConstant(context.Background(), recs, 1000, func(ctx context.Context, rec Record) error {
+		served.Add(1)
+		return nil
+	})
+	elapsed := time.Since(start)
+	if st.Issued != 200 || served.Load() != 200 {
+		t.Fatalf("issued %d served %d", st.Issued, served.Load())
+	}
+	// 200 requests at 1000/s should take ~0.2s; allow generous slop.
+	if elapsed > 2*time.Second {
+		t.Fatalf("constant-rate playback too slow: %v", elapsed)
+	}
+}
+
+func TestPlayFaithfulHonorsGaps(t *testing.T) {
+	recs := []Record{{T: 0}, {T: 100 * time.Millisecond}}
+	p := &Player{Concurrency: 4, Speedup: 2}
+	start := time.Now()
+	st := p.PlayFaithful(context.Background(), recs, func(ctx context.Context, rec Record) error {
+		return nil
+	})
+	elapsed := time.Since(start)
+	if st.Issued != 2 {
+		t.Fatalf("issued %d", st.Issued)
+	}
+	// 100 ms gap at 2x speedup = 50 ms minimum.
+	if elapsed < 40*time.Millisecond {
+		t.Fatalf("faithful playback ignored gaps: %v", elapsed)
+	}
+}
+
+func TestPlayCancellation(t *testing.T) {
+	recs := make([]Record, 100000)
+	for i := range recs {
+		recs[i].T = time.Duration(i) * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	p := &Player{Concurrency: 4}
+	st := p.PlayFaithful(ctx, recs, func(ctx context.Context, rec Record) error { return nil })
+	if st.Issued >= len(recs) {
+		t.Fatal("cancellation did not stop playback")
+	}
+}
+
+func TestPlayErrorsCounted(t *testing.T) {
+	recs := make([]Record, 10)
+	p := &Player{Concurrency: 2}
+	boom := errors.New("boom")
+	st := p.PlayConstant(context.Background(), recs, 10000, func(ctx context.Context, rec Record) error {
+		return boom
+	})
+	if st.Errors != 10 {
+		t.Fatalf("errors = %d, want 10", st.Errors)
+	}
+	if st.Latency.N != 10 {
+		t.Fatalf("latency samples = %d", st.Latency.N)
+	}
+}
+
+func TestSetRateWhileRunning(t *testing.T) {
+	p := &Player{Concurrency: 8}
+	p.SetRate(50)
+	if got := p.currentRate(); math.Abs(got-50) > 1e-6 {
+		t.Fatalf("rate = %v", got)
+	}
+	p.SetRate(-1)
+	if got := p.currentRate(); got != 0 {
+		t.Fatalf("negative rate should clamp to 0, got %v", got)
+	}
+}

@@ -1,0 +1,249 @@
+package vcache
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/san"
+)
+
+// Message kinds for the cache wire protocol. Cache nodes are plain
+// workers reachable over the SAN; the paper notes each Harvest request
+// cost a TCP connection — here each request is one SAN round trip, and
+// an optional ServiceTime models the measured per-hit cost (§4.4).
+const (
+	MsgGet    = "cache.get"
+	MsgGot    = "cache.got"
+	MsgPut    = "cache.put"
+	MsgInject = "cache.inject"
+	MsgOK     = "cache.ok"
+	MsgStats  = "cache.stats"
+	MsgStatsR = "cache.stats.reply"
+)
+
+// GetReq asks for a key.
+type GetReq struct {
+	Key string
+}
+
+// GetResp answers a GetReq.
+type GetResp struct {
+	Found bool
+	Data  []byte
+	MIME  string
+}
+
+// PutReq stores content (Put or Inject depending on message kind).
+type PutReq struct {
+	Key  string
+	Data []byte
+	MIME string
+	TTL  time.Duration
+}
+
+// Service hosts one cache partition on a cluster node. It implements
+// cluster.Process.
+type Service struct {
+	// Name is the process id (e.g. "cache0").
+	Name string
+	// Net and Node place the service's endpoint.
+	Net  *san.Network
+	Node string
+	// Partition is the backing store.
+	Partition *Partition
+	// ServiceTime, if non-nil, delays each Get response to model
+	// per-request service cost (the paper's 27 ms average hit).
+	ServiceTime func() time.Duration
+
+	ep *san.Endpoint
+}
+
+// NewService constructs a cache service and registers its SAN
+// endpoint immediately, so clients can address it as soon as it is
+// spawned (no startup race between Spawn and the first request).
+func NewService(name string, net *san.Network, node string, part *Partition) *Service {
+	s := &Service{Name: name, Net: net, Node: node, Partition: part}
+	s.ep = net.Endpoint(s.addr(), 1024)
+	return s
+}
+
+func (s *Service) addr() san.Addr { return san.Addr{Node: s.Node, Proc: s.Name} }
+
+// Addr returns the service's SAN address.
+func (s *Service) Addr() san.Addr { return s.addr() }
+
+// ID implements cluster.Process.
+func (s *Service) ID() string { return s.Name }
+
+// Run implements cluster.Process: it serves cache requests until ctx
+// is cancelled. If the endpoint is missing (struct-literal
+// construction, or a respawn after its node was dropped) it is
+// registered here.
+func (s *Service) Run(ctx context.Context) error {
+	if s.ep == nil || !s.Net.Lookup(s.addr()) {
+		s.ep = s.Net.Endpoint(s.addr(), 1024)
+	}
+	ep := s.ep
+	defer ep.Close()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case msg, ok := <-ep.Inbox():
+			if !ok {
+				return fmt.Errorf("vcache: %s endpoint closed", s.Name)
+			}
+			s.handle(ep, msg)
+		}
+	}
+}
+
+func (s *Service) handle(ep *san.Endpoint, msg san.Message) {
+	switch msg.Kind {
+	case MsgGet:
+		req, ok := msg.Body.(GetReq)
+		if !ok {
+			return
+		}
+		if s.ServiceTime != nil {
+			if d := s.ServiceTime(); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		entry, found := s.Partition.Get(req.Key)
+		resp := GetResp{Found: found, Data: entry.Data, MIME: entry.MIME}
+		_ = ep.Respond(msg, MsgGot, resp, len(entry.Data)+32)
+	case MsgPut, MsgInject:
+		req, ok := msg.Body.(PutReq)
+		if !ok {
+			return
+		}
+		if msg.Kind == MsgInject {
+			s.Partition.Inject(req.Key, req.Data, req.MIME, req.TTL)
+		} else {
+			s.Partition.Put(req.Key, req.Data, req.MIME, req.TTL)
+		}
+		_ = ep.Respond(msg, MsgOK, nil, 16)
+	case MsgStats:
+		_ = ep.Respond(msg, MsgStatsR, s.Partition.Stats(), 64)
+	}
+}
+
+// Client presents a set of cache partitions as one virtual cache: keys
+// are consistent-hashed to nodes, and membership changes re-hash
+// automatically. It shares its owner's SAN endpoint (whose receive
+// loop must route replies via DeliverReply).
+type Client struct {
+	ep      *san.Endpoint
+	ring    *Ring
+	addrs   map[string]san.Addr
+	mu      chan struct{} // 1-token semaphore guarding addrs+ring mutation
+	Timeout time.Duration
+}
+
+// NewClient creates a virtual-cache client over an endpoint.
+func NewClient(ep *san.Endpoint) *Client {
+	c := &Client{
+		ep:      ep,
+		ring:    NewRing(0),
+		addrs:   make(map[string]san.Addr),
+		mu:      make(chan struct{}, 1),
+		Timeout: 2 * time.Second,
+	}
+	c.mu <- struct{}{}
+	return c
+}
+
+// AddNode registers a cache partition under a logical name.
+func (c *Client) AddNode(name string, addr san.Addr) {
+	<-c.mu
+	c.addrs[name] = addr
+	c.ring.Add(name)
+	c.mu <- struct{}{}
+}
+
+// RemoveNode drops a partition; its key range re-hashes to survivors.
+func (c *Client) RemoveNode(name string) {
+	<-c.mu
+	delete(c.addrs, name)
+	c.ring.Remove(name)
+	c.mu <- struct{}{}
+}
+
+// Nodes returns the current partition names.
+func (c *Client) Nodes() []string { return c.ring.Nodes() }
+
+// owner resolves the partition address for a key.
+func (c *Client) owner(key string) (san.Addr, bool) {
+	node := c.ring.Lookup(key)
+	if node == "" {
+		return san.Addr{}, false
+	}
+	<-c.mu
+	addr, ok := c.addrs[node]
+	c.mu <- struct{}{}
+	return addr, ok
+}
+
+// Get fetches a key from the virtual cache. A missing partition or
+// timeout reads as a miss: the cache is an optimization, never a
+// correctness dependency (BASE).
+func (c *Client) Get(ctx context.Context, key string) (data []byte, mime string, found bool) {
+	addr, ok := c.owner(key)
+	if !ok {
+		return nil, "", false
+	}
+	cctx, cancel := context.WithTimeout(ctx, c.Timeout)
+	defer cancel()
+	resp, err := c.ep.Call(cctx, addr, MsgGet, GetReq{Key: key}, len(key)+16)
+	if err != nil {
+		return nil, "", false
+	}
+	got, ok := resp.Body.(GetResp)
+	if !ok || !got.Found {
+		return nil, "", false
+	}
+	return got.Data, got.MIME, true
+}
+
+// Put stores original content; errors are swallowed (best effort).
+func (c *Client) Put(ctx context.Context, key string, data []byte, mime string, ttl time.Duration) {
+	c.put(ctx, MsgPut, key, data, mime, ttl)
+}
+
+// Inject stores post-transformation content.
+func (c *Client) Inject(ctx context.Context, key string, data []byte, mime string, ttl time.Duration) {
+	c.put(ctx, MsgInject, key, data, mime, ttl)
+}
+
+func (c *Client) put(ctx context.Context, kind, key string, data []byte, mime string, ttl time.Duration) {
+	addr, ok := c.owner(key)
+	if !ok {
+		return
+	}
+	cctx, cancel := context.WithTimeout(ctx, c.Timeout)
+	defer cancel()
+	_, _ = c.ep.Call(cctx, addr, kind, PutReq{Key: key, Data: data, MIME: mime, TTL: ttl}, len(data)+len(key)+32)
+}
+
+// StatsOf fetches one partition's stats (for the monitor).
+func (c *Client) StatsOf(ctx context.Context, name string) (Stats, error) {
+	<-c.mu
+	addr, ok := c.addrs[name]
+	c.mu <- struct{}{}
+	if !ok {
+		return Stats{}, fmt.Errorf("vcache: unknown partition %q", name)
+	}
+	cctx, cancel := context.WithTimeout(ctx, c.Timeout)
+	defer cancel()
+	resp, err := c.ep.Call(cctx, addr, MsgStats, nil, 16)
+	if err != nil {
+		return Stats{}, err
+	}
+	st, ok := resp.Body.(Stats)
+	if !ok {
+		return Stats{}, fmt.Errorf("vcache: bad stats reply")
+	}
+	return st, nil
+}
