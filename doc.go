@@ -5,8 +5,7 @@
 // it, and a harness that regenerates every table and figure in the
 // paper's evaluation.
 //
-// Start with README.md for the tour, DESIGN.md for the system
-// inventory and experiment index, and EXPERIMENTS.md for the
-// paper-vs-measured comparison. The benchmarks in bench_test.go (one
-// per reproduced artifact) and cmd/experiments regenerate the results.
+// Start with README.md for the tour and the package map. The
+// benchmarks in bench_test.go (one per reproduced artifact) and
+// cmd/experiments regenerate the results.
 package repro

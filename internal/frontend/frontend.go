@@ -13,6 +13,7 @@ package frontend
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,6 +66,13 @@ type Config struct {
 	QueueCap int
 	// CacheTTL is the TTL for objects we cache. Zero = no expiry.
 	CacheTTL time.Duration
+	// FetchTimeout bounds one origin fetch. Coalesced fetches run
+	// detached from the leader's request context (one departing
+	// client must not fail the whole flight), so only this timeout
+	// and the front end's own lifecycle bound them. Default
+	// 2 minutes — past the paper's observed 100 s worst-case miss
+	// penalty (§4.4).
+	FetchTimeout time.Duration
 	// HeartbeatInterval paces FE heartbeats to the manager.
 	HeartbeatInterval time.Duration
 	// MinDistillSize: objects at or below this bypass distillation
@@ -87,6 +95,9 @@ func (c Config) withDefaults() Config {
 	if c.MinDistillSize <= 0 {
 		c.MinDistillSize = 1024
 	}
+	if c.FetchTimeout <= 0 {
+		c.FetchTimeout = 2 * time.Minute
+	}
 	return c
 }
 
@@ -100,6 +111,12 @@ type Stats struct {
 	PassedThrough  uint64
 	Fallbacks      uint64 // distillation failed; original returned
 	Errors         uint64
+
+	// CoalescedOrigin counts requests that waited on another
+	// request's in-flight origin fetch instead of stampeding the
+	// origin; CoalescedDistill the same for distillation dispatch.
+	CoalescedOrigin  uint64
+	CoalescedDistill uint64
 }
 
 type job struct {
@@ -118,10 +135,16 @@ type FrontEnd struct {
 	cache *vcache.Client
 	jobs  chan job
 
+	// Miss coalescing: concurrent requests for one original (or one
+	// distilled variant) share a single origin fetch (or dispatch).
+	origFlight    stub.FlightGroup[tacc.Blob]
+	distillFlight stub.FlightGroup[tacc.Blob]
+
 	running atomic.Bool
 	stats   struct {
 		requests, cacheDistilled, cacheOriginal, originFetches atomic.Uint64
 		distilled, passedThrough, fallbacks, errors            atomic.Uint64
+		coalescedOrigin, coalescedDistill                      atomic.Uint64
 	}
 
 	mu       sync.Mutex
@@ -166,6 +189,9 @@ func (fe *FrontEnd) Stats() Stats {
 		PassedThrough:  fe.stats.passedThrough.Load(),
 		Fallbacks:      fe.stats.fallbacks.Load(),
 		Errors:         fe.stats.errors.Load(),
+
+		CoalescedOrigin:  fe.stats.coalescedOrigin.Load(),
+		CoalescedDistill: fe.stats.coalescedDistill.Load(),
 	}
 }
 
@@ -202,7 +228,7 @@ func (fe *FrontEnd) Run(ctx context.Context) error {
 				case <-wctx.Done():
 					return
 				case j := <-fe.jobs:
-					resp, err := fe.handle(j.ctx, j.req)
+					resp, err := fe.handle(j.ctx, wctx, j.req)
 					if err != nil {
 						j.err <- err
 					} else {
@@ -317,8 +343,11 @@ func (fe *FrontEnd) Do(ctx context.Context, req Request) (Response, error) {
 	}
 }
 
-// handle shepherds one request end to end.
-func (fe *FrontEnd) handle(ctx context.Context, req Request) (Response, error) {
+// handle shepherds one request end to end. life is the front end's
+// own lifecycle context: coalesced flights detach from the individual
+// request's ctx (one departing client must not fail the whole flight)
+// but still die with the process.
+func (fe *FrontEnd) handle(ctx, life context.Context, req Request) (Response, error) {
 	fe.stats.requests.Add(1)
 
 	// 1. Pair the request with the user's customization profile.
@@ -346,7 +375,10 @@ func (fe *FrontEnd) handle(ctx context.Context, req Request) (Response, error) {
 		}
 	}
 
-	// 4. Fetch the original (cache first, then origin).
+	// 4. Fetch the original (cache first, then origin). Concurrent
+	// misses on one URL coalesce into a single origin fetch: the
+	// leader fetches and populates the cache, followers share the
+	// result instead of stampeding the origin.
 	var orig tacc.Blob
 	if data, mime, ok := fe.cache.Get(ctx, origKey); ok {
 		fe.stats.cacheOriginal.Add(1)
@@ -356,14 +388,25 @@ func (fe *FrontEnd) handle(ctx context.Context, req Request) (Response, error) {
 			fe.stats.errors.Add(1)
 			return Response{}, fmt.Errorf("frontend: no origin configured for %s", req.URL)
 		}
-		fetched, err := fe.cfg.Origin.Fetch(ctx, req.URL)
+		fetched, err, shared := fe.origFlight.Do(ctx, origKey, func() (tacc.Blob, error) {
+			fctx, cancel := context.WithTimeout(life, fe.cfg.FetchTimeout)
+			defer cancel()
+			blob, err := fe.cfg.Origin.Fetch(fctx, req.URL)
+			if err != nil {
+				return tacc.Blob{}, err
+			}
+			fe.stats.originFetches.Add(1)
+			fe.cache.Put(fctx, origKey, blob.Data, blob.MIME, fe.cfg.CacheTTL)
+			return blob, nil
+		})
+		if shared {
+			fe.stats.coalescedOrigin.Add(1)
+		}
 		if err != nil {
 			fe.stats.errors.Add(1)
 			return Response{}, fmt.Errorf("frontend: fetch %s: %w", req.URL, err)
 		}
-		fe.stats.originFetches.Add(1)
 		orig = fetched
-		fe.cache.Put(ctx, origKey, orig.Data, orig.MIME, fe.cfg.CacheTTL)
 	}
 
 	// 5. Pass small or rule-less content through unmodified.
@@ -372,12 +415,29 @@ func (fe *FrontEnd) handle(ctx context.Context, req Request) (Response, error) {
 		return Response{Blob: orig, Source: "original"}, nil
 	}
 
-	// 6. Dispatch the pipeline. Failure means a degraded but fast
-	// answer, never an error page with nothing in it: "in all cases,
-	// an approximate answer delivered quickly is more useful than
-	// the exact answer delivered slowly" (§3.1.8).
-	task := &tacc.Task{Key: req.URL, Input: orig, Profile: profile}
-	out, err := fe.mstub.DispatchPipeline(ctx, pipeline, task)
+	// 6. Dispatch the pipeline, coalescing concurrent requests for
+	// the same distilled variant into one dispatch (and one inject).
+	// Failure means a degraded but fast answer, never an error page
+	// with nothing in it: "in all cases, an approximate answer
+	// delivered quickly is more useful than the exact answer
+	// delivered slowly" (§3.1.8).
+	out, err, shared := fe.distillFlight.Do(ctx, distillKey, func() (tacc.Blob, error) {
+		// Detached like the origin flight; dispatch is already
+		// bounded by the stub's per-attempt CallTimeout and retry
+		// budget.
+		dctx := life
+		task := &tacc.Task{Key: req.URL, Input: orig, Profile: profile}
+		blob, err := fe.mstub.DispatchPipeline(dctx, pipeline, task)
+		if err != nil {
+			return tacc.Blob{}, err
+		}
+		// 7. Inject the distilled variant for future hits.
+		fe.cache.Inject(dctx, distillKey, blob.Data, blob.MIME, fe.cfg.CacheTTL)
+		return blob, nil
+	})
+	if shared {
+		fe.stats.coalescedDistill.Add(1)
+	}
 	if err != nil {
 		fe.stats.fallbacks.Add(1)
 		return Response{
@@ -386,9 +446,6 @@ func (fe *FrontEnd) handle(ctx context.Context, req Request) (Response, error) {
 		}, nil
 	}
 	fe.stats.distilled.Add(1)
-
-	// 7. Inject the distilled variant for future hits.
-	fe.cache.Inject(ctx, distillKey, out.Data, out.MIME, fe.cfg.CacheTTL)
 	return Response{Blob: out, Source: "distilled"}, nil
 }
 
@@ -397,17 +454,13 @@ func (fe *FrontEnd) handle(ctx context.Context, req Request) (Response, error) {
 // can re-check after fetch (our distillers verify magic bytes anyway).
 func mimeHint(url string) string {
 	switch {
-	case hasSuffix(url, ".sgif"):
+	case strings.HasSuffix(url, ".sgif"):
 		return "image/sgif"
-	case hasSuffix(url, ".sjpg"):
+	case strings.HasSuffix(url, ".sjpg"):
 		return "image/sjpg"
-	case hasSuffix(url, ".html"), hasSuffix(url, "/"):
+	case strings.HasSuffix(url, ".html"), strings.HasSuffix(url, "/"):
 		return "text/html"
 	default:
 		return "application/octet-stream"
 	}
-}
-
-func hasSuffix(s, suf string) bool {
-	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
 }

@@ -9,13 +9,20 @@
 // communicate only through this interface, so the protocol paths are
 // identical to a wire implementation; the impairment knobs let tests
 // reproduce the paper's SAN saturation and partition scenarios.
+//
+// The send path is lock-free on the network side: topology (endpoint
+// table, groups, partition map) and impairment config live in an
+// immutable snapshot swapped atomically by the rare mutators
+// (registration, Join/Leave, SetLoss, Partition), so concurrent
+// senders never contend on a network-wide mutex. Loss decisions use
+// per-endpoint deterministic rngs instead of a shared locked source.
 package san
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
+	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -69,20 +76,67 @@ var (
 	ErrTimeout     = errors.New("san: call timed out")
 )
 
-// Network is an in-process SAN. The zero value is not usable;
-// construct with NewNetwork.
-type Network struct {
-	mu        sync.RWMutex
+// netState is the immutable topology+impairment snapshot read by every
+// Send and Multicast. Mutators clone it under Network.mu and swap the
+// pointer; readers take one atomic load and never block.
+type netState struct {
 	endpoints map[Addr]*Endpoint
-	groups    map[string]map[Addr]*Endpoint
+	groups    map[string][]*Endpoint
 	partition map[string]int // node -> partition id; absent = 0
-	rng       *rand.Rand
-	rngMu     sync.Mutex
 
 	// Impairments. Loss probabilities are applied per delivery.
 	lossP      float64 // point-to-point loss probability
 	mcastLossP float64 // multicast delivery loss probability
 	latency    func() time.Duration
+}
+
+// clone makes a shallow copy with fresh maps; group member slices are
+// shared until a mutator replaces them (copy-on-write).
+func (s *netState) clone() *netState {
+	c := &netState{
+		endpoints:  make(map[Addr]*Endpoint, len(s.endpoints)),
+		groups:     make(map[string][]*Endpoint, len(s.groups)),
+		partition:  make(map[string]int, len(s.partition)),
+		lossP:      s.lossP,
+		mcastLossP: s.mcastLossP,
+		latency:    s.latency,
+	}
+	for a, ep := range s.endpoints {
+		c.endpoints[a] = ep
+	}
+	for g, members := range s.groups {
+		c.groups[g] = members
+	}
+	for node, p := range s.partition {
+		c.partition[node] = p
+	}
+	return c
+}
+
+func (s *netState) samePartition(a, b string) bool {
+	return s.partition[a] == s.partition[b]
+}
+
+// withoutMember returns members minus ep, or the original slice if ep
+// is not present. The result is always safe to publish (never aliases
+// a mutated slice).
+func withoutMember(members []*Endpoint, ep *Endpoint) []*Endpoint {
+	for i, m := range members {
+		if m == ep {
+			out := make([]*Endpoint, 0, len(members)-1)
+			out = append(out, members[:i]...)
+			return append(out, members[i+1:]...)
+		}
+	}
+	return members
+}
+
+// Network is an in-process SAN. The zero value is not usable;
+// construct with NewNetwork.
+type Network struct {
+	mu    sync.Mutex // serializes mutators; senders never take it
+	state atomic.Pointer[netState]
+	seed  int64 // derives each endpoint's deterministic rng
 
 	sent         atomic.Uint64
 	dropped      atomic.Uint64
@@ -94,12 +148,24 @@ type Network struct {
 // NewNetwork returns an unimpaired network seeded for deterministic
 // loss decisions.
 func NewNetwork(seed int64) *Network {
-	return &Network{
+	n := &Network{seed: seed}
+	n.state.Store(&netState{
 		endpoints: make(map[Addr]*Endpoint),
-		groups:    make(map[string]map[Addr]*Endpoint),
+		groups:    make(map[string][]*Endpoint),
 		partition: make(map[string]int),
-		rng:       rand.New(rand.NewSource(seed)),
-	}
+	})
+	return n
+}
+
+// mutate applies f to a private clone of the current state and
+// publishes the result. All topology/config writers funnel through
+// here; the pointer swap is the linearization point for senders.
+func (n *Network) mutate(f func(s *netState)) {
+	n.mu.Lock()
+	s := n.state.Load().clone()
+	f(s)
+	n.state.Store(s)
+	n.mu.Unlock()
 }
 
 // SetLoss configures point-to-point and multicast loss probabilities
@@ -107,29 +173,25 @@ func NewNetwork(seed int64) *Network {
 // first casualty of SAN saturation (§4.6); tests reproduce that by
 // raising mcast loss.
 func (n *Network) SetLoss(p2p, mcast float64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.lossP, n.mcastLossP = p2p, mcast
+	n.mutate(func(s *netState) { s.lossP, s.mcastLossP = p2p, mcast })
 }
 
 // SetLatency installs a per-message latency source (nil for instant
 // delivery). Latency is applied with real timers; keep it small in
 // tests.
 func (n *Network) SetLatency(f func() time.Duration) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.latency = f
+	n.mutate(func(s *netState) { s.latency = f })
 }
 
 // Partition assigns nodes to partition groups. Messages between nodes
 // in different groups are dropped. Nodes not mentioned are in group 0.
 func (n *Network) Partition(groups map[string]int) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.partition = make(map[string]int, len(groups))
-	for node, g := range groups {
-		n.partition[node] = g
-	}
+	n.mutate(func(s *netState) {
+		s.partition = make(map[string]int, len(groups))
+		for node, g := range groups {
+			s.partition[node] = g
+		}
+	})
 }
 
 // Heal removes all partitions.
@@ -160,10 +222,12 @@ func (n *Network) Endpoint(addr Addr, inboxCap int) *Endpoint {
 		inbox:   make(chan Message, inboxCap),
 		pending: make(map[uint64]chan Message),
 	}
-	n.mu.Lock()
-	old := n.endpoints[addr]
-	n.endpoints[addr] = ep
-	n.mu.Unlock()
+	ep.rng.seed(n.seed, addr)
+	var old *Endpoint
+	n.mutate(func(s *netState) {
+		old = s.endpoints[addr]
+		s.endpoints[addr] = ep
+	})
 	if old != nil {
 		old.Close()
 	}
@@ -172,65 +236,54 @@ func (n *Network) Endpoint(addr Addr, inboxCap int) *Endpoint {
 
 // Lookup reports whether an endpoint is registered for addr.
 func (n *Network) Lookup(addr Addr) bool {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	_, ok := n.endpoints[addr]
+	_, ok := n.state.Load().endpoints[addr]
 	return ok
 }
 
 // Drop closes a single endpoint abruptly (process crash): it vanishes
 // from the address table and all groups without any goodbye traffic.
 func (n *Network) Drop(addr Addr) {
-	n.mu.Lock()
-	ep, ok := n.endpoints[addr]
-	if ok {
-		delete(n.endpoints, addr)
-	}
-	for _, members := range n.groups {
-		delete(members, addr)
-	}
-	n.mu.Unlock()
-	if ok {
-		ep.closeLocked()
+	var ep *Endpoint
+	n.mutate(func(s *netState) {
+		var ok bool
+		ep, ok = s.endpoints[addr]
+		if !ok {
+			return
+		}
+		delete(s.endpoints, addr)
+		for g, members := range s.groups {
+			s.groups[g] = withoutMember(members, ep)
+		}
+	})
+	if ep != nil {
+		ep.closeInternal()
 	}
 }
 
 // DropNode closes every endpoint hosted on the named node and removes
 // it from all groups, modelling a workstation crash.
 func (n *Network) DropNode(node string) {
-	n.mu.Lock()
 	var victims []*Endpoint
-	for addr, ep := range n.endpoints {
-		if addr.Node == node {
-			victims = append(victims, ep)
-			delete(n.endpoints, addr)
-		}
-	}
-	for _, members := range n.groups {
-		for addr := range members {
+	n.mutate(func(s *netState) {
+		for addr, ep := range s.endpoints {
 			if addr.Node == node {
-				delete(members, addr)
+				victims = append(victims, ep)
+				delete(s.endpoints, addr)
 			}
 		}
-	}
-	n.mu.Unlock()
+		for g, members := range s.groups {
+			kept := members
+			for _, ep := range members {
+				if ep.addr.Node == node {
+					kept = withoutMember(kept, ep)
+				}
+			}
+			s.groups[g] = kept
+		}
+	})
 	for _, ep := range victims {
-		ep.closeLocked()
+		ep.closeInternal()
 	}
-}
-
-func (n *Network) samePartition(a, b string) bool {
-	return n.partition[a] == n.partition[b]
-}
-
-func (n *Network) chance(p float64) bool {
-	if p <= 0 {
-		return false
-	}
-	n.rngMu.Lock()
-	v := n.rng.Float64()
-	n.rngMu.Unlock()
-	return v < p
 }
 
 // deliver places msg in ep's inbox, applying latency. Returns false if
@@ -246,15 +299,49 @@ func (n *Network) deliver(ep *Endpoint, msg Message, latency func() time.Duratio
 	return ep.push(msg)
 }
 
+// atomicRand is a lock-free deterministic random source (splitmix64):
+// each draw advances an atomic counter and mixes it, so concurrent
+// senders on one endpoint never serialize on a mutex, and a fixed
+// (network seed, address) pair always yields the same sequence.
+type atomicRand struct {
+	state atomic.Uint64
+}
+
+func (r *atomicRand) seed(seed int64, addr Addr) {
+	h := fnv.New64a()
+	h.Write([]byte(addr.Node))
+	h.Write([]byte{0})
+	h.Write([]byte(addr.Proc))
+	r.state.Store(uint64(seed)*0x9E3779B97F4A7C15 ^ h.Sum64())
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *atomicRand) Float64() float64 {
+	x := r.state.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
 // Endpoint is one process's attachment to the SAN.
 type Endpoint struct {
 	net   *Network
 	addr  Addr
 	inbox chan Message
+	rng   atomicRand
 
-	mu      sync.Mutex
-	closed  bool
-	nextID  uint64
+	closed atomic.Bool
+	nextID atomic.Uint64
+
+	// closeMu serializes inbox close against in-flight pushes: pushers
+	// hold the read side (concurrent senders never exclude each other;
+	// the channel provides its own synchronization), Close the write.
+	closeMu sync.RWMutex
+
+	mu      sync.Mutex // guards pending, groups
 	pending map[uint64]chan Message
 	groups  []string
 }
@@ -266,85 +353,100 @@ func (e *Endpoint) Addr() Addr { return e.addr }
 // endpoint closes.
 func (e *Endpoint) Inbox() <-chan Message { return e.inbox }
 
+// chance draws a loss decision from the endpoint's own rng.
+func (e *Endpoint) chance(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return e.rng.Float64() < p
+}
+
 // push attempts non-blocking delivery.
 func (e *Endpoint) push(msg Message) bool {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	e.closeMu.RLock()
+	if e.closed.Load() {
+		e.closeMu.RUnlock()
 		return false
 	}
+	var ok bool
 	select {
 	case e.inbox <- msg:
-		e.mu.Unlock()
-		return true
+		ok = true
 	default:
-		e.mu.Unlock()
-		return false
 	}
+	e.closeMu.RUnlock()
+	return ok
 }
 
 // Close detaches the endpoint: it leaves all groups, unregisters the
 // address, fails pending calls, and closes the inbox.
 func (e *Endpoint) Close() {
-	n := e.net
-	n.mu.Lock()
-	if n.endpoints[e.addr] == e {
-		delete(n.endpoints, e.addr)
-	}
-	for _, g := range e.groupsLocked() {
-		if members, ok := n.groups[g]; ok {
-			delete(members, e.addr)
+	e.net.mutate(func(s *netState) {
+		if s.endpoints[e.addr] == e {
+			delete(s.endpoints, e.addr)
 		}
-	}
-	n.mu.Unlock()
-	e.closeLocked()
+		for _, g := range e.groupsSnapshot() {
+			s.groups[g] = withoutMember(s.groups[g], e)
+		}
+	})
+	e.closeInternal()
 }
 
-func (e *Endpoint) groupsLocked() []string {
+func (e *Endpoint) groupsSnapshot() []string {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return append([]string(nil), e.groups...)
 }
 
-func (e *Endpoint) closeLocked() {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+func (e *Endpoint) closeInternal() {
+	e.closeMu.Lock()
+	if e.closed.Load() {
+		e.closeMu.Unlock()
 		return
 	}
-	e.closed = true
+	e.closed.Store(true)
+	close(e.inbox)
+	e.closeMu.Unlock()
+	e.mu.Lock()
 	for id, ch := range e.pending {
 		close(ch)
 		delete(e.pending, id)
 	}
-	close(e.inbox)
 	e.mu.Unlock()
 }
 
-// Join subscribes the endpoint to a multicast group.
+// Join subscribes the endpoint to a multicast group (idempotent).
 func (e *Endpoint) Join(group string) {
-	n := e.net
-	n.mu.Lock()
-	members := n.groups[group]
-	if members == nil {
-		members = make(map[Addr]*Endpoint)
-		n.groups[group] = members
-	}
-	members[e.addr] = e
-	n.mu.Unlock()
+	e.net.mutate(func(s *netState) {
+		members := s.groups[group]
+		for _, m := range members {
+			if m == e {
+				return
+			}
+		}
+		out := make([]*Endpoint, 0, len(members)+1)
+		out = append(out, members...)
+		s.groups[group] = append(out, e)
+	})
 	e.mu.Lock()
-	e.groups = append(e.groups, group)
+	found := false
+	for _, g := range e.groups {
+		if g == group {
+			found = true
+			break
+		}
+	}
+	if !found {
+		e.groups = append(e.groups, group)
+	}
 	e.mu.Unlock()
 }
 
 // Leave unsubscribes the endpoint from a multicast group.
 func (e *Endpoint) Leave(group string) {
-	n := e.net
-	n.mu.Lock()
-	if members, ok := n.groups[group]; ok {
-		delete(members, e.addr)
-	}
-	n.mu.Unlock()
+	e.net.mutate(func(s *netState) {
+		s.groups[group] = withoutMember(s.groups[group], e)
+	})
 	e.mu.Lock()
 	for i, g := range e.groups {
 		if g == group {
@@ -363,28 +465,21 @@ func (e *Endpoint) Send(to Addr, kind string, body any, size int) error {
 }
 
 func (e *Endpoint) send(to Addr, kind string, body any, size int, callID uint64, reply bool) error {
-	e.mu.Lock()
-	closed := e.closed
-	e.mu.Unlock()
-	if closed {
+	if e.closed.Load() {
 		return ErrClosed // a dead process sends nothing
 	}
 	n := e.net
-	n.mu.RLock()
-	dst, ok := n.endpoints[to]
-	lat := n.latency
-	lossP := n.lossP
-	same := n.samePartition(e.addr.Node, to.Node)
-	n.mu.RUnlock()
+	st := n.state.Load()
+	dst, ok := st.endpoints[to]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownAddr, to)
 	}
-	if !same || n.chance(lossP) {
+	if !st.samePartition(e.addr.Node, to.Node) || e.chance(st.lossP) {
 		n.dropped.Add(1)
 		return nil
 	}
 	msg := Message{From: e.addr, To: to, Kind: kind, Body: body, Size: size, CallID: callID, Reply: reply}
-	if n.deliver(dst, msg, lat) {
+	if n.deliver(dst, msg, st.latency) {
 		n.sent.Add(1)
 		n.bytes.Add(uint64(size))
 	} else {
@@ -395,31 +490,24 @@ func (e *Endpoint) send(to Addr, kind string, body any, size int, callID uint64,
 
 // Multicast delivers a best-effort message to every group member
 // except the sender. It returns the number of members the message was
-// handed to (before loss).
+// handed to (before loss). The whole fanout reads one topology
+// snapshot: membership or impairment changes mid-loop affect only
+// later multicasts.
 func (e *Endpoint) Multicast(group, kind string, body any, size int) int {
 	n := e.net
-	n.mu.RLock()
-	members := make([]*Endpoint, 0, len(n.groups[group]))
-	for _, ep := range n.groups[group] {
-		if ep.addr != e.addr {
-			members = append(members, ep)
-		}
-	}
-	lat := n.latency
-	lossP := n.mcastLossP
-	n.mu.RUnlock()
+	st := n.state.Load()
 	delivered := 0
-	for _, dst := range members {
+	for _, dst := range st.groups[group] {
+		if dst.addr == e.addr {
+			continue
+		}
 		n.mcastSent.Add(1)
-		n.mu.RLock()
-		same := n.samePartition(e.addr.Node, dst.addr.Node)
-		n.mu.RUnlock()
-		if !same || n.chance(lossP) {
+		if !st.samePartition(e.addr.Node, dst.addr.Node) || e.chance(st.mcastLossP) {
 			n.mcastDropped.Add(1)
 			continue
 		}
 		msg := Message{From: e.addr, Group: group, Kind: kind, Body: body, Size: size}
-		if n.deliver(dst, msg, lat) {
+		if n.deliver(dst, msg, st.latency) {
 			delivered++
 			n.bytes.Add(uint64(size))
 		} else {
@@ -434,14 +522,16 @@ func (e *Endpoint) Multicast(group, kind string, body any, size int) int {
 // respond via Respond. The caller's receive loop must route reply
 // messages through DeliverReply.
 func (e *Endpoint) Call(ctx context.Context, to Addr, kind string, body any, size int) (Message, error) {
+	if e.closed.Load() {
+		return Message{}, ErrClosed
+	}
+	id := e.nextID.Add(1)
+	ch := make(chan Message, 1)
 	e.mu.Lock()
-	if e.closed {
+	if e.closed.Load() {
 		e.mu.Unlock()
 		return Message{}, ErrClosed
 	}
-	e.nextID++
-	id := e.nextID
-	ch := make(chan Message, 1)
 	e.pending[id] = ch
 	e.mu.Unlock()
 

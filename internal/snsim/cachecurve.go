@@ -157,13 +157,18 @@ func RunCacheCurve(p CacheCurveParams) CacheCurveResult {
 	hits := 0
 	cold := 0
 	var uniqueBytes int64
-	seen := make(map[int]struct{}, requests/4)
+	// sizes memoizes the deterministic per-object size: sampling the
+	// content model (a fresh seeded rng per draw) dominated the
+	// simulation's runtime, and repeat accesses — the common case in
+	// a locality-driven workload — need only the lookup.
+	sizes := make(map[int]int64, requests/4)
 
 	for i := 0; i < requests; i++ {
 		obj := draw()
-		size := objSize(p.Seed, obj, model)
-		if _, ok := seen[obj]; !ok {
-			seen[obj] = struct{}{}
+		size, ok := sizes[obj]
+		if !ok {
+			size = objSize(p.Seed, obj, model)
+			sizes[obj] = size
 			uniqueBytes += size
 			cold++
 		}

@@ -178,17 +178,19 @@ func TestCacheCurvePopulationDecline(t *testing.T) {
 	// Private-set reuse only exists when users make enough requests
 	// to revisit their sets (~250 req/user, like the trace), and the
 	// decline only bites once the sum of private sets outgrows the
-	// cache: 1000*25*6KB = 0.15 GB fits in 1 GB, 12000*25*6KB = 1.8 GB
-	// does not.
+	// cache: 250*25*6KB ≈ 37 MB and 1000*25*6KB ≈ 150 MB fit in
+	// 256 MB, 3000*25*6KB ≈ 450 MB does not. (Scaled down from the
+	// paper-sized populations so the full suite stays fast; the shape
+	// is what matters.)
 	point := func(users int) CacheCurveResult {
 		return RunCacheCurve(CacheCurveParams{
 			Seed: 1, Users: users, ReqPerUser: 250, Universe: 200000,
-			PrivateSet: 25, CacheBytes: 1 << 30,
+			PrivateSet: 25, CacheBytes: 256 << 20,
 		})
 	}
-	small := point(1000)
-	mid := point(4000)
-	big := point(12000)
+	small := point(250)
+	mid := point(1000)
+	big := point(3000)
 	if mid.HitRate <= small.HitRate {
 		t.Fatalf("rise missing: %d users %.3f vs %d users %.3f",
 			small.Params.Users, small.HitRate, mid.Params.Users, mid.HitRate)

@@ -1,0 +1,59 @@
+package stub
+
+import (
+	"context"
+	"sync"
+)
+
+// FlightGroup coalesces duplicate in-flight work by key (the classic
+// singleflight pattern): the first caller for a key runs fn, later
+// callers for the same key wait for that result instead of repeating
+// the work. The front end uses it so concurrent misses on one URL
+// produce one origin fetch and one distillation dispatch rather than
+// a stampede — the paper's cache exists precisely to absorb
+// Zipf-skewed reuse (§4.1), and a miss storm on a hot key would
+// otherwise multiply the miss penalty by the arrival rate.
+//
+// The zero value is ready to use.
+type FlightGroup[T any] struct {
+	mu sync.Mutex
+	m  map[string]*flightCall[T]
+}
+
+type flightCall[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// Do runs fn once per key at a time: the leader executes it, followers
+// block until the leader finishes (or their own ctx is done) and share
+// the leader's result. The boolean reports whether this caller shared
+// another caller's work (it was a follower).
+func (g *FlightGroup[T]) Do(ctx context.Context, key string, fn func() (T, error)) (T, error, bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flightCall[T])
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			var zero T
+			return zero, ctx.Err(), true
+		}
+	}
+	c := &flightCall[T]{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

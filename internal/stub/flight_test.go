@@ -1,0 +1,123 @@
+package stub
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFlightGroupCoalesces(t *testing.T) {
+	var g FlightGroup[int]
+	var calls atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	var shared atomic.Int64
+	leaderDone := make(chan int, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err, wasShared := g.Do(context.Background(), "k", func() (int, error) {
+			close(started)
+			<-release
+			calls.Add(1)
+			return 42, nil
+		})
+		if err != nil || wasShared {
+			t.Errorf("leader: v=%d err=%v shared=%v", v, err, wasShared)
+		}
+		leaderDone <- v
+	}()
+	<-started
+
+	const followers = 8
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, wasShared := g.Do(context.Background(), "k", func() (int, error) {
+				calls.Add(1)
+				return -1, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("follower: v=%d err=%v", v, err)
+			}
+			if wasShared {
+				shared.Add(1)
+			}
+		}()
+	}
+	// Give followers a moment to join the flight, then release.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls.Load())
+	}
+	if shared.Load() != followers {
+		t.Fatalf("shared = %d, want %d", shared.Load(), followers)
+	}
+	if <-leaderDone != 42 {
+		t.Fatal("leader result lost")
+	}
+}
+
+func TestFlightGroupDistinctKeysRunIndependently(t *testing.T) {
+	var g FlightGroup[string]
+	v1, err1, s1 := g.Do(context.Background(), "a", func() (string, error) { return "A", nil })
+	v2, err2, s2 := g.Do(context.Background(), "b", func() (string, error) { return "B", nil })
+	if v1 != "A" || v2 != "B" || err1 != nil || err2 != nil || s1 || s2 {
+		t.Fatalf("got (%q,%v,%v) and (%q,%v,%v)", v1, err1, s1, v2, err2, s2)
+	}
+}
+
+func TestFlightGroupLeaderErrorShared(t *testing.T) {
+	var g FlightGroup[int]
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go g.Do(context.Background(), "k", func() (int, error) {
+		close(started)
+		<-release
+		return 0, boom
+	})
+	<-started
+	done := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do(context.Background(), "k", func() (int, error) { return 1, nil })
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	if err := <-done; !errors.Is(err, boom) {
+		t.Fatalf("follower err = %v, want leader's error", err)
+	}
+	// The key is free again after the flight lands.
+	v, err, shared := g.Do(context.Background(), "k", func() (int, error) { return 7, nil })
+	if v != 7 || err != nil || shared {
+		t.Fatalf("post-flight Do = (%d, %v, %v)", v, err, shared)
+	}
+}
+
+func TestFlightGroupFollowerContextCancel(t *testing.T) {
+	var g FlightGroup[int]
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go g.Do(context.Background(), "k", func() (int, error) {
+		close(started)
+		<-release
+		return 1, nil
+	})
+	<-started
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err, shared := g.Do(ctx, "k", func() (int, error) { return 2, nil })
+	close(release)
+	if !errors.Is(err, context.DeadlineExceeded) || !shared {
+		t.Fatalf("follower = (%v, shared=%v), want deadline exceeded", err, shared)
+	}
+}
