@@ -1,0 +1,36 @@
+# Developer entry points. CI runs the same targets.
+
+GO ?= go
+
+.PHONY: build test test-short race cover fuzz-smoke bench-snapshot chaos-soak
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# Race pass over the packages with real concurrency on the hot path.
+race:
+	$(GO) test -race -short ./internal/san ./internal/vcache ./internal/frontend ./internal/chaos
+
+# Coverage with the committed-baseline regression gate (satellite:
+# fails if total coverage drops >2 points from coverage_baseline.txt).
+cover:
+	./scripts/coverage_check.sh
+
+# Short fuzz smoke over the wire codec (CI runs this on every push).
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzWireRoundTrip -fuzztime=15s ./internal/stub
+
+# Write BENCH_<date>.json with the figure-benchmark metrics so the
+# perf trajectory is a diffable artifact.
+bench-snapshot:
+	$(GO) run ./cmd/experiments -snapshot auto
+
+# The randomized kill-anything soak plus the full chaos suite.
+chaos-soak:
+	$(GO) test -count=1 -v -run 'TestSoak|TestScenario|TestSchedule' ./internal/chaos

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/distiller"
@@ -270,6 +271,36 @@ func BenchmarkFaultRecovery(b *testing.B) {
 			time.Sleep(time.Millisecond)
 		}
 	}
+}
+
+// BenchmarkChaosKillRestartCycle boots one system through the chaos
+// harness and measures a full scripted kill -> timeout-inference ->
+// respawn -> steady-state cycle per iteration (the §4.3 recovery
+// latency as a tracked number).
+func BenchmarkChaosKillRestartCycle(b *testing.B) {
+	h, err := chaos.New(chaos.Config{Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer h.Stop()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spawnsBefore := h.Sys.Manager().Stats().Spawns
+		sched := chaos.Schedule{Seed: 1, Events: []chaos.Event{{Kind: chaos.KillWorker, Slot: i}}}
+		h.Execute(ctx, sched)
+		deadline := time.Now().Add(10 * time.Second)
+		for h.Sys.Manager().Stats().Spawns == spawnsBefore {
+			if time.Now().After(deadline) {
+				b.Fatal("no respawn within 10s")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if !h.AwaitSteady(10 * time.Second) {
+			b.Fatal("system did not recover")
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N), "recovery-ms")
 }
 
 // BenchmarkHotBotQuery measures fan-out query latency over a deployed

@@ -19,6 +19,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 )
 
 type experiment struct {
@@ -40,6 +41,7 @@ var experiments = []experiment{
 	{"oscillation", "stale-data oscillation ablation (§4.5)", runOscillation},
 	{"sansat", "SAN saturation ablation (§4.6)", runSANSat},
 	{"faults", "process-peer fault tolerance timeline (§3.1.3)", runFaults},
+	{"fig9", "chaos harness: fault storm + recovery timeline (§4.3)", runFig9},
 	{"hotbot", "partitioned search: fan-out and node loss (§3.2)", runHotBot},
 	{"econ", "economic feasibility model (§5.2)", runEcon},
 	{"threshold", "the 1 KB distillation threshold rationale (§4.1)", runThreshold},
@@ -49,7 +51,20 @@ func main() {
 	runFlag := flag.String("run", "", "experiment id or 'all'")
 	seed := flag.Int64("seed", 1, "random seed")
 	list := flag.Bool("list", false, "list experiments")
+	snapshot := flag.String("snapshot", "", "write figure-benchmark metrics to this JSON file ('auto' = BENCH_<date>.json)")
 	flag.Parse()
+
+	if *snapshot != "" {
+		path := *snapshot
+		if path == "auto" {
+			path = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+		}
+		if err := writeSnapshot(path, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "snapshot:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *runFlag == "" {
 		fmt.Println("experiments:")

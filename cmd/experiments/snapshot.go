@@ -1,0 +1,134 @@
+package main
+
+// Bench snapshot: one JSON file per run capturing the paper-comparable
+// metrics the figure benchmarks report (bench_test.go's ReportMetric
+// values), so the perf trajectory across PRs is a diffable artifact
+// instead of scrollback. `make bench-snapshot` writes BENCH_<date>.json.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/distiller"
+	"repro/internal/media"
+	"repro/internal/snsim"
+	"repro/internal/tacc"
+	"repro/internal/trace"
+)
+
+// BenchSnapshot is the serialized form.
+type BenchSnapshot struct {
+	Date    string             `json:"date"`
+	Seed    int64              `json:"seed"`
+	Go      string             `json:"go"`
+	NumCPU  int                `json:"num_cpu"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// writeSnapshot measures every figure metric once and writes the JSON
+// file. Wall-clock-sensitive metrics (distiller ms/KB, recovery
+// latency) vary with the host; the structural metrics (hit rates,
+// capacities, spawn counts) are seed-deterministic.
+func writeSnapshot(path string, seed int64) error {
+	m := map[string]float64{}
+
+	// fig5: mean GIF size from the content model (paper: 3428 B).
+	rng := rand.New(rand.NewSource(seed))
+	gif := trace.GIFSizes()
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += float64(gif.Sample(rng))
+	}
+	m["fig5_gif_mean_bytes"] = sum / n
+
+	// fig6: arrivals per virtual hour at the default rate.
+	arr := trace.DefaultArrivals(seed)
+	m["fig6_arrivals_per_hour"] = float64(len(arr.Generate(rand.New(rand.NewSource(seed)), 12*time.Hour, 13*time.Hour)))
+
+	// fig7: distiller cost per KB on a 10 KB SGIF (hardware-bound).
+	data := media.GenerateContent(rand.New(rand.NewSource(seed)), media.MIMESGIF, 10*1024)
+	w := distiller.SGIFDistiller{}
+	task := &tacc.Task{Input: tacc.Blob{MIME: media.MIMESGIF, Data: data}}
+	start := time.Now()
+	const distills = 50
+	for i := 0; i < distills; i++ {
+		if _, err := w.Process(context.Background(), task); err != nil {
+			return err
+		}
+	}
+	m["fig7_distill_ms_per_kb"] = float64(time.Since(start).Microseconds()) / 1000 / distills / (float64(len(data)) / 1024)
+
+	// fig8: spawns over the self-tuning scenario.
+	m["fig8_spawns_per_run"] = float64(len(snsim.RunFigure8(seed).Spawns))
+
+	// table2: derived per-distiller capacity (paper: ~23 req/s).
+	m["table2_req_s_per_distiller"] = snsim.RunTable2(seed).PerDistillerReqS
+
+	// cache: hit rate at the 1 GB / 800-user point.
+	m["cache_hit_rate"] = snsim.RunCacheCurve(snsim.CacheCurveParams{
+		Seed: seed, Users: 800, ReqPerUser: 100, Universe: 200000, CacheBytes: 1 << 30,
+	}).HitRate
+
+	// oscillation: spread ratio raw/fixed (the §4.5 ablation).
+	raw := snsim.RunOscillation(seed, false)
+	fixed := snsim.RunOscillation(seed, true)
+	if fixed.Spread > 0 {
+		m["oscillation_spread_ratio"] = raw.Spread / fixed.Spread
+	}
+
+	// sansat: beacon loss on the 10 Mb/s shared SAN.
+	m["sansat_beacon_loss"] = snsim.RunSANSaturation(seed, 10, false).BeaconLossRate
+
+	// fault recovery: one live worker-crash -> respawn cycle through
+	// the chaos harness, in milliseconds.
+	if ms, err := measureRecovery(seed); err == nil {
+		m["fault_recovery_ms"] = ms
+	} else {
+		fmt.Fprintln(os.Stderr, "snapshot: recovery measurement failed:", err)
+	}
+
+	snap := BenchSnapshot{
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Seed:    seed,
+		Go:      runtime.Version(),
+		NumCPU:  runtime.NumCPU(),
+		Metrics: m,
+	}
+	out, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n%s\n", path, out)
+	return nil
+}
+
+// measureRecovery boots a compact system, kills a worker, and times
+// the manager's timeout-inference + respawn loop.
+func measureRecovery(seed int64) (float64, error) {
+	h, err := chaos.New(chaos.Config{Seed: seed})
+	if err != nil {
+		return 0, err
+	}
+	defer h.Stop()
+	spawns := h.Sys.Manager().Stats().Spawns
+	start := time.Now()
+	h.Execute(context.Background(), chaos.Schedule{Seed: seed, Events: []chaos.Event{{Kind: chaos.KillWorker, Slot: 0}}})
+	deadline := time.Now().Add(10 * time.Second)
+	for h.Sys.Manager().Stats().Spawns == spawns {
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("no respawn within 10s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return float64(time.Since(start).Microseconds()) / 1000, nil
+}

@@ -1,0 +1,94 @@
+// Package chaos is a deterministic fault-injection harness for the
+// full SNS stack (paper §4.3): it assembles a complete system — front
+// ends, manager, worker stubs, cache partitions, monitor — on the
+// cluster substrate over the SAN, drives it with a seeded background
+// load generator (trace arrivals + Zipf object popularity), and
+// executes a scripted fault schedule against it: process crashes,
+// network partitions, loss bursts, worker hangs and slowdowns.
+//
+// The paper's second headline claim (after linear scalability) is
+// that soft state makes recovery a non-protocol: kill a worker, the
+// manager infers the loss by timeout and respawns it; kill the
+// manager, workers re-register on the next beacon; kill a front end,
+// its process peer restarts it; throw the cache away, front ends fall
+// back to origin fetches. The harness exists so every scenario PR can
+// prove its behavior under these faults, not just under load.
+//
+// Everything is seeded: a Schedule is a pure function of its seed, so
+// the same seed injects the same faults at the same offsets on every
+// run — the property the reproducibility tests assert by running one
+// schedule twice and diffing the fault timelines.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TimelineEvent is one entry in a run's recorded history.
+type TimelineEvent struct {
+	// T is the offset from the start of the schedule execution.
+	T time.Duration
+	// Kind classifies the entry: "fault" (an injected action),
+	// "exit" (a process left the cluster), "alert" (monitor), or
+	// "note" (scenario annotations such as measured recovery
+	// latencies).
+	Kind string
+	// Name identifies the subject (action kind, process id, alert
+	// component).
+	Name string
+	// Detail is free-form context.
+	Detail string
+}
+
+// Timeline is an ordered run history.
+type Timeline []TimelineEvent
+
+// Filter returns the events of one kind, in order.
+func (tl Timeline) Filter(kind string) Timeline {
+	var out Timeline
+	for _, e := range tl {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the timeline as text, one event per line.
+func (tl Timeline) String() string {
+	var b strings.Builder
+	for _, e := range tl {
+		fmt.Fprintf(&b, "%8.3fs  %-6s %-22s %s\n", e.T.Seconds(), e.Kind, e.Name, e.Detail)
+	}
+	return b.String()
+}
+
+// recorder collects timeline events concurrently.
+type recorder struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []TimelineEvent
+}
+
+func (r *recorder) record(kind, name, detail string) {
+	r.recordAt(time.Since(r.start), kind, name, detail)
+}
+
+func (r *recorder) recordAt(t time.Duration, kind, name, detail string) {
+	r.mu.Lock()
+	r.events = append(r.events, TimelineEvent{T: t, Kind: kind, Name: name, Detail: detail})
+	r.mu.Unlock()
+}
+
+func (r *recorder) snapshot() Timeline {
+	r.mu.Lock()
+	out := make(Timeline, len(r.events))
+	copy(out, r.events)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}

@@ -1,0 +1,392 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/manager"
+	"repro/internal/san"
+	"repro/internal/stub"
+	"repro/internal/tacc"
+)
+
+// Config assembles a chaos harness. Zero values give a compact system
+// with timings compressed for tests: 2 workers of one echo class, one
+// front end, two cache partitions, 10 ms beacons.
+type Config struct {
+	Seed int64
+
+	// Topology. Defaults: 10 dedicated nodes (one process each, so
+	// node-level faults map 1:1 to component faults), 2 overflow.
+	DedicatedNodes int
+	OverflowNodes  int
+	FrontEnds      int
+	CacheParts     int
+	Workers        map[string]int
+
+	// Service. Nil Registry/Rules install an echo worker class
+	// ("chaos-echo") whose pipeline every request traverses, so a
+	// request observes the full FE -> cache -> dispatch -> inject
+	// path without distillation cost.
+	Registry *tacc.Registry
+	Rules    tacc.DispatchRule
+
+	// Timings (compressed for tests).
+	BeaconInterval time.Duration
+	ReportInterval time.Duration
+	CallTimeout    time.Duration
+	CacheTimeout   time.Duration
+
+	// Policy defaults to recovery-only: replace crashed workers,
+	// never spawn on load — so respawn counts are a pure function of
+	// the fault schedule.
+	Policy manager.Policy
+}
+
+// EchoClass is the default worker class installed when no registry is
+// supplied.
+const EchoClass = "chaos-echo"
+
+func (c Config) withDefaults() Config {
+	if c.DedicatedNodes <= 0 {
+		c.DedicatedNodes = 10
+	}
+	if c.FrontEnds <= 0 {
+		c.FrontEnds = 1
+	}
+	if c.CacheParts <= 0 {
+		c.CacheParts = 2
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = map[string]int{EchoClass: 2}
+	}
+	if c.Registry == nil {
+		c.Registry = tacc.NewRegistry()
+		c.Registry.Register(EchoClass, func() tacc.Worker {
+			return tacc.WorkerFunc{Name: EchoClass, Fn: func(ctx context.Context, task *tacc.Task) (tacc.Blob, error) {
+				return task.Input, nil
+			}}
+		})
+		if c.Rules == nil {
+			c.Rules = func(url, mime string, profile map[string]string) tacc.Pipeline {
+				return tacc.Pipeline{{Class: EchoClass}}
+			}
+		}
+	}
+	if c.BeaconInterval <= 0 {
+		c.BeaconInterval = 10 * time.Millisecond
+	}
+	if c.ReportInterval <= 0 {
+		c.ReportInterval = c.BeaconInterval
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 250 * time.Millisecond
+	}
+	if c.CacheTimeout <= 0 {
+		c.CacheTimeout = 100 * time.Millisecond
+	}
+	if c.Policy == (manager.Policy{}) {
+		c.Policy = manager.Policy{SpawnThreshold: 1e9, Damping: time.Hour, ReapThreshold: -1}
+	}
+	return c
+}
+
+// Harness drives one SNS instance through fault schedules.
+type Harness struct {
+	cfg Config
+	Sys *core.System
+
+	rec        *recorder
+	removeObs  func()
+	load       *loadGen
+	baseline   float64 // pre-fault steady-state capacity (success fraction)
+	baselineOK bool
+}
+
+// New boots a complete SNS instance and attaches the observers.
+func New(cfg Config) (*Harness, error) {
+	cfg = cfg.withDefaults()
+	sys, err := core.Start(core.Config{
+		Seed:           cfg.Seed,
+		DedicatedNodes: cfg.DedicatedNodes,
+		OverflowNodes:  cfg.OverflowNodes,
+		FrontEnds:      cfg.FrontEnds,
+		CacheParts:     cfg.CacheParts,
+		Workers:        cfg.Workers,
+		Registry:       cfg.Registry,
+		Rules:          cfg.Rules,
+		BeaconInterval: cfg.BeaconInterval,
+		ReportInterval: cfg.ReportInterval,
+		CallTimeout:    cfg.CallTimeout,
+		CacheTimeout:   cfg.CacheTimeout,
+		MinDistillSize: 1, // everything traverses the worker pipeline
+		Policy:         cfg.Policy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := &Harness{cfg: cfg, Sys: sys, rec: &recorder{start: time.Now()}}
+	h.removeObs = sys.Cluster.OnExit(func(info cluster.ExitInfo) {
+		detail := "clean"
+		if info.Err != nil {
+			detail = info.Err.Error()
+		}
+		h.rec.record("exit", info.Node+"/"+info.Proc, detail)
+	})
+	if !sys.WaitReady(10*time.Second) || !h.AwaitSteady(10*time.Second) {
+		h.Stop()
+		return nil, fmt.Errorf("chaos: system did not become ready")
+	}
+	return h, nil
+}
+
+// Stop tears the system down. The timeline remains readable.
+func (h *Harness) Stop() {
+	if h.load != nil {
+		h.load.stop()
+	}
+	if h.removeObs != nil {
+		h.removeObs()
+	}
+	h.Sys.Stop()
+}
+
+// Timeline returns the recorded history so far: injected faults,
+// process exits, scenario notes, and the monitor's alerts merged in.
+func (h *Harness) Timeline() Timeline {
+	tl := h.rec.snapshot()
+	for _, a := range h.Sys.Mon.Alerts() {
+		t := a.Time.Sub(h.rec.start)
+		if t < 0 {
+			t = 0
+		}
+		tl = append(tl, TimelineEvent{T: t, Kind: "alert", Name: a.Component, Detail: a.Message})
+	}
+	sort.SliceStable(tl, func(i, j int) bool { return tl[i].T < tl[j].T })
+	return tl
+}
+
+// FaultTimeline returns only the injected-fault events, each named by
+// the deterministic Event identity (offset, kind, slot, knobs). Two
+// executions of the same schedule yield identical fault timelines —
+// the reproducibility contract the determinism test asserts.
+func (h *Harness) FaultTimeline() []string {
+	var out []string
+	for _, e := range h.rec.snapshot() {
+		if e.Kind == "fault" {
+			out = append(out, e.Name)
+		}
+	}
+	return out
+}
+
+// Note records a scenario annotation (e.g. a measured recovery
+// latency) on the timeline.
+func (h *Harness) Note(name, detail string) { h.rec.record("note", name, detail) }
+
+// Execute runs the schedule to completion: each event fires at its
+// offset from the call, against the live system. It returns the
+// number of events injected.
+func (h *Harness) Execute(ctx context.Context, sched Schedule) int {
+	start := time.Now()
+	injected := 0
+	for _, ev := range sched.Events {
+		wait := ev.At - time.Since(start)
+		if wait > 0 {
+			select {
+			case <-ctx.Done():
+				return injected
+			case <-time.After(wait):
+			}
+		}
+		h.inject(ev)
+		injected++
+	}
+	return injected
+}
+
+// inject applies one event and records it. The recorded name is the
+// event's deterministic identity; the detail carries the resolved
+// target (which may legitimately differ between runs, e.g. respawned
+// worker ids).
+func (h *Harness) inject(ev Event) {
+	detail := ""
+	switch ev.Kind {
+	case KillWorker:
+		if id := h.pickWorker(ev.Slot); id != "" {
+			_ = h.Sys.KillWorker(id)
+			detail = id
+		} else {
+			detail = "no-target"
+		}
+	case KillManager:
+		_ = h.Sys.KillManager()
+	case KillFrontEnd:
+		if name := h.pickFrontEnd(ev.Slot); name != "" {
+			_ = h.Sys.KillFrontEnd(name)
+			detail = name
+		} else {
+			detail = "no-target"
+		}
+	case PartitionCaches:
+		groups := h.CachePartitionGroups()
+		if ev.Dur > 0 {
+			h.Sys.Net.PartitionFor(groups, ev.Dur)
+		} else {
+			h.Sys.Net.Partition(groups)
+		}
+	case LossBurst:
+		h.Sys.Net.LossBurst(ev.P2P, ev.Mcast, ev.Dur)
+	case HangWorker:
+		// As with PartitionCaches, Dur <= 0 means the fault persists
+		// until lifted manually.
+		if id := h.pickWorker(ev.Slot); id != "" {
+			if ws := h.Sys.WorkerStub(id); ws != nil {
+				ws.InjectHang(true)
+				if ev.Dur > 0 {
+					time.AfterFunc(ev.Dur, func() { ws.InjectHang(false) })
+				}
+				detail = id
+			}
+		}
+	case SlowWorker:
+		if id := h.pickWorker(ev.Slot); id != "" {
+			if ws := h.Sys.WorkerStub(id); ws != nil {
+				ws.InjectSlowdown(ev.Delay)
+				if ev.Dur > 0 {
+					time.AfterFunc(ev.Dur, func() { ws.InjectSlowdown(0) })
+				}
+				detail = id
+			}
+		}
+	case Heal:
+		h.Sys.Net.Heal()
+	}
+	h.rec.record("fault", ev.String(), detail)
+}
+
+// pickWorker resolves a slot to a live worker id (sorted order).
+func (h *Harness) pickWorker(slot int) string {
+	ids := h.Sys.Workers()
+	if len(ids) == 0 {
+		return ""
+	}
+	return ids[slot%len(ids)]
+}
+
+// pickFrontEnd resolves a slot to a front-end name (creation order).
+func (h *Harness) pickFrontEnd(slot int) string {
+	fes := h.Sys.FrontEnds()
+	if len(fes) == 0 {
+		return ""
+	}
+	return fes[slot%len(fes)].ID()
+}
+
+// AwaitSteady blocks until the system is at full strength: every
+// configured worker registered with the current manager, every front
+// end running, seeing beacons, and holding every worker class in its
+// dispatch cache (so a request needs no cold-start spawn). It returns
+// false on timeout.
+func (h *Harness) AwaitSteady(timeout time.Duration) bool {
+	want := 0
+	for _, n := range h.cfg.Workers {
+		want += n
+	}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if h.steadyNow(want) {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return h.steadyNow(want)
+}
+
+func (h *Harness) steadyNow(wantWorkers int) bool {
+	if h.Sys.Manager().Stats().Workers < wantWorkers {
+		return false
+	}
+	fes := h.Sys.FrontEnds()
+	if len(fes) < h.cfg.FrontEnds {
+		return false
+	}
+	for _, fe := range fes {
+		if !fe.Running() || fe.ManagerStub().Stats().BeaconsSeen == 0 {
+			return false
+		}
+		for class, n := range h.cfg.Workers {
+			if len(fe.ManagerStub().Workers(class)) < n {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ProbeCapacity issues n sequential requests against the system and
+// returns the fraction that succeeded — the steady-state capacity
+// measure the soak test compares before and after the kill storm.
+// Probes use a dedicated URL range so they share cache state across
+// calls only with each other.
+func (h *Harness) ProbeCapacity(ctx context.Context, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	ok := 0
+	for i := 0; i < n; i++ {
+		rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		_, err := h.Sys.Request(rctx, probeURL(i), "probe")
+		cancel()
+		if err == nil {
+			ok++
+		}
+	}
+	return float64(ok) / float64(n)
+}
+
+func probeURL(i int) string {
+	return fmt.Sprintf("http://probe.example/obj%d.bin", i%64)
+}
+
+// BaselineCapacity measures and remembers the pre-fault steady-state
+// capacity; RecoveredWithin compares against it later.
+func (h *Harness) BaselineCapacity(ctx context.Context, n int) float64 {
+	h.baseline = h.ProbeCapacity(ctx, n)
+	h.baselineOK = true
+	h.Note("baseline", fmt.Sprintf("capacity=%.2f over %d probes", h.baseline, n))
+	return h.baseline
+}
+
+// RecoveredWithin reports whether post-fault capacity is within frac
+// (e.g. 0.10) of the recorded baseline, probing with n requests.
+func (h *Harness) RecoveredWithin(ctx context.Context, n int, frac float64) (float64, bool) {
+	after := h.ProbeCapacity(ctx, n)
+	h.Note("recovered", fmt.Sprintf("capacity=%.2f baseline=%.2f", after, h.baseline))
+	if !h.baselineOK {
+		return after, false
+	}
+	return after, after >= h.baseline*(1-frac)
+}
+
+// Beacons re-exports the control-plane group name for experiments
+// that want to eavesdrop on the harnessed system.
+const Beacons = stub.GroupControl
+
+// CachePartitionGroups returns the partition map that isolates every
+// cache node — exported so scenarios can partition and heal manually
+// around their own assertions.
+func (h *Harness) CachePartitionGroups() map[string]int {
+	groups := map[string]int{}
+	for _, addr := range h.Sys.CacheNodes() {
+		groups[addr.Node] = 1
+	}
+	return groups
+}
+
+// Net returns the underlying SAN (impairment knobs).
+func (h *Harness) Net() *san.Network { return h.Sys.Net }

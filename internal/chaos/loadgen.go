@@ -1,0 +1,153 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/media"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// LoadStats summarizes the background load generator's view of the
+// run — the request-outcome half of the chaos timeline.
+type LoadStats struct {
+	Issued   uint64
+	OK       uint64
+	Degraded uint64 // served, but via a fallback source
+	Failed   uint64
+}
+
+// SuccessRate returns (OK+Degraded)/Issued — the paper's availability
+// measure: an approximate answer delivered quickly still counts
+// (§3.1.8).
+func (s LoadStats) SuccessRate() float64 {
+	if s.Issued == 0 {
+		return 0
+	}
+	return float64(s.OK+s.Degraded) / float64(s.Issued)
+}
+
+// loadGen replays a seeded arrival process against the system while
+// faults land. Arrival offsets come from the paper's bursty model
+// (trace.ArrivalModel) compressed onto the test clock; object choice
+// is Zipf, so the cache is doing real work when a fault hits it.
+type loadGen struct {
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	issued, ok, degraded, failed atomic.Uint64
+}
+
+// StartLoad launches the background generator: requests arrive for
+// dur (wall-clock) at roughly rate req/s with the Figure 6 burst
+// structure, drawn from a universe of objects objects. It is seeded
+// by the harness seed: the same seed issues the same request
+// sequence at the same offsets. Poll progress with LoadStats; stop
+// and collect with StopLoad.
+func (h *Harness) StartLoad(rate float64, objects int, dur time.Duration) {
+	if h.load != nil {
+		h.load.stop()
+	}
+	lg := &loadGen{}
+	ctx, cancel := context.WithCancel(context.Background())
+	lg.cancel = cancel
+	h.load = lg
+
+	rng := rand.New(rand.NewSource(h.cfg.Seed ^ 0x10ad))
+	// One virtual hour of the midday arrival process, rescaled so
+	// its mean matches the requested rate over dur: burstiness at
+	// every scale survives the compression.
+	model := trace.DefaultArrivals(h.cfg.Seed)
+	virtual := model.Generate(rng, 12*time.Hour, 13*time.Hour)
+	scale := float64(dur) / float64(time.Hour)
+	wantN := int(rate * dur.Seconds())
+	stride := 1
+	if wantN > 0 && len(virtual) > wantN {
+		stride = len(virtual) / wantN
+	}
+	zipf := sim.Zipf(rng, 1.1, objects)
+
+	lg.wg.Add(1)
+	go func() {
+		defer lg.wg.Done()
+		start := time.Now()
+		for i := 0; i < len(virtual); i += stride {
+			at := time.Duration(float64(virtual[i]-12*time.Hour) * scale)
+			if wait := at - time.Since(start); wait > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(wait):
+				}
+			}
+			if ctx.Err() != nil {
+				return
+			}
+			obj := zipf()
+			url := trace.ObjectURL(obj, media.MIMESGIF)
+			lg.issued.Add(1)
+			lg.wg.Add(1)
+			go func() {
+				defer lg.wg.Done()
+				rctx, rcancel := context.WithTimeout(ctx, 5*time.Second)
+				defer rcancel()
+				resp, err := h.Sys.Request(rctx, url, "loadgen")
+				switch {
+				case err != nil:
+					lg.failed.Add(1)
+				case isFallback(resp.Source):
+					lg.degraded.Add(1)
+				default:
+					lg.ok.Add(1)
+				}
+			}()
+		}
+	}()
+}
+
+// LoadStats returns the generator's counters so far (zero value if no
+// generator was started).
+func (h *Harness) LoadStats() LoadStats {
+	if h.load == nil {
+		return LoadStats{}
+	}
+	return h.load.stats()
+}
+
+func isFallback(source string) bool {
+	return source == "fallback-original" || source == "fallback-stale"
+}
+
+// StopLoad halts the generator and waits for in-flight requests, then
+// returns final stats and records them on the timeline.
+func (h *Harness) StopLoad() LoadStats {
+	if h.load == nil {
+		return LoadStats{}
+	}
+	h.load.stop()
+	st := h.load.stats()
+	h.rec.record("note", "load", fmt.Sprintf("issued=%d ok=%d degraded=%d failed=%d",
+		st.Issued, st.OK, st.Degraded, st.Failed))
+	h.load = nil
+	return st
+}
+
+func (lg *loadGen) stop() {
+	lg.cancel()
+	lg.wg.Wait()
+}
+
+func (lg *loadGen) stats() LoadStats {
+	return LoadStats{
+		Issued:   lg.issued.Load(),
+		OK:       lg.ok.Load(),
+		Degraded: lg.degraded.Load(),
+		Failed:   lg.failed.Load(),
+	}
+}
+

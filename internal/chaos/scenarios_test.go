@@ -1,0 +1,349 @@
+package chaos
+
+// End-to-end self-healing scenarios (paper §4.3): each test boots a
+// complete SNS instance through the harness, injects one fault class,
+// and asserts the system restores full capacity with no recovery
+// protocol — the soft-state claim, exercised on the real stack rather
+// than per-package unit tests.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+const seed = 1
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func newHarness(t *testing.T, cfg Config) *Harness {
+	t.Helper()
+	h, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Stop)
+	return h
+}
+
+// TestScenarioWorkerCrashRespawn: kill a worker with requests in
+// flight — every request must still complete (timeout + failover
+// drain the orphaned queue onto the survivor), and the manager must
+// infer the loss and respawn a replacement.
+func TestScenarioWorkerCrashRespawn(t *testing.T) {
+	h := newHarness(t, Config{Seed: seed})
+	ctx := context.Background()
+
+	spawnsBefore := h.Sys.Manager().Stats().Spawns
+	var wg sync.WaitGroup
+	errs := make([]error, 24)
+	for i := 0; i < len(errs); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rctx, cancel := context.WithTimeout(ctx, 8*time.Second)
+			defer cancel()
+			_, errs[i] = h.Sys.Request(rctx, fmt.Sprintf("http://chaos.example/w%d.bin", i), "u")
+		}(i)
+	}
+	// Crash one of the two workers while those requests are moving.
+	killAt := time.Now()
+	h.Execute(ctx, Schedule{Seed: seed, Events: []Event{{Kind: KillWorker, Slot: 0}}})
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d failed across worker crash: %v", i, err)
+		}
+	}
+
+	// The manager replaces the crashed worker (timeout inference: no
+	// deregistration was sent).
+	waitFor(t, "replacement spawn", func() bool {
+		return h.Sys.Manager().Stats().Spawns > spawnsBefore
+	})
+	h.Note("worker-respawn", time.Since(killAt).String())
+	if !h.AwaitSteady(10 * time.Second) {
+		t.Fatal("system did not return to full worker strength")
+	}
+}
+
+// TestScenarioManagerCrashReregister: kill the manager — requests
+// keep flowing off cached beacons, a front-end watchdog restarts it,
+// and every worker re-registers with zero lost state (§3.1.3).
+func TestScenarioManagerCrashReregister(t *testing.T) {
+	h := newHarness(t, Config{Seed: seed})
+	ctx := context.Background()
+
+	old := h.Sys.Manager()
+	want := old.Stats().Workers
+	if want == 0 {
+		t.Fatal("no workers registered before the fault")
+	}
+	killAt := time.Now()
+	h.Execute(ctx, Schedule{Seed: seed, Events: []Event{{Kind: KillManager}}})
+
+	// Availability during the outage: dispatch runs off the stub's
+	// cached load-balancing state ("stale data tolerated", §3.1.8).
+	for i := 0; i < 5; i++ {
+		rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		_, err := h.Sys.Request(rctx, fmt.Sprintf("http://chaos.example/m%d.bin", i), "u")
+		cancel()
+		if err != nil {
+			t.Fatalf("request %d failed during manager outage: %v", i, err)
+		}
+	}
+
+	waitFor(t, "manager restart + full re-registration", func() bool {
+		m := h.Sys.Manager()
+		return m != old && m.Stats().Workers >= want
+	})
+	h.Note("manager-recovery", time.Since(killAt).String())
+	if regs := h.Sys.Manager().Stats().Registrations; regs < uint64(want) {
+		t.Fatalf("only %d re-registrations for %d workers", regs, want)
+	}
+}
+
+// TestScenarioFrontEndCrashRestart: kill a front end — its process
+// peer (the manager) restarts it and requests succeed again.
+func TestScenarioFrontEndCrashRestart(t *testing.T) {
+	h := newHarness(t, Config{Seed: seed})
+	ctx := context.Background()
+
+	killAt := time.Now()
+	h.Execute(ctx, Schedule{Seed: seed, Events: []Event{{Kind: KillFrontEnd, Slot: 0}}})
+	waitFor(t, "front end restarted by process peer", func() bool {
+		fes := h.Sys.FrontEnds()
+		return len(fes) == 1 && fes[0].Running()
+	})
+	h.Note("frontend-restart", time.Since(killAt).String())
+
+	rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if _, err := h.Sys.Request(rctx, "http://chaos.example/fe.bin", "u"); err != nil {
+		t.Fatalf("request after front-end restart: %v", err)
+	}
+	if h.Sys.Manager().Stats().FERestarts == 0 {
+		t.Fatal("manager did not record the process-peer restart")
+	}
+}
+
+// TestScenarioCachePartitionFallback: partition the cache group away
+// from the rest of the SAN — front ends must fall back to origin
+// fetches (the cache is BASE, never a correctness dependency) and
+// re-absorb the cache after heal.
+func TestScenarioCachePartitionFallback(t *testing.T) {
+	h := newHarness(t, Config{Seed: seed})
+	ctx := context.Background()
+	url := "http://chaos.example/hot.sgif"
+
+	req := func() string {
+		t.Helper()
+		rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		defer cancel()
+		resp, err := h.Sys.Request(rctx, url, "u")
+		if err != nil {
+			t.Fatalf("request: %v", err)
+		}
+		return resp.Source
+	}
+
+	req() // populate the cache
+	waitFor(t, "cache hit", func() bool {
+		rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		defer cancel()
+		resp, err := h.Sys.Request(rctx, url, "u")
+		cancel()
+		return err == nil && resp.Source == "cache-distilled"
+	})
+
+	h.Sys.Net.Partition(h.CachePartitionGroups())
+	if src := req(); strings.HasPrefix(src, "cache-") {
+		t.Fatalf("served %q from an unreachable cache", src)
+	}
+
+	h.Sys.Net.Heal()
+	waitFor(t, "cache re-absorbed after heal", func() bool {
+		rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		defer cancel()
+		resp, err := h.Sys.Request(rctx, url, "u")
+		cancel()
+		return err == nil && resp.Source == "cache-distilled"
+	})
+}
+
+// TestScenarioWorkerHangDrains: a hung worker (gray failure — alive
+// on the SAN, completing nothing) must not fail requests: dispatch
+// timeouts fail over to the survivor, and the queue drains once the
+// hang lifts.
+func TestScenarioWorkerHangDrains(t *testing.T) {
+	h := newHarness(t, Config{Seed: seed, CallTimeout: 100 * time.Millisecond})
+	ctx := context.Background()
+
+	victim := h.pickWorker(0)
+	ws := h.Sys.WorkerStub(victim)
+	if ws == nil {
+		t.Fatalf("no stub for %s", victim)
+	}
+	h.Execute(ctx, Schedule{Seed: seed, Events: []Event{
+		{Kind: HangWorker, Slot: 0, Dur: 400 * time.Millisecond},
+	}})
+
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := 0; i < len(errs); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rctx, cancel := context.WithTimeout(ctx, 8*time.Second)
+			defer cancel()
+			_, errs[i] = h.Sys.Request(rctx, fmt.Sprintf("http://chaos.example/h%d.bin", i), "u")
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d failed during worker hang: %v", i, err)
+		}
+	}
+	waitFor(t, "hung worker's queue to drain after resume", func() bool {
+		return ws.QueueLen() == 0
+	})
+}
+
+// TestScenarioMonitorSeesComponentDeath drives the monitor's
+// silent-component alert path from an actual process death rather
+// than a synthetic silence (the gap the unit tests leave).
+func TestScenarioMonitorSeesComponentDeath(t *testing.T) {
+	h := newHarness(t, Config{Seed: seed})
+	ctx := context.Background()
+
+	victim := h.pickWorker(0)
+	// The monitor must have seen the victim alive first.
+	waitFor(t, "monitor sees "+victim, func() bool {
+		for _, st := range h.Sys.Mon.Snapshot() {
+			if st.Component == victim {
+				return true
+			}
+		}
+		return false
+	})
+
+	h.Execute(ctx, Schedule{Seed: seed, Events: []Event{{Kind: KillWorker, Slot: 0}}})
+	waitFor(t, "silence alert for dead component", func() bool {
+		for _, a := range h.Sys.Mon.Alerts() {
+			if a.Component == victim && strings.Contains(a.Message, "no reports") {
+				return true
+			}
+		}
+		return false
+	})
+	// The death shows up on the unified timeline too: the injected
+	// fault, the process exit, and the monitor alert, in order.
+	tl := h.Timeline()
+	if len(tl.Filter("fault")) == 0 || len(tl.Filter("exit")) == 0 || len(tl.Filter("alert")) == 0 {
+		t.Fatalf("timeline missing fault/exit/alert entries:\n%s", tl)
+	}
+}
+
+// TestScenarioHotUpgradeDisableEnable exercises the monitor's
+// disable/re-enable-after-upgrade path against a live worker: the
+// disabled worker deregisters (no respawn — the departure is
+// voluntary), the system keeps serving, and enabling brings it back.
+func TestScenarioHotUpgradeDisableEnable(t *testing.T) {
+	h := newHarness(t, Config{Seed: seed})
+	ctx := context.Background()
+
+	victim := h.pickWorker(0)
+	ws := h.Sys.WorkerStub(victim)
+	if ws == nil {
+		t.Fatalf("no stub for %s", victim)
+	}
+	addr := ws.Addr()
+	spawnsBefore := h.Sys.Manager().Stats().Spawns
+
+	if err := h.Sys.Mon.Disable(addr); err != nil {
+		t.Fatal(err)
+	}
+	if d := h.Sys.Mon.Disabled(); len(d) != 1 || d[0] != addr {
+		t.Fatalf("Disabled() = %v, want [%v]", d, addr)
+	}
+	waitFor(t, "worker deregistered for upgrade", func() bool {
+		return h.Sys.Manager().Stats().Workers == 1
+	})
+
+	// Still serving through the remaining worker.
+	for i := 0; i < 5; i++ {
+		rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		_, err := h.Sys.Request(rctx, fmt.Sprintf("http://chaos.example/u%d.bin", i), "u")
+		cancel()
+		if err != nil {
+			t.Fatalf("request %d failed during hot upgrade: %v", i, err)
+		}
+	}
+	// Voluntary departure must not trigger a replacement spawn.
+	if s := h.Sys.Manager().Stats().Spawns; s != spawnsBefore {
+		t.Fatalf("spawned %d replacements for a disabled worker", s-spawnsBefore)
+	}
+
+	if err := h.Sys.Mon.Enable(addr); err != nil {
+		t.Fatal(err)
+	}
+	if d := h.Sys.Mon.Disabled(); len(d) != 0 {
+		t.Fatalf("Disabled() = %v after enable", d)
+	}
+	waitFor(t, "worker re-registered after upgrade", func() bool {
+		return h.Sys.Manager().Stats().Workers == 2
+	})
+}
+
+// TestSoakKillAnything is the §4.3 closing experiment: kill something
+// every T seconds under background load, then verify the system
+// returns to steady-state capacity within 10% of the pre-fault
+// baseline. Skipped with -short.
+func TestSoakKillAnything(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	h := newHarness(t, Config{Seed: 7, FrontEnds: 2, DedicatedNodes: 12})
+	ctx := context.Background()
+
+	baseline := h.BaselineCapacity(ctx, 40)
+	if baseline < 0.95 {
+		t.Fatalf("pre-fault capacity only %.2f", baseline)
+	}
+
+	sched := RandomSoak(7, SoakOptions{Kills: 5, Every: 400 * time.Millisecond})
+	h.StartLoad(60, 400, 3*time.Second)
+	injected := h.Execute(ctx, sched)
+	if injected < 3 {
+		t.Fatalf("only %d kill cycles injected, want >= 3", injected)
+	}
+	load := h.StopLoad()
+
+	if !h.AwaitSteady(15 * time.Second) {
+		t.Fatalf("system did not return to steady state after the soak:\n%s", h.Timeline())
+	}
+	after, ok := h.RecoveredWithin(ctx, 40, 0.10)
+	if !ok {
+		t.Fatalf("post-soak capacity %.2f vs baseline %.2f (want within 10%%):\n%s",
+			after, baseline, h.Timeline())
+	}
+	if load.Issued == 0 {
+		t.Fatal("load generator issued nothing")
+	}
+	t.Logf("soak: %d faults, load %+v (success %.2f), capacity %.2f -> %.2f",
+		injected, load, load.SuccessRate(), baseline, after)
+}

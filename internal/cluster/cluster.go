@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/san"
 )
@@ -45,7 +46,8 @@ func (p ProcessFunc) Run(ctx context.Context) error { return p.Fn(ctx) }
 type ExitInfo struct {
 	Node string
 	Proc string
-	Err  error // nil for clean exit
+	Err  error     // nil for clean exit
+	At   time.Time // when the process exited
 }
 
 // Handle tracks a spawned process.
@@ -92,17 +94,21 @@ var (
 	ErrNoSuchNode = errors.New("cluster: no such node")
 	ErrNodeDown   = errors.New("cluster: node is down")
 	ErrDuplicate  = errors.New("cluster: duplicate process id on node")
+	ErrStopped    = errors.New("cluster: cluster is stopped")
 )
 
 // Cluster is a collection of nodes attached to one SAN.
 type Cluster struct {
 	net *san.Network
 
-	mu     sync.Mutex
-	nodes  map[string]*nodeState
-	order  []string // insertion order, for deterministic placement
-	exitCh chan ExitInfo
-	wg     sync.WaitGroup
+	mu        sync.Mutex
+	nodes     map[string]*nodeState
+	order     []string // insertion order, for deterministic placement
+	exitCh    chan ExitInfo
+	observers map[int]func(ExitInfo)
+	nextObs   int
+	stopping  bool // StopAll called: no further spawns
+	wg        sync.WaitGroup
 }
 
 type nodeState struct {
@@ -129,6 +135,46 @@ func (c *Cluster) Network() *san.Network { return c.net }
 // buffered and drops are impossible under normal test loads because
 // notify uses a blocking send guarded by the buffer size.
 func (c *Cluster) Exits() <-chan ExitInfo { return c.exitCh }
+
+// OnExit registers an observer invoked for every process exit (clean
+// or crash), independent of the Exits channel, so multiple consumers
+// — a chaos harness recording restart latencies, a supervisor wiring
+// respawn policies — can watch the same cluster without stealing each
+// other's notifications. Observers run synchronously on the exiting
+// process's goroutine and must be fast and non-blocking. The returned
+// function removes the observer.
+func (c *Cluster) OnExit(fn func(ExitInfo)) (remove func()) {
+	c.mu.Lock()
+	if c.observers == nil {
+		c.observers = make(map[int]func(ExitInfo))
+	}
+	id := c.nextObs
+	c.nextObs++
+	c.observers[id] = fn
+	c.mu.Unlock()
+	return func() {
+		c.mu.Lock()
+		delete(c.observers, id)
+		c.mu.Unlock()
+	}
+}
+
+// notifyExit fans an exit out to the channel and all observers.
+func (c *Cluster) notifyExit(info ExitInfo) {
+	select {
+	case c.exitCh <- info:
+	default: // never stall a dying process on a full channel
+	}
+	c.mu.Lock()
+	obs := make([]func(ExitInfo), 0, len(c.observers))
+	for _, fn := range c.observers {
+		obs = append(obs, fn)
+	}
+	c.mu.Unlock()
+	for _, fn := range obs {
+		fn(info)
+	}
+}
 
 // AddNode registers a workstation. Overflow nodes belong to the
 // overflow pool and are only used when dedicated capacity is
@@ -163,6 +209,14 @@ func (c *Cluster) Nodes() []Node {
 // Spawn places and starts a process on the named node.
 func (c *Cluster) Spawn(node string, p Process) (*Handle, error) {
 	c.mu.Lock()
+	if c.stopping {
+		// Refusing late spawns (e.g. a manager replacing a crashed
+		// worker while the whole system shuts down) keeps StopAll's
+		// wait finite: a process spawned after the kill snapshot
+		// would never be cancelled.
+		c.mu.Unlock()
+		return nil, ErrStopped
+	}
 	ns, ok := c.nodes[node]
 	if !ok {
 		c.mu.Unlock()
@@ -196,10 +250,7 @@ func (c *Cluster) Spawn(node string, p Process) (*Handle, error) {
 		}
 		c.mu.Unlock()
 		close(h.done)
-		select {
-		case c.exitCh <- ExitInfo{Node: node, Proc: p.ID(), Err: err}:
-		default: // never stall a dying process on a full channel
-		}
+		c.notifyExit(ExitInfo{Node: node, Proc: p.ID(), Err: err, At: time.Now()})
 	}()
 	return h, nil
 }
@@ -315,9 +366,11 @@ func snapshotNode(ns *nodeState) Node {
 }
 
 // StopAll cancels every process on every node and waits for all of
-// them to exit. Used for orderly shutdown of a whole system.
+// them to exit. Used for orderly shutdown of a whole system; the
+// cluster accepts no further spawns afterwards.
 func (c *Cluster) StopAll() {
 	c.mu.Lock()
+	c.stopping = true
 	var handles []*Handle
 	for _, ns := range c.nodes {
 		for _, h := range ns.procs {

@@ -252,3 +252,70 @@ func waitFor(t *testing.T, cond func() bool) {
 	}
 	t.Fatal("condition not met in time")
 }
+
+func TestOnExitObservers(t *testing.T) {
+	c := newTestCluster()
+	c.AddNode("n1", false)
+	var clean, crashed atomic.Int32
+	var last atomic.Value
+	remove := c.OnExit(func(info ExitInfo) {
+		if info.Err == nil {
+			clean.Add(1)
+		} else {
+			crashed.Add(1)
+		}
+		last.Store(info)
+	})
+
+	h, err := c.Spawn("n1", blockUntilCancel("p1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Stop()
+	waitFor(t, func() bool { return clean.Load() == 1 })
+	info := last.Load().(ExitInfo)
+	if info.Node != "n1" || info.Proc != "p1" || info.At.IsZero() {
+		t.Fatalf("exit info = %+v", info)
+	}
+
+	// A crashing process reports its error to observers too.
+	h2, err := c.Spawn("n1", ProcessFunc{Name: "p2", Fn: func(ctx context.Context) error {
+		return errors.New("boom")
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-h2.Done()
+	waitFor(t, func() bool { return crashed.Load() == 1 })
+
+	// Removed observers stop firing; the Exits channel still works.
+	remove()
+	h3, _ := c.Spawn("n1", blockUntilCancel("p3"))
+	h3.Stop()
+	select {
+	case info := <-c.Exits():
+		_ = info
+	case <-time.After(2 * time.Second):
+		t.Fatal("Exits channel starved")
+	}
+	if clean.Load() != 1 {
+		t.Fatalf("removed observer fired: clean=%d", clean.Load())
+	}
+}
+
+func TestSpawnAfterStopAllFails(t *testing.T) {
+	c := newTestCluster()
+	c.AddNode("n1", false)
+	h, err := c.Spawn("n1", blockUntilCancel("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = h
+	c.StopAll()
+	// The race this guards: a manager replacing a crashed worker
+	// concurrently with system shutdown must not leak an unkillable
+	// process past StopAll's wait.
+	if _, err := c.Spawn("n1", blockUntilCancel("late")); !errors.Is(err, ErrStopped) {
+		t.Fatalf("late spawn err = %v, want ErrStopped", err)
+	}
+}

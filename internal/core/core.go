@@ -65,6 +65,7 @@ type Config struct {
 	CallTimeout    time.Duration
 	FEThreads      int
 	CacheTTL       time.Duration
+	CacheTimeout   time.Duration // per-lookup vcache bound (0 = client default)
 	MinDistillSize int
 	// CacheServiceTime optionally models per-hit cache cost (§4.4).
 	CacheServiceTime func() time.Duration
@@ -131,6 +132,7 @@ type System struct {
 	feNodes     map[string]string
 	feOrder     []string
 	workerNodes map[string]string
+	workerStubs map[string]*stub.WorkerStub
 
 	workerSeq atomic.Int64
 	rr        atomic.Uint64
@@ -147,6 +149,7 @@ func Start(cfg Config) (*System, error) {
 		fes:         make(map[string]*frontend.FrontEnd),
 		feNodes:     make(map[string]string),
 		workerNodes: make(map[string]string),
+		workerStubs: make(map[string]*stub.WorkerStub),
 	}
 	s.Net = san.NewNetwork(cfg.Seed)
 	s.Cluster = cluster.New(s.Net)
@@ -337,6 +340,7 @@ func (s *System) spawnFrontEnd(name, node string) error {
 		CacheNodes:        s.cacheNodes,
 		Threads:           s.cfg.FEThreads,
 		CacheTTL:          s.cfg.CacheTTL,
+		CacheTimeout:      s.cfg.CacheTimeout,
 		HeartbeatInterval: s.cfg.BeaconInterval,
 		MinDistillSize:    s.cfg.MinDistillSize,
 		ManagerStub: stub.ManagerStubConfig{
@@ -481,6 +485,7 @@ func (sp *spawner) SpawnWorker(class string, overflow bool) (stub.WorkerInfo, er
 	}
 	s.mu.Lock()
 	s.workerNodes[id] = node
+	s.workerStubs[id] = ws
 	s.mu.Unlock()
 	return ws.Info(), nil
 }
@@ -492,6 +497,7 @@ func (sp *spawner) ReapWorker(id string) error {
 	node, ok := s.workerNodes[id]
 	if ok {
 		delete(s.workerNodes, id)
+		delete(s.workerStubs, id)
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -545,6 +551,7 @@ func (s *System) KillWorker(id string) error {
 	node, ok := s.workerNodes[id]
 	if ok {
 		delete(s.workerNodes, id)
+		delete(s.workerStubs, id)
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -593,6 +600,30 @@ func (s *System) Workers() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// WorkerStub returns the live stub for a tracked worker id (nil if
+// unknown), giving chaos harnesses access to the per-worker fault
+// injection knobs (InjectSlowdown, InjectHang).
+func (s *System) WorkerStub(id string) *stub.WorkerStub {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.workerStubs[id]
+}
+
+// WorkerNode returns the node hosting a tracked worker ("" if
+// unknown).
+func (s *System) WorkerNode(id string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.workerNodes[id]
+}
+
+// FrontEndNode returns the node hosting a front end ("" if unknown).
+func (s *System) FrontEndNode(name string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.feNodes[name]
 }
 
 // CacheNodes returns the cache partition addresses.

@@ -75,6 +75,13 @@ type Config struct {
 	FetchTimeout time.Duration
 	// HeartbeatInterval paces FE heartbeats to the manager.
 	HeartbeatInterval time.Duration
+	// CacheTimeout bounds one virtual-cache round trip; an
+	// unreachable cache partition reads as a miss after this long
+	// (BASE: the cache is never a correctness dependency). Zero
+	// keeps the vcache client default (2 s). Chaos scenarios that
+	// partition the cache group tighten it so fallback-to-origin is
+	// fast.
+	CacheTimeout time.Duration
 	// MinDistillSize: objects at or below this bypass distillation
 	// (1 KB threshold, §4.1).
 	MinDistillSize int
@@ -157,11 +164,19 @@ func New(cfg Config) *FrontEnd {
 	fe := &FrontEnd{cfg: cfg, jobs: make(chan job, cfg.QueueCap)}
 	fe.ep = cfg.Net.Endpoint(fe.addr(), 4096)
 	fe.mstub = stub.NewManagerStub(fe.ep, cfg.ManagerStub)
-	fe.cache = vcache.NewClient(fe.ep)
-	for name, addr := range cfg.CacheNodes {
-		fe.cache.AddNode(name, addr)
-	}
+	fe.cache = fe.newCacheClient()
 	return fe
+}
+
+func (fe *FrontEnd) newCacheClient() *vcache.Client {
+	c := vcache.NewClient(fe.ep)
+	if fe.cfg.CacheTimeout > 0 {
+		c.Timeout = fe.cfg.CacheTimeout
+	}
+	for name, addr := range fe.cfg.CacheNodes {
+		c.AddNode(name, addr)
+	}
+	return c
 }
 
 func (fe *FrontEnd) addr() san.Addr { return san.Addr{Node: fe.cfg.Node, Proc: fe.cfg.Name} }
@@ -203,10 +218,7 @@ func (fe *FrontEnd) Run(ctx context.Context) error {
 	if fe.ep == nil || !fe.cfg.Net.Lookup(fe.addr()) {
 		fe.ep = fe.cfg.Net.Endpoint(fe.addr(), 4096)
 		fe.mstub = stub.NewManagerStub(fe.ep, fe.cfg.ManagerStub)
-		fe.cache = vcache.NewClient(fe.ep)
-		for name, addr := range fe.cfg.CacheNodes {
-			fe.cache.AddNode(name, addr)
-		}
+		fe.cache = fe.newCacheClient()
 	}
 	ep := fe.ep
 	defer ep.Close()

@@ -220,6 +220,20 @@ func (m *Monitor) Enable(addr san.Addr) error {
 	return m.ep.Send(addr, stub.MsgEnable, nil, 16)
 }
 
+// Disabled lists components currently disabled for upgrade, sorted by
+// address, so operators (and chaos assertions) can see an upgrade in
+// progress.
+func (m *Monitor) Disabled() []san.Addr {
+	m.mu.Lock()
+	out := make([]san.Addr, 0, len(m.disabled))
+	for a := range m.disabled {
+		out = append(out, a)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
 // RenderTable renders the system view as text — the visualization
 // panel's textual equivalent.
 func (m *Monitor) RenderTable() string {

@@ -197,6 +197,40 @@ func (n *Network) Partition(groups map[string]int) {
 // Heal removes all partitions.
 func (n *Network) Heal() { n.Partition(nil) }
 
+// LossBurst raises loss probabilities to (p2p, mcast) for dur, then
+// restores the values that were in effect when the burst began — a
+// scheduled impairment for chaos scripts reproducing the paper's SAN
+// saturation bursts (§4.6). The returned timer can cancel the
+// restore; overlapping bursts restore whatever each one captured, so
+// chaos schedules should serialize them.
+func (n *Network) LossBurst(p2p, mcast float64, dur time.Duration) *time.Timer {
+	var prevP2P, prevMcast float64
+	n.mutate(func(s *netState) {
+		prevP2P, prevMcast = s.lossP, s.mcastLossP
+		s.lossP, s.mcastLossP = p2p, mcast
+	})
+	return time.AfterFunc(dur, func() { n.SetLoss(prevP2P, prevMcast) })
+}
+
+// PartitionFor partitions the network for dur, then restores the
+// partition map that was in effect when it was called — the scheduled
+// form of Partition/Heal for scripted fault injection. The returned
+// timer can cancel the restore. Like LossBurst, overlapping calls
+// restore whatever each one captured; serialize them in schedules.
+func (n *Network) PartitionFor(groups map[string]int, dur time.Duration) *time.Timer {
+	var prev map[string]int
+	n.mutate(func(s *netState) {
+		prev = s.partition
+		s.partition = make(map[string]int, len(groups))
+		for node, g := range groups {
+			s.partition[node] = g
+		}
+	})
+	return time.AfterFunc(dur, func() {
+		n.mutate(func(s *netState) { s.partition = prev })
+	})
+}
+
 // Stats returns a snapshot of network counters.
 func (n *Network) Stats() Stats {
 	return Stats{

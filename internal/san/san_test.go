@@ -326,3 +326,61 @@ func TestAddrString(t *testing.T) {
 		t.Fatal("IsZero broken")
 	}
 }
+
+func TestLossBurstRestoresPriorLoss(t *testing.T) {
+	n := NewNetwork(1)
+	a := n.Endpoint(addr("n1", "a"), 256)
+	b := n.Endpoint(addr("n2", "b"), 256)
+
+	n.SetLoss(0, 0)
+	n.LossBurst(1, 1, 30*time.Millisecond) // drop everything briefly
+	if err := a.Send(b.Addr(), "k", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Stats().Dropped; got != 1 {
+		t.Fatalf("dropped = %d during burst", got)
+	}
+	// After the burst the pre-burst (lossless) config returns.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := a.Send(b.Addr(), "k", nil, 1); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-b.Inbox():
+			return // delivered: loss restored to 0
+		case <-time.After(5 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("loss never restored after burst")
+		}
+	}
+}
+
+func TestPartitionForHeals(t *testing.T) {
+	n := NewNetwork(1)
+	a := n.Endpoint(addr("n1", "a"), 256)
+	b := n.Endpoint(addr("n2", "b"), 256)
+
+	n.PartitionFor(map[string]int{"n2": 1}, 30*time.Millisecond)
+	if err := a.Send(b.Addr(), "k", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Stats().Dropped; got != 1 {
+		t.Fatalf("dropped = %d across partition", got)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := a.Send(b.Addr(), "k", nil, 1); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-b.Inbox():
+			return // healed
+		case <-time.After(5 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("partition never healed")
+		}
+	}
+}

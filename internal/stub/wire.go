@@ -8,6 +8,11 @@
 package stub
 
 import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
 	"time"
 
 	"repro/internal/san"
@@ -131,3 +136,428 @@ const (
 	DefaultWorkerTTL      = 5 * DefaultReportInterval
 	DefaultCallTimeout    = 2 * time.Second
 )
+
+// ---------------------------------------------------------------------------
+// Wire codec.
+//
+// The in-process SAN passes message bodies as Go values, but a
+// production deployment serializes them. EncodeBody/DecodeBody define
+// that wire format: a compact, deterministic binary encoding (strings
+// and byte slices are uvarint-length-prefixed, maps are emitted in
+// sorted key order so equal values encode to equal bytes, floats are
+// IEEE-754 bits). DecodeBody is total: malformed input yields an
+// error, never a panic or an unbounded allocation — the property the
+// FuzzWireRoundTrip fuzzer hammers on.
+
+// ErrWireFormat reports a malformed or truncated wire message.
+var ErrWireFormat = errors.New("stub: malformed wire message")
+
+// EncodeBody serializes a message body for the given kind. Kinds
+// without a registered body layout (control signals like MsgShutdown)
+// encode a nil body as empty bytes.
+func EncodeBody(kind string, body any) ([]byte, error) {
+	w := &wireWriter{}
+	switch kind {
+	case MsgBeacon:
+		b, ok := body.(Beacon)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s wants Beacon, got %T", ErrWireFormat, kind, body)
+		}
+		w.addr(b.Manager)
+		w.u64(b.Seq)
+		w.uvarint(uint64(len(b.Workers)))
+		for _, wi := range b.Workers {
+			w.workerInfo(wi)
+		}
+	case MsgRegister:
+		m, ok := body.(RegisterMsg)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s wants RegisterMsg, got %T", ErrWireFormat, kind, body)
+		}
+		w.workerInfo(m.Info)
+	case MsgDeregister:
+		m, ok := body.(DeregisterMsg)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s wants DeregisterMsg, got %T", ErrWireFormat, kind, body)
+		}
+		w.str(m.ID)
+	case MsgLoadReport:
+		m, ok := body.(LoadReport)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s wants LoadReport, got %T", ErrWireFormat, kind, body)
+		}
+		w.str(m.ID)
+		w.str(m.Class)
+		w.varint(int64(m.QLen))
+		w.f64(m.CostMs)
+		w.u64(m.Done)
+		w.u64(m.Errors)
+		w.u64(m.Crashes)
+		w.workerInfo(m.Info)
+	case MsgTask:
+		m, ok := body.(TaskMsg)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s wants TaskMsg, got %T", ErrWireFormat, kind, body)
+		}
+		w.str(m.Task.Key)
+		w.blob(m.Task.Input)
+		w.uvarint(uint64(len(m.Task.Inputs)))
+		for _, b := range m.Task.Inputs {
+			w.blob(b)
+		}
+		w.strMap(m.Task.Profile)
+		w.strMap(m.Task.Params)
+	case MsgResult:
+		m, ok := body.(ResultMsg)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s wants ResultMsg, got %T", ErrWireFormat, kind, body)
+		}
+		w.blob(m.Blob)
+		w.str(m.Err)
+	case MsgFEHello:
+		m, ok := body.(FEHeartbeat)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s wants FEHeartbeat, got %T", ErrWireFormat, kind, body)
+		}
+		w.str(m.Name)
+		w.addr(m.Addr)
+		w.str(m.Node)
+	case MsgSpawnReq:
+		m, ok := body.(SpawnReq)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s wants SpawnReq, got %T", ErrWireFormat, kind, body)
+		}
+		w.str(m.Class)
+	case MsgMonReport:
+		m, ok := body.(StatusReport)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s wants StatusReport, got %T", ErrWireFormat, kind, body)
+		}
+		w.str(m.Component)
+		w.str(m.Kind)
+		w.str(m.Node)
+		w.f64Map(m.Metrics)
+	default:
+		if body != nil {
+			return nil, fmt.Errorf("%w: kind %q carries no body layout", ErrWireFormat, kind)
+		}
+	}
+	return w.buf, nil
+}
+
+// DecodeBody parses a message body for the given kind. The returned
+// value has the same concrete type EncodeBody accepts for that kind.
+func DecodeBody(kind string, data []byte) (any, error) {
+	r := &wireReader{buf: data}
+	var body any
+	switch kind {
+	case MsgBeacon:
+		var b Beacon
+		b.Manager = r.addr()
+		b.Seq = r.u64()
+		n := r.sliceLen(wireMinWorkerInfo)
+		if n > 0 {
+			b.Workers = make([]WorkerInfo, 0, n)
+			for i := 0; i < n; i++ {
+				b.Workers = append(b.Workers, r.workerInfo())
+			}
+		}
+		body = b
+	case MsgRegister:
+		body = RegisterMsg{Info: r.workerInfo()}
+	case MsgDeregister:
+		body = DeregisterMsg{ID: r.str()}
+	case MsgLoadReport:
+		var m LoadReport
+		m.ID = r.str()
+		m.Class = r.str()
+		m.QLen = int(r.varint())
+		m.CostMs = r.f64()
+		m.Done = r.u64()
+		m.Errors = r.u64()
+		m.Crashes = r.u64()
+		m.Info = r.workerInfo()
+		body = m
+	case MsgTask:
+		var m TaskMsg
+		m.Task.Key = r.str()
+		m.Task.Input = r.blob()
+		n := r.sliceLen(wireMinBlob)
+		if n > 0 {
+			m.Task.Inputs = make([]tacc.Blob, 0, n)
+			for i := 0; i < n; i++ {
+				m.Task.Inputs = append(m.Task.Inputs, r.blob())
+			}
+		}
+		m.Task.Profile = r.strMap()
+		m.Task.Params = r.strMap()
+		body = m
+	case MsgResult:
+		body = ResultMsg{Blob: r.blob(), Err: r.str()}
+	case MsgFEHello:
+		body = FEHeartbeat{Name: r.str(), Addr: r.addr(), Node: r.str()}
+	case MsgSpawnReq:
+		body = SpawnReq{Class: r.str()}
+	case MsgMonReport:
+		body = StatusReport{Component: r.str(), Kind: r.str(), Node: r.str(), Metrics: r.f64Map()}
+	default:
+		if len(data) != 0 {
+			return nil, fmt.Errorf("%w: kind %q carries no body layout", ErrWireFormat, kind)
+		}
+		return nil, nil
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != r.pos {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrWireFormat, len(r.buf)-r.pos)
+	}
+	return body, nil
+}
+
+// WireKinds lists every kind with a registered body layout, sorted —
+// the fuzzer's kind table.
+func WireKinds() []string {
+	return []string{
+		MsgBeacon, MsgDeregister, MsgFEHello, MsgLoadReport, MsgMonReport,
+		MsgRegister, MsgResult, MsgSpawnReq, MsgTask,
+	}
+}
+
+// Minimum encoded sizes, used to bound slice preallocation against
+// attacker-controlled counts: a claimed N-element slice needs at
+// least N*min bytes of remaining input.
+const (
+	wireMinWorkerInfo = 7 // 4 empty strings + f64 varint + bool + 2 more strings? conservative floor
+	wireMinBlob       = 3 // empty MIME + empty data + empty meta
+)
+
+type wireWriter struct{ buf []byte }
+
+func (w *wireWriter) uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *wireWriter) varint(v int64)   { w.buf = binary.AppendVarint(w.buf, v) }
+func (w *wireWriter) u64(v uint64)     { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *wireWriter) f64(v float64)    { w.u64(math.Float64bits(v)) }
+func (w *wireWriter) bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	w.buf = append(w.buf, b)
+}
+
+func (w *wireWriter) bytes(b []byte) {
+	w.uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+func (w *wireWriter) str(s string) { w.bytes([]byte(s)) }
+
+func (w *wireWriter) addr(a san.Addr) {
+	w.str(a.Node)
+	w.str(a.Proc)
+}
+
+func (w *wireWriter) workerInfo(i WorkerInfo) {
+	w.str(i.ID)
+	w.str(i.Class)
+	w.addr(i.Addr)
+	w.str(i.Node)
+	w.f64(i.QLen)
+	w.bool(i.Overflow)
+}
+
+func (w *wireWriter) blob(b tacc.Blob) {
+	w.str(b.MIME)
+	w.bytes(b.Data)
+	w.strMap(b.Meta)
+}
+
+// strMap encodes a map in sorted key order: equal maps always yield
+// equal bytes.
+func (w *wireWriter) strMap(m map[string]string) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.str(k)
+		w.str(m[k])
+	}
+}
+
+func (w *wireWriter) f64Map(m map[string]float64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.str(k)
+		w.f64(m[k])
+	}
+}
+
+// wireReader parses with sticky errors: after the first failure every
+// accessor returns zero values, so decode paths need no per-field
+// error plumbing.
+type wireReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *wireReader) fail() {
+	if r.err == nil {
+		r.err = ErrWireFormat
+	}
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *wireReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *wireReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.pos:])
+	r.pos += 8
+	return v
+}
+
+func (r *wireReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *wireReader) bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.pos >= len(r.buf) {
+		r.fail()
+		return false
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	if b > 1 {
+		r.fail()
+		return false
+	}
+	return b == 1
+}
+
+func (r *wireReader) bytes() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.pos) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.pos:])
+	r.pos += int(n)
+	return out
+}
+
+func (r *wireReader) str() string { return string(r.bytes()) }
+
+// sliceLen reads an element count and bounds it by the bytes left:
+// each element needs at least min bytes, so a count the remaining
+// input cannot possibly satisfy is rejected before any allocation.
+func (r *wireReader) sliceLen(min int) int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64((len(r.buf)-r.pos)/min)+1 {
+		r.fail()
+		return 0
+	}
+	return int(n)
+}
+
+func (r *wireReader) addr() san.Addr {
+	return san.Addr{Node: r.str(), Proc: r.str()}
+}
+
+func (r *wireReader) workerInfo() WorkerInfo {
+	return WorkerInfo{
+		ID:       r.str(),
+		Class:    r.str(),
+		Addr:     r.addr(),
+		Node:     r.str(),
+		QLen:     r.f64(),
+		Overflow: r.bool(),
+	}
+}
+
+func (r *wireReader) blob() tacc.Blob {
+	return tacc.Blob{MIME: r.str(), Data: r.bytes(), Meta: r.strMap()}
+}
+
+func (r *wireReader) strMap() map[string]string {
+	n := r.sliceLen(2)
+	if n == 0 {
+		return nil
+	}
+	m := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := r.str()
+		v := r.str()
+		if r.err != nil {
+			return nil
+		}
+		m[k] = v
+	}
+	return m
+}
+
+func (r *wireReader) f64Map() map[string]float64 {
+	n := r.sliceLen(9)
+	if n == 0 {
+		return nil
+	}
+	m := make(map[string]float64, n)
+	for i := 0; i < n; i++ {
+		k := r.str()
+		v := r.f64()
+		if r.err != nil {
+			return nil
+		}
+		m[k] = v
+	}
+	return m
+}

@@ -1,0 +1,148 @@
+package stub
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/san"
+	"repro/internal/tacc"
+)
+
+// wireSamples are representative protocol messages — the values the
+// existing stub/manager tests pass over the in-process SAN — used
+// both as the round-trip unit corpus and as fuzz seeds.
+func wireSamples() map[string]any {
+	w0 := WorkerInfo{
+		ID: "w0", Class: "echo",
+		Addr: san.Addr{Node: "n1", Proc: "w0"}, Node: "n1",
+		QLen: 2.5,
+	}
+	ovf := WorkerInfo{
+		ID: "sjpg.3", Class: "distill-sjpg",
+		Addr: san.Addr{Node: "ovf0", Proc: "sjpg.3"}, Node: "ovf0",
+		QLen: 17.25, Overflow: true,
+	}
+	return map[string]any{
+		MsgBeacon: Beacon{
+			Manager: san.Addr{Node: "mgr", Proc: "manager"},
+			Seq:     42,
+			Workers: []WorkerInfo{w0, ovf},
+		},
+		MsgRegister:   RegisterMsg{Info: w0},
+		MsgDeregister: DeregisterMsg{ID: "w0"},
+		MsgLoadReport: LoadReport{
+			ID: "w0", Class: "echo", QLen: 10, CostMs: 3.75,
+			Done: 100, Errors: 2, Crashes: 1, Info: w0,
+		},
+		MsgTask: TaskMsg{Task: tacc.Task{
+			Key:   "http://origin1.example/obj42.sjpg",
+			Input: tacc.Blob{MIME: "image/sjpg", Data: []byte("payload"), Meta: map[string]string{"orig": "1024"}},
+			Inputs: []tacc.Blob{
+				{MIME: "text/html", Data: []byte("<p>hi</p>")},
+				{MIME: "image/sgif", Data: []byte{0, 1, 2}},
+			},
+			Profile: map[string]string{"quality": "low", "width": "320"},
+			Params:  map[string]string{"minsize": "0"},
+		}},
+		MsgResult: ResultMsg{
+			Blob: tacc.Blob{MIME: "image/sjpg", Data: []byte("distilled")},
+			Err:  "",
+		},
+		MsgFEHello: FEHeartbeat{Name: "fe0", Addr: san.Addr{Node: "fe", Proc: "fe0"}, Node: "fe"},
+		MsgSpawnReq: SpawnReq{Class: "echo"},
+		MsgMonReport: StatusReport{
+			Component: "w0", Kind: "worker", Node: "n1",
+			Metrics: map[string]float64{"qlen": 3, "costMs": 1.5, "done": 7},
+		},
+	}
+}
+
+// TestWireRoundTrip: encode -> decode restores every sample exactly.
+func TestWireRoundTrip(t *testing.T) {
+	for kind, body := range wireSamples() {
+		data, err := EncodeBody(kind, body)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", kind, err)
+		}
+		got, err := DecodeBody(kind, data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", kind, err)
+		}
+		if !reflect.DeepEqual(got, body) {
+			t.Fatalf("%s: round trip mismatch:\n got %#v\nwant %#v", kind, got, body)
+		}
+	}
+}
+
+// TestWireDeterministic: equal values encode to equal bytes (maps are
+// emitted in sorted order).
+func TestWireDeterministic(t *testing.T) {
+	for kind, body := range wireSamples() {
+		a, _ := EncodeBody(kind, body)
+		b, _ := EncodeBody(kind, body)
+		if string(a) != string(b) {
+			t.Fatalf("%s: nondeterministic encoding", kind)
+		}
+	}
+}
+
+// TestWireRejectsWrongType and truncation: the codec errors cleanly.
+func TestWireRejects(t *testing.T) {
+	if _, err := EncodeBody(MsgBeacon, DeregisterMsg{}); err == nil {
+		t.Fatal("encode accepted a mismatched body type")
+	}
+	data, err := EncodeBody(MsgBeacon, wireSamples()[MsgBeacon])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := DecodeBody(MsgBeacon, data[:cut]); err == nil {
+			t.Fatalf("decode accepted truncation at %d/%d bytes", cut, len(data))
+		}
+	}
+	if _, err := DecodeBody(MsgBeacon, append(append([]byte{}, data...), 0)); err == nil {
+		t.Fatal("decode accepted trailing garbage")
+	}
+	if _, err := DecodeBody(MsgShutdown, []byte{1}); err == nil {
+		t.Fatal("decode accepted a body for a body-less kind")
+	}
+}
+
+// FuzzWireRoundTrip fuzzes DecodeBody across every message kind:
+// arbitrary bytes must never panic or over-allocate, and any input
+// that decodes successfully must re-encode and re-decode to the same
+// value (the codec is canonical on its own output).
+func FuzzWireRoundTrip(f *testing.F) {
+	kinds := WireKinds()
+	for i, kind := range kinds {
+		data, err := EncodeBody(kind, wireSamples()[kind])
+		if err != nil {
+			f.Fatalf("%s: seed encode: %v", kind, err)
+		}
+		f.Add(i, data)
+	}
+	f.Add(0, []byte{})
+	f.Add(1, []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f})
+
+	f.Fuzz(func(t *testing.T, kindIdx int, data []byte) {
+		if kindIdx < 0 {
+			kindIdx = -kindIdx
+		}
+		kind := kinds[kindIdx%len(kinds)]
+		body, err := DecodeBody(kind, data)
+		if err != nil {
+			return // malformed input rejected cleanly: fine
+		}
+		re, err := EncodeBody(kind, body)
+		if err != nil {
+			t.Fatalf("%s: value %#v decoded but failed to re-encode: %v", kind, body, err)
+		}
+		body2, err := DecodeBody(kind, re)
+		if err != nil {
+			t.Fatalf("%s: re-encoded bytes failed to decode: %v", kind, err)
+		}
+		if !reflect.DeepEqual(body, body2) {
+			t.Fatalf("%s: canonical round trip mismatch:\n got %#v\nwant %#v", kind, body2, body)
+		}
+	})
+}

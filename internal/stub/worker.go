@@ -60,10 +60,26 @@ type WorkerStub struct {
 	crashes atomic.Uint64
 	costMs  atomic.Uint64 // EWMA of task cost, microseconds, stored *1
 
+	// Fault injection (chaos testing): an artificial per-task delay
+	// and a hang switch, both honored by the process loop. A hung
+	// worker keeps queueing tasks and reporting load (its queue
+	// visibly grows) but completes nothing — the gray-failure mode
+	// timeouts must catch, distinct from a crash.
+	slowdown atomic.Int64 // nanoseconds added to every task
+	hung     atomic.Bool
+
 	mu       sync.Mutex
 	manager  san.Addr
 	disabled bool
 }
+
+// InjectSlowdown adds d to every subsequent task execution (zero
+// removes the fault). Chaos harness knob.
+func (s *WorkerStub) InjectSlowdown(d time.Duration) { s.slowdown.Store(int64(d)) }
+
+// InjectHang stops (true) or resumes (false) task completion without
+// killing the process. Chaos harness knob.
+func (s *WorkerStub) InjectHang(h bool) { s.hung.Store(h) }
 
 // NewWorkerStub creates a stub and eagerly registers its SAN endpoint.
 func NewWorkerStub(name, node string, w tacc.Worker, net *san.Network, cfg WorkerConfig) *WorkerStub {
@@ -223,6 +239,20 @@ func (s *WorkerStub) processLoop(ctx context.Context, crashed chan<- any) {
 		case <-ctx.Done():
 			return
 		case msg := <-s.queue:
+			for s.hung.Load() {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(2 * time.Millisecond):
+				}
+			}
+			if d := time.Duration(s.slowdown.Load()); d > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(d):
+				}
+			}
 			start := time.Now()
 			blob, err, panicked := s.runTask(ctx, msg)
 			s.qlen.Add(-1)

@@ -1,0 +1,149 @@
+package vcache
+
+// Property test: a multi-shard Partition is observationally
+// equivalent to the classic single-LRU implementation
+// (NewPartitionShards(..., 1)) whenever the working set fits — the
+// sharding is a lock-splitting optimization, not a semantic change —
+// and both respect the byte-budget ceiling unconditionally.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source shared by both
+// partitions so TTL expiry is deterministic and identical.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// TestShardedEquivalentToSingleLRU drives a seeded random op stream
+// (put/inject/get/remove/clock-advance) against a 16-shard partition
+// and a 1-shard partition with the same budget. The working set is
+// kept below any single shard's budget slice, so no evictions can
+// occur in either; every observable — per-get hit/miss and returned
+// bytes, object count, used bytes, hit/miss counters — must agree at
+// every step.
+func TestShardedEquivalentToSingleLRU(t *testing.T) {
+	const (
+		budget  = 16 * 4096 // per-shard slice: 4096
+		keys    = 30
+		maxSize = 32 // 30*(32+keylen) << 4096: eviction-free in both
+		ops     = 4000
+	)
+	for seedN := int64(1); seedN <= 5; seedN++ {
+		seedN := seedN
+		t.Run(fmt.Sprintf("seed%d", seedN), func(t *testing.T) {
+			clock := &fakeClock{now: time.Unix(1000, 0)}
+			sharded := NewPartitionShards(budget, clock.Now, 16)
+			single := NewPartitionShards(budget, clock.Now, 1)
+			if sharded.Shards() != 16 || single.Shards() != 1 {
+				t.Fatalf("shard counts = %d/%d", sharded.Shards(), single.Shards())
+			}
+			rng := rand.New(rand.NewSource(seedN))
+			key := func() string { return fmt.Sprintf("k%02d", rng.Intn(keys)) }
+			for i := 0; i < ops; i++ {
+				switch op := rng.Intn(10); {
+				case op < 3: // put
+					k := key()
+					data := make([]byte, 1+rng.Intn(maxSize))
+					for j := range data {
+						data[j] = byte(rng.Intn(256))
+					}
+					var ttl time.Duration
+					if rng.Intn(3) == 0 {
+						ttl = time.Duration(1+rng.Intn(50)) * time.Millisecond
+					}
+					sharded.Put(k, data, "m", ttl)
+					single.Put(k, data, "m", ttl)
+				case op < 4: // inject
+					k := key()
+					data := []byte{byte(i), byte(i >> 8)}
+					sharded.Inject(k, data, "j", 0)
+					single.Inject(k, data, "j", 0)
+				case op < 5: // remove
+					k := key()
+					a := sharded.Remove(k)
+					b := single.Remove(k)
+					if a != b {
+						t.Fatalf("op %d: Remove(%s) = %v vs %v", i, k, a, b)
+					}
+				case op < 6: // advance the clock (expire TTLs)
+					clock.Advance(time.Duration(rng.Intn(40)) * time.Millisecond)
+				default: // get
+					k := key()
+					ea, oka := sharded.Get(k)
+					eb, okb := single.Get(k)
+					if oka != okb {
+						t.Fatalf("op %d: Get(%s) hit = %v vs %v", i, k, oka, okb)
+					}
+					if oka && (string(ea.Data) != string(eb.Data) || ea.MIME != eb.MIME) {
+						t.Fatalf("op %d: Get(%s) returned different entries", i, k)
+					}
+				}
+				if sharded.Len() != single.Len() {
+					t.Fatalf("op %d: Len %d vs %d", i, sharded.Len(), single.Len())
+				}
+				if sharded.Used() != single.Used() {
+					t.Fatalf("op %d: Used %d vs %d", i, sharded.Used(), single.Used())
+				}
+			}
+			sa, sb := sharded.Stats(), single.Stats()
+			if sa.Hits != sb.Hits || sa.Misses != sb.Misses || sa.Evictions != sb.Evictions ||
+				sa.Expired != sb.Expired || sa.Puts != sb.Puts || sa.Injects != sb.Injects {
+				t.Fatalf("stats diverged:\nsharded: %+v\nsingle:  %+v", sa, sb)
+			}
+			if sa.Evictions != 0 {
+				t.Fatalf("working set was supposed to be eviction-free, saw %d evictions", sa.Evictions)
+			}
+		})
+	}
+}
+
+// TestShardedBudgetCeiling overflows both variants with a hot stream
+// far beyond the budget: used bytes must never exceed the configured
+// ceiling in either (per-shard slices sum to the whole budget), even
+// though the two may legally differ in *which* objects survive once
+// eviction starts.
+func TestShardedBudgetCeiling(t *testing.T) {
+	const budget = 8192
+	clock := &fakeClock{now: time.Unix(1000, 0)}
+	sharded := NewPartitionShards(budget, clock.Now, 16)
+	single := NewPartitionShards(budget, clock.Now, 1)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("key%04d", rng.Intn(800))
+		data := make([]byte, 1+rng.Intn(600))
+		sharded.Put(k, data, "m", 0)
+		single.Put(k, data, "m", 0)
+		if u := sharded.Used(); u > budget {
+			t.Fatalf("op %d: sharded used %d > budget %d", i, u, budget)
+		}
+		if u := single.Used(); u > budget {
+			t.Fatalf("op %d: single used %d > budget %d", i, u, budget)
+		}
+		if rng.Intn(4) == 0 {
+			sharded.Get(k)
+			single.Get(k)
+		}
+	}
+	if sharded.Stats().Evictions == 0 || single.Stats().Evictions == 0 {
+		t.Fatal("overflow stream was supposed to force evictions")
+	}
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Coverage regression gate: run the short test suite with coverage and
+# fail if total statement coverage drops more than 2 points below the
+# committed baseline (coverage_baseline.txt). Regenerate the baseline
+# intentionally with: scripts/coverage_check.sh --update
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline_file=coverage_baseline.txt
+profile=$(mktemp)
+trap 'rm -f "$profile"' EXIT
+
+go test -short -count=1 -coverprofile="$profile" ./... > /dev/null
+
+total=$(go tool cover -func="$profile" | awk '/^total:/ {gsub(/%/,"",$3); print $3}')
+
+if [ "${1:-}" = "--update" ]; then
+  {
+    echo "# Coverage baseline — regenerate with scripts/coverage_check.sh --update"
+    echo "# The CI gate fails when total drops >2 points below this."
+    echo "total ${total}"
+    echo "#"
+    echo "# Per-package snapshot (informational):"
+    go test -short -count=1 -cover ./... 2>/dev/null \
+      | awk '$1 == "ok" && $4 == "coverage:" && $5 ~ /%$/ {gsub(/%/,"",$5); printf "# %-32s %s\n", $2, $5}'
+  } > "$baseline_file"
+  echo "baseline updated: total ${total}%"
+  exit 0
+fi
+
+baseline=$(awk '$1 == "total" {print $2}' "$baseline_file")
+echo "total coverage: ${total}% (baseline ${baseline}%, gate: baseline - 2.0)"
+ok=$(awk -v t="$total" -v b="$baseline" 'BEGIN { print (t+0 >= b - 2.0) ? 1 : 0 }')
+if [ "$ok" != "1" ]; then
+  echo "FAIL: total coverage ${total}% is more than 2 points below the committed baseline ${baseline}%" >&2
+  echo "If the drop is intentional, regenerate with scripts/coverage_check.sh --update" >&2
+  exit 1
+fi
