@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race cover fuzz-smoke bench-snapshot chaos-soak
+.PHONY: build test test-short race cover fuzz-smoke bench-snapshot bench-diff bench-wire chaos-soak
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,16 @@ fuzz-smoke:
 # perf trajectory is a diffable artifact.
 bench-snapshot:
 	$(GO) run ./cmd/experiments -snapshot auto
+
+# Regression gate: fresh snapshot vs the newest committed baseline;
+# fails on >20% drift of any seed-deterministic metric. CI runs this.
+bench-diff:
+	./scripts/bench_diff.sh
+
+# Only the codec/SAN wire benchmarks, for quick local iteration on the
+# serialization hot path.
+bench-wire:
+	$(GO) test -run='^$$' -bench='Wire' -benchmem -count=1 ./internal/stub .
 
 # The randomized kill-anything soak plus the full chaos suite.
 chaos-soak:

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -301,6 +302,132 @@ func BenchmarkChaosKillRestartCycle(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Milliseconds())/float64(b.N), "recovery-ms")
+}
+
+// --- Wire-path benchmarks -------------------------------------------------
+//
+// Matched passthrough/wire pairs over the same traffic shape, so the
+// serialization overhead of wire mode is a direct A/B read (the
+// acceptance bar: wire Send ≤ 1.5x passthrough in the parallel SAN
+// bench, steady-state encode allocs ~0 via pooling).
+
+// benchSANSendParallel is the shared body of the send pairs: many
+// concurrent sender/receiver pairs, 1% loss to keep the rng hot,
+// mirroring san.BenchmarkSANSendParallel's traffic shape.
+func benchSANSendParallel(b *testing.B, net *san.Network, kind string, body any) {
+	net.SetLoss(0.01, 0)
+	var next atomic.Int64
+	b.SetBytes(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := fmt.Sprint(next.Add(1))
+		src := net.Endpoint(san.Addr{Node: "senders", Proc: id}, 8)
+		dst := net.Endpoint(san.Addr{Node: "sinks", Proc: id}, 4096)
+		go func() {
+			for range dst.Inbox() {
+			}
+		}()
+		for pb.Next() {
+			if err := src.Send(dst.Addr(), kind, body, 1024); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSANSendParallelPassthrough / Wire is the acceptance pair:
+// identical traffic to san.BenchmarkSANSendParallel, with and without
+// the codec on the path (wire must stay ≤ 1.5x passthrough).
+func BenchmarkSANSendParallelPassthrough(b *testing.B) {
+	benchSANSendParallel(b, san.NewNetwork(1), "d", nil)
+}
+
+func BenchmarkSANSendParallelWire(b *testing.B) {
+	benchSANSendParallel(b, san.NewNetwork(1, san.WithCodec(stub.WireCodec{})), "d", nil)
+}
+
+// BenchmarkSANSendParallelWireSpawnReq puts the smallest real
+// control-plane body on the wire path (encode + per-delivery decode).
+func BenchmarkSANSendParallelWireSpawnReq(b *testing.B) {
+	benchSANSendParallel(b, san.NewNetwork(1, san.WithCodec(stub.WireCodec{})),
+		stub.MsgSpawnReq, stub.SpawnReq{Class: "echo"})
+}
+
+// wireLoadReport is the heavier data-plane shape for the load-report
+// send pair.
+func wireLoadReport() stub.LoadReport {
+	info := stub.WorkerInfo{
+		ID: "w0", Class: "echo",
+		Addr: san.Addr{Node: "n1", Proc: "w0"}, Node: "n1", QLen: 2.5,
+	}
+	return stub.LoadReport{
+		ID: "w0", Class: "echo", QLen: 10, CostMs: 3.75,
+		Done: 100, Errors: 2, Crashes: 1, Info: info,
+	}
+}
+
+// BenchmarkSANSendParallelWireLoadReport measures the realistic worst
+// case of the periodic control plane: a full load report per send.
+func BenchmarkSANSendParallelWireLoadReport(b *testing.B) {
+	net := san.NewNetwork(1, san.WithCodec(stub.WireCodec{}))
+	net.SetLoss(0.01, 0)
+	report := wireLoadReport()
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := fmt.Sprint(next.Add(1))
+		src := net.Endpoint(san.Addr{Node: "senders", Proc: id}, 8)
+		dst := net.Endpoint(san.Addr{Node: "sinks", Proc: id}, 4096)
+		go func() {
+			for range dst.Inbox() {
+			}
+		}()
+		for pb.Next() {
+			if err := src.Send(dst.Addr(), stub.MsgLoadReport, report, 64); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchSANMulticast is the shared body of the multicast pair: 16-member
+// group, beacon-shaped body — the manager's actual fanout.
+func benchSANMulticast(b *testing.B, net *san.Network) {
+	const members = 16
+	workers := []stub.WorkerInfo{wireLoadReport().Info}
+	beacon := stub.Beacon{Manager: san.Addr{Node: "mgr", Proc: "manager"}, Seq: 1, Workers: workers}
+	for i := 0; i < members; i++ {
+		ep := net.Endpoint(san.Addr{Node: "m", Proc: fmt.Sprintf("p%d", i)}, 4096)
+		ep.Join("grp")
+		go func() {
+			for range ep.Inbox() {
+			}
+		}()
+	}
+	src := net.Endpoint(san.Addr{Node: "senders", Proc: "src"}, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Multicast("grp", stub.MsgBeacon, beacon, 128)
+	}
+	if net.WireMode() {
+		st := net.Stats()
+		if st.WireEncodes != uint64(b.N) {
+			b.Fatalf("encode-once violated: %d encodes for %d multicasts", st.WireEncodes, b.N)
+		}
+	}
+}
+
+// BenchmarkSANMulticastBeaconPassthrough / Wire: the encode-once
+// fanout pair.
+func BenchmarkSANMulticastBeaconPassthrough(b *testing.B) {
+	benchSANMulticast(b, san.NewNetwork(1))
+}
+
+func BenchmarkSANMulticastBeaconWire(b *testing.B) {
+	benchSANMulticast(b, san.NewNetwork(1, san.WithCodec(stub.WireCodec{})))
 }
 
 // BenchmarkHotBotQuery measures fan-out query latency over a deployed

@@ -52,7 +52,24 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	list := flag.Bool("list", false, "list experiments")
 	snapshot := flag.String("snapshot", "", "write figure-benchmark metrics to this JSON file ('auto' = BENCH_<date>.json)")
+	benchdiff := flag.Bool("benchdiff", false, "compare two snapshots: -benchdiff BASELINE.json FRESH.json (exit 1 on gated regression)")
 	flag.Parse()
+
+	if *benchdiff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: experiments -benchdiff BASELINE.json FRESH.json")
+			os.Exit(2)
+		}
+		failures, err := runBenchDiff(flag.Arg(0), flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		if failures > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *snapshot != "" {
 		path := *snapshot

@@ -12,14 +12,18 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"testing"
 	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/distiller"
 	"repro/internal/media"
+	"repro/internal/san"
 	"repro/internal/snsim"
+	"repro/internal/stub"
 	"repro/internal/tacc"
 	"repro/internal/trace"
+	"repro/internal/vcache"
 )
 
 // BenchSnapshot is the serialized form.
@@ -94,6 +98,11 @@ func writeSnapshot(path string, seed int64) error {
 		fmt.Fprintln(os.Stderr, "snapshot: recovery measurement failed:", err)
 	}
 
+	// Hot-path micro costs: SAN send (passthrough vs wire), partition
+	// get, wire encode/decode — ns/op is hardware-bound (tracked, not
+	// gated); allocs/op is deterministic and regression-gated.
+	measureHotPaths(m)
+
 	snap := BenchSnapshot{
 		Date:    time.Now().UTC().Format("2006-01-02"),
 		Seed:    seed,
@@ -110,6 +119,89 @@ func writeSnapshot(path string, seed int64) error {
 	}
 	fmt.Printf("wrote %s\n%s\n", path, out)
 	return nil
+}
+
+// record stores one benchmark's ns/op and allocs/op under
+// <name>_ns / <name>_allocs. Allocs are kept fractional so amortized
+// pool misses stay visible.
+func record(m map[string]float64, name string, r testing.BenchmarkResult) {
+	m[name+"_ns"] = float64(r.NsPerOp())
+	if r.N > 0 {
+		m[name+"_allocs"] = float64(r.MemAllocs) / float64(r.N)
+	}
+}
+
+// measureHotPaths benchmarks the request hot path's building blocks
+// (via testing.Benchmark, so the snapshot needs no `go test` run):
+// the SAN send pair with and without the wire codec, the encode-once
+// codec primitives, and the sharded cache partition get.
+func measureHotPaths(m map[string]float64) {
+	// Wire codec primitives over a load report (the highest-rate
+	// control-plane message).
+	kind := stub.MsgLoadReport
+	var body any = stub.LoadReport{
+		ID: "w0", Class: "echo", QLen: 10, CostMs: 3.75,
+		Done: 100, Errors: 2, Crashes: 1,
+		Info: stub.WorkerInfo{
+			ID: "w0", Class: "echo",
+			Addr: san.Addr{Node: "n1", Proc: "w0"}, Node: "n1", QLen: 2.5,
+		},
+	}
+	buf, err := stub.EncodeBodyAppend(nil, kind, body)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snapshot: encode failed:", err)
+		return
+	}
+	record(m, "wire_encode_append", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if buf, err = stub.EncodeBodyAppend(buf[:0], kind, body); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	record(m, "wire_decode", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := stub.DecodeBody(kind, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// SAN send pair: identical traffic, codec off vs on.
+	sendBench := func(opts ...san.Option) testing.BenchmarkResult {
+		n := san.NewNetwork(1, opts...)
+		src := n.Endpoint(san.Addr{Node: "s", Proc: "src"}, 8)
+		dst := n.Endpoint(san.Addr{Node: "d", Proc: "dst"}, 1<<16)
+		go func() {
+			for range dst.Inbox() {
+			}
+		}()
+		return testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := src.Send(dst.Addr(), "d", nil, 1024); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	record(m, "san_send_passthrough", sendBench())
+	record(m, "san_send_wire", sendBench(san.WithCodec(stub.WireCodec{})))
+
+	// Sharded partition get on warm keys.
+	p := vcache.NewPartition(64<<20, nil)
+	data := make([]byte, 8192)
+	keys := make([]string, 1000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("warm%d", i)
+		p.Put(keys[i], data, "b", 0)
+	}
+	record(m, "partition_get", testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := p.Get(keys[i%len(keys)]); !ok {
+				b.Fatal("miss on warm key")
+			}
+		}
+	}))
 }
 
 // measureRecovery boots a compact system, kills a worker, and times

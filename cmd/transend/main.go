@@ -43,12 +43,14 @@ func main() {
 	spawnH := flag.Float64("H", 10, "spawn threshold (avg queue length)")
 	dampD := flag.Duration("D", 5*time.Second, "spawn damping window")
 	profileDir := flag.String("profiles", "", "profile DB directory (empty = temp)")
+	wire := flag.Bool("wire", true, "serialize SAN messages through the wire codec (production path)")
 	flag.Parse()
 
 	registry := tacc.NewRegistry()
 	distiller.RegisterAll(registry)
 	sys, err := core.Start(core.Config{
 		Seed:           time.Now().UnixNano(),
+		WireMode:       *wire,
 		DedicatedNodes: *nodes,
 		OverflowNodes:  *overflow,
 		FrontEnds:      *frontEnds,
@@ -132,6 +134,8 @@ func main() {
 			st := fe.Stats()
 			fmt.Fprintf(w, "%s: %+v\n", fe.ID(), st)
 		}
+		ns := sys.Net.Stats()
+		fmt.Fprintf(w, "san: wire=%v %+v\n", sys.Net.WireMode(), ns)
 	})
 	mux.HandleFunc("/chaos", func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Query().Get("kill") {

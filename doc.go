@@ -5,7 +5,10 @@
 // it, and a harness that regenerates every table and figure in the
 // paper's evaluation.
 //
-// Start with README.md for the tour and the package map. The
-// benchmarks in bench_test.go (one per reproduced artifact) and
-// cmd/experiments regenerate the results.
+// Start with README.md for the tour and the package map (including
+// the SAN's wire mode — the production serialization path, default-on
+// in chaos runs). The benchmarks in bench_test.go (one per reproduced
+// artifact, plus matched passthrough/wire SAN pairs) and
+// cmd/experiments regenerate the results; make bench-snapshot and
+// make bench-diff track the perf trajectory across PRs.
 package repro

@@ -1,0 +1,70 @@
+package chaos
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestWireModeTimelineEquivalence is the wire-mode acceptance test:
+// the same seeded fault schedule, executed once over the passthrough
+// SAN and once over the wire-codec SAN, produces an identical fault
+// timeline and the same set of process deaths, and both runs converge
+// back to steady state. Serialization is a representation change, not
+// a behavior change.
+func TestWireModeTimelineEquivalence(t *testing.T) {
+	sched := Schedule{Seed: 7, Events: []Event{
+		{At: 40 * time.Millisecond, Kind: KillWorker, Slot: 0},
+		{At: 120 * time.Millisecond, Kind: LossBurst, Dur: 60 * time.Millisecond, P2P: 0.2, Mcast: 0.4},
+		{At: 220 * time.Millisecond, Kind: PartitionCaches, Dur: 80 * time.Millisecond},
+		{At: 380 * time.Millisecond, Kind: KillFrontEnd, Slot: 0},
+	}}
+
+	type outcome struct {
+		faults []string
+		exits  []string
+	}
+	run := func(passthrough bool) outcome {
+		h, err := New(Config{Seed: 7, Passthrough: passthrough})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer h.Stop()
+		if wire := h.Net().WireMode(); wire != !passthrough {
+			t.Fatalf("wire mode = %v with passthrough=%v", wire, passthrough)
+		}
+		h.Execute(context.Background(), sched)
+		if !h.AwaitSteady(15 * time.Second) {
+			t.Fatalf("passthrough=%v run did not return to steady state:\n%v", passthrough, h.Timeline())
+		}
+		if !passthrough {
+			st := h.Net().Stats()
+			if st.WireEncodes == 0 || st.WireDecodes == 0 {
+				t.Fatalf("wire run never exercised the codec: %+v", st)
+			}
+			if st.WireErrors != 0 {
+				t.Fatalf("codec rejected %d live messages (missing body layout?)", st.WireErrors)
+			}
+		}
+		var out outcome
+		out.faults = h.FaultTimeline()
+		for _, e := range h.Timeline() {
+			if e.Kind == "exit" {
+				out.exits = append(out.exits, e.Name)
+			}
+		}
+		sort.Strings(out.exits)
+		return out
+	}
+
+	passthrough := run(true)
+	wire := run(false)
+	if !reflect.DeepEqual(passthrough.faults, wire.faults) {
+		t.Fatalf("fault timelines differ:\npassthrough: %v\nwire:        %v", passthrough.faults, wire.faults)
+	}
+	if !reflect.DeepEqual(passthrough.exits, wire.exits) {
+		t.Fatalf("process deaths differ:\npassthrough: %v\nwire:        %v", passthrough.exits, wire.exits)
+	}
+}

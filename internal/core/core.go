@@ -36,6 +36,12 @@ import (
 type Config struct {
 	Seed int64
 
+	// WireMode serializes every SAN message body through the stub wire
+	// codec on send and decodes it on delivery, so inter-process
+	// messages cross the SAN as bytes exactly as they would a
+	// production interconnect. Chaos runs enable this by default.
+	WireMode bool
+
 	// Topology.
 	DedicatedNodes int // worker/cache/FE hosts (default 8)
 	OverflowNodes  int // burst-absorbing pool (§2.2.3)
@@ -151,7 +157,11 @@ func Start(cfg Config) (*System, error) {
 		workerNodes: make(map[string]string),
 		workerStubs: make(map[string]*stub.WorkerStub),
 	}
-	s.Net = san.NewNetwork(cfg.Seed)
+	var netOpts []san.Option
+	if cfg.WireMode {
+		netOpts = append(netOpts, san.WithCodec(stub.WireCodec{}))
+	}
+	s.Net = san.NewNetwork(cfg.Seed, netOpts...)
 	s.Cluster = cluster.New(s.Net)
 	for i := 0; i < cfg.DedicatedNodes; i++ {
 		s.Cluster.AddNode(fmt.Sprintf("node%d", i), false)

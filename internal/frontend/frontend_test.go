@@ -22,7 +22,13 @@ import (
 // harness is added by the test).
 func startFE(t *testing.T, mutate func(*Config)) (*FrontEnd, *cluster.Cluster, *origin.Static) {
 	t.Helper()
-	net := san.NewNetwork(1)
+	return startFEOn(t, san.NewNetwork(1), mutate)
+}
+
+// startFEOn is startFE over a caller-built network (e.g. one with the
+// wire codec installed).
+func startFEOn(t *testing.T, net *san.Network, mutate func(*Config)) (*FrontEnd, *cluster.Cluster, *origin.Static) {
+	t.Helper()
 	cl := cluster.New(net)
 	cl.AddNode("fe-node", false)
 	cl.AddNode("c-node", false)

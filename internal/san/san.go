@@ -16,6 +16,14 @@
 // (registration, Join/Leave, SetLoss, Partition), so concurrent
 // senders never contend on a network-wide mutex. Loss decisions use
 // per-endpoint deterministic rngs instead of a shared locked source.
+//
+// Wire mode (WithCodec) makes the serialization path real: every
+// Send/Multicast/Call/Respond encodes its body to bytes through the
+// installed Codec and every delivery decodes it, so messages cross the
+// SAN exactly as they would a production interconnect. Encode buffers
+// are pooled (steady-state sends allocate nothing for encoding) and
+// Multicast encodes each body exactly once regardless of group size,
+// sharing the immutable byte slice across all recipient decodes.
 package san
 
 import (
@@ -60,13 +68,20 @@ type Message struct {
 	Reply  bool
 }
 
-// Stats counts network activity.
+// Stats counts network activity. In wire mode Bytes counts actual
+// encoded wire bytes (the Size hint callers pass is replaced by the
+// real encoded length); in passthrough mode it sums the Size hints.
 type Stats struct {
 	Sent         uint64 // point-to-point messages delivered
 	Dropped      uint64 // lost to impairments, partitions, or full inboxes
 	McastSent    uint64 // multicast deliveries attempted
 	McastDropped uint64 // multicast deliveries lost
 	Bytes        uint64 // bytes delivered
+
+	// Wire-mode counters (zero in passthrough mode).
+	WireEncodes uint64 // codec encode calls (one per Send/Call/Respond/Multicast)
+	WireDecodes uint64 // codec decode calls (one per delivery)
+	WireErrors  uint64 // bodies the codec rejected
 }
 
 // Errors returned by endpoint operations.
@@ -74,7 +89,52 @@ var (
 	ErrClosed      = errors.New("san: endpoint closed")
 	ErrUnknownAddr = errors.New("san: unknown address")
 	ErrTimeout     = errors.New("san: call timed out")
+	// ErrCodec wraps wire-mode serialization failures: the body could
+	// not be encoded (or its bytes decoded), so nothing was sent — the
+	// analogue of a marshalling error at a production NIC.
+	ErrCodec = errors.New("san: wire codec")
 )
+
+// Codec serializes message bodies for wire mode. AppendBody writes the
+// encoding of body into dst (growing it as needed) and returns the
+// extended slice; DecodeBody parses those bytes back into the concrete
+// body type for kind. A Codec must be safe for concurrent use, and
+// decoded values must not alias the input bytes (the network pools and
+// reuses encode buffers).
+type Codec interface {
+	AppendBody(dst []byte, kind string, body any) ([]byte, error)
+	DecodeBody(kind string, data []byte) (any, error)
+}
+
+// Option configures a Network at construction.
+type Option func(*Network)
+
+// WithCodec enables wire mode: every message body is serialized
+// through c on send and re-materialized by decoding on delivery.
+func WithCodec(c Codec) Option {
+	return func(n *Network) { n.codec = c }
+}
+
+// maxPooledBuf bounds the encode buffers kept in the pool so one huge
+// payload does not pin memory forever.
+const maxPooledBuf = 1 << 20
+
+// encPool recycles wire-mode encode buffers; steady-state sends do not
+// allocate for encoding.
+var encPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 1024)
+		return &b
+	},
+}
+
+func putEncBuf(bp *[]byte, b []byte) {
+	if cap(b) > maxPooledBuf {
+		return
+	}
+	*bp = b[:0]
+	encPool.Put(bp)
+}
 
 // netState is the immutable topology+impairment snapshot read by every
 // Send and Multicast. Mutators clone it under Network.mu and swap the
@@ -137,24 +197,63 @@ type Network struct {
 	mu    sync.Mutex // serializes mutators; senders never take it
 	state atomic.Pointer[netState]
 	seed  int64 // derives each endpoint's deterministic rng
+	codec Codec  // nil = passthrough mode (bodies pass by reference)
 
 	sent         atomic.Uint64
 	dropped      atomic.Uint64
 	mcastSent    atomic.Uint64
 	mcastDropped atomic.Uint64
 	bytes        atomic.Uint64
+	wireEncodes  atomic.Uint64
+	wireDecodes  atomic.Uint64
+	wireErrors   atomic.Uint64
 }
 
 // NewNetwork returns an unimpaired network seeded for deterministic
 // loss decisions.
-func NewNetwork(seed int64) *Network {
+func NewNetwork(seed int64, opts ...Option) *Network {
 	n := &Network{seed: seed}
 	n.state.Store(&netState{
 		endpoints: make(map[Addr]*Endpoint),
 		groups:    make(map[string][]*Endpoint),
 		partition: make(map[string]int),
 	})
+	for _, opt := range opts {
+		opt(n)
+	}
 	return n
+}
+
+// WireMode reports whether a codec is installed.
+func (n *Network) WireMode() bool { return n.codec != nil }
+
+// encodeToPool serializes body into a pooled buffer — the sender's
+// half of the wire, at amortized zero allocations. On success the
+// caller owns the buffer and must release it with putEncBuf(bp, buf).
+func (n *Network) encodeToPool(kind string, body any) (buf []byte, bp *[]byte, err error) {
+	bp = encPool.Get().(*[]byte)
+	buf, err = n.codec.AppendBody((*bp)[:0], kind, body)
+	if err != nil {
+		encPool.Put(bp)
+		n.wireErrors.Add(1)
+		return nil, nil, fmt.Errorf("%w: encode %s: %v", ErrCodec, kind, err)
+	}
+	n.wireEncodes.Add(1)
+	return buf, bp, nil
+}
+
+// decodeWire materializes one delivery's body from the shared wire
+// bytes — the receiver's half. It is called once per actual delivery;
+// datagrams the network drops are never decoded (the receiver never
+// saw them). Decoded values alias nothing in the buffer.
+func (n *Network) decodeWire(kind string, wire []byte) (any, error) {
+	out, err := n.codec.DecodeBody(kind, wire)
+	if err != nil {
+		n.wireErrors.Add(1)
+		return nil, fmt.Errorf("%w: decode %s: %v", ErrCodec, kind, err)
+	}
+	n.wireDecodes.Add(1)
+	return out, nil
 }
 
 // mutate applies f to a private clone of the current state and
@@ -239,6 +338,9 @@ func (n *Network) Stats() Stats {
 		McastSent:    n.mcastSent.Load(),
 		McastDropped: n.mcastDropped.Load(),
 		Bytes:        n.bytes.Load(),
+		WireEncodes:  n.wireEncodes.Load(),
+		WireDecodes:  n.wireDecodes.Load(),
+		WireErrors:   n.wireErrors.Load(),
 	}
 }
 
@@ -492,8 +594,10 @@ func (e *Endpoint) Leave(group string) {
 }
 
 // Send delivers a point-to-point message. It returns ErrUnknownAddr if
-// no endpoint holds the destination address; losses and partition
-// drops are silent (datagram semantics), mirroring a real SAN.
+// no endpoint holds the destination address, or an ErrCodec-wrapped
+// error in wire mode when the body cannot be serialized; losses and
+// partition drops are silent (datagram semantics), mirroring a real
+// SAN.
 func (e *Endpoint) Send(to Addr, kind string, body any, size int) error {
 	return e.send(to, kind, body, size, 0, false)
 }
@@ -508,9 +612,37 @@ func (e *Endpoint) send(to Addr, kind string, body any, size int, callID uint64,
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownAddr, to)
 	}
+	var (
+		wire []byte
+		bp   *[]byte
+	)
+	if n.codec != nil {
+		// The sender pays serialization before the network can drop
+		// the datagram, as a real NIC would.
+		var err error
+		wire, bp, err = n.encodeToPool(kind, body)
+		if err != nil {
+			return err
+		}
+		size = len(wire)
+	}
 	if !st.samePartition(e.addr.Node, to.Node) || e.chance(st.lossP) {
+		if bp != nil {
+			putEncBuf(bp, wire)
+		}
 		n.dropped.Add(1)
 		return nil
+	}
+	if n.codec != nil {
+		decoded, err := n.decodeWire(kind, wire)
+		putEncBuf(bp, wire)
+		if err != nil {
+			// The bytes arrived but the receiver cannot parse them:
+			// dropped on delivery, surfaced to the sender for tests.
+			n.dropped.Add(1)
+			return err
+		}
+		body = decoded
 	}
 	msg := Message{From: e.addr, To: to, Kind: kind, Body: body, Size: size, CallID: callID, Reply: reply}
 	if n.deliver(dst, msg, st.latency) {
@@ -527,11 +659,30 @@ func (e *Endpoint) send(to Addr, kind string, body any, size int, callID uint64,
 // handed to (before loss). The whole fanout reads one topology
 // snapshot: membership or impairment changes mid-loop affect only
 // later multicasts.
+//
+// In wire mode the body is encoded exactly once per call, however
+// large the group: the immutable byte slice is shared across the
+// fanout and each actual delivery decodes its own fresh value from it
+// (lost datagrams are never decoded — the receiver never saw them).
+// An unencodable body reaches nobody and returns 0.
 func (e *Endpoint) Multicast(group, kind string, body any, size int) int {
 	n := e.net
 	st := n.state.Load()
+	members := st.groups[group]
+	var (
+		wire []byte
+		bufp *[]byte
+	)
+	if n.codec != nil && len(members) > 0 {
+		var err error
+		wire, bufp, err = n.encodeToPool(kind, body) // encode-once fan-out: 1 per Multicast
+		if err != nil {
+			return 0
+		}
+		size = len(wire)
+	}
 	delivered := 0
-	for _, dst := range st.groups[group] {
+	for _, dst := range members {
 		if dst.addr == e.addr {
 			continue
 		}
@@ -540,13 +691,25 @@ func (e *Endpoint) Multicast(group, kind string, body any, size int) int {
 			n.mcastDropped.Add(1)
 			continue
 		}
-		msg := Message{From: e.addr, Group: group, Kind: kind, Body: body, Size: size}
+		mbody := body
+		if n.codec != nil {
+			decoded, err := n.decodeWire(kind, wire)
+			if err != nil {
+				n.mcastDropped.Add(1)
+				continue
+			}
+			mbody = decoded
+		}
+		msg := Message{From: e.addr, Group: group, Kind: kind, Body: mbody, Size: size}
 		if n.deliver(dst, msg, st.latency) {
 			delivered++
 			n.bytes.Add(uint64(size))
 		} else {
 			n.mcastDropped.Add(1)
 		}
+	}
+	if bufp != nil {
+		putEncBuf(bufp, wire)
 	}
 	return delivered
 }

@@ -34,6 +34,14 @@ type Entry[V any] struct {
 
 // Table is a TTL-expiring map: entries must be refreshed via Put
 // before TTL elapses or they vanish. It is safe for concurrent use.
+//
+// Reads (Get, Len, Snapshot) are non-destructive: they filter expired
+// entries out of their results but never remove them, so Expired()
+// remains the single consumer of expiry events. A monitoring loop
+// polling Len or Snapshot concurrently with a policy loop acting on
+// Expired() can never steal an expiry notification from it — the race
+// that once left a crashed front end unrestarted because a status
+// poller pruned its just-expired heartbeat entry first.
 type Table[V any] struct {
 	ttl   time.Duration
 	clock Clock
@@ -59,13 +67,13 @@ func (t *Table[V]) Put(key string, v V) {
 }
 
 // Touch refreshes an entry's TTL without changing its value. It
-// reports whether the entry existed (and was still live).
+// reports whether the entry existed (and was still live); an expired
+// entry is not refreshed and is left for Expired() to collect.
 func (t *Table[V]) Touch(key string) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	e, ok := t.m[key]
 	if !ok || t.expired(e) {
-		delete(t.m, key)
 		return false
 	}
 	e.Refreshed = t.clock.now()
@@ -73,17 +81,13 @@ func (t *Table[V]) Touch(key string) bool {
 	return true
 }
 
-// Get returns a live entry's value.
+// Get returns a live entry's value. An expired entry reads as absent
+// but is left in place for Expired() to collect.
 func (t *Table[V]) Get(key string) (V, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	e, ok := t.m[key]
-	if !ok {
-		var zero V
-		return zero, false
-	}
-	if t.expired(e) {
-		delete(t.m, key)
+	if !ok || t.expired(e) {
 		var zero V
 		return zero, false
 	}
@@ -97,22 +101,28 @@ func (t *Table[V]) Delete(key string) {
 	delete(t.m, key)
 }
 
-// Len returns the number of live entries (pruning expired ones).
+// Len returns the number of live entries.
 func (t *Table[V]) Len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.pruneLocked()
-	return len(t.m)
+	n := 0
+	for _, e := range t.m {
+		if !t.expired(e) {
+			n++
+		}
+	}
+	return n
 }
 
 // Snapshot returns all live entries.
 func (t *Table[V]) Snapshot() map[string]V {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.pruneLocked()
 	out := make(map[string]V, len(t.m))
 	for k, e := range t.m {
-		out[k] = e.Value
+		if !t.expired(e) {
+			out[k] = e.Value
+		}
 	}
 	return out
 }
@@ -135,14 +145,6 @@ func (t *Table[V]) Expired() []string {
 
 func (t *Table[V]) expired(e Entry[V]) bool {
 	return t.clock.now().Sub(e.Refreshed) > t.ttl
-}
-
-func (t *Table[V]) pruneLocked() {
-	for k, e := range t.m {
-		if t.expired(e) {
-			delete(t.m, k)
-		}
-	}
 }
 
 // Watchdog implements process-peer fault tolerance (§2.2.4): it

@@ -255,3 +255,36 @@ func TestMovingAverageDefaultAlpha(t *testing.T) {
 		t.Fatal("Value mismatch")
 	}
 }
+
+// TestReadsDoNotConsumeExpiry is the regression test for the stolen
+// front-end restart: a status poller calling Len/Snapshot/Get (or a
+// failed Touch) around the moment an entry expires must not eat the
+// expiry event — Expired() is the single consumer, and the policy
+// loop acting on it must still see the key.
+func TestReadsDoNotConsumeExpiry(t *testing.T) {
+	fc := &fakeClock{now: time.Unix(0, 0)}
+	tb := NewTable[string](time.Second, fc.Now)
+	tb.Put("fe0", "heartbeat")
+	fc.Advance(2 * time.Second)
+
+	// Observer reads: the entry is invisible...
+	if tb.Len() != 0 {
+		t.Fatalf("Len = %d, want 0 after expiry", tb.Len())
+	}
+	if snap := tb.Snapshot(); len(snap) != 0 {
+		t.Fatalf("Snapshot = %v, want empty", snap)
+	}
+	if _, ok := tb.Get("fe0"); ok {
+		t.Fatal("Get returned an expired entry")
+	}
+	if tb.Touch("fe0") {
+		t.Fatal("Touch refreshed an expired entry")
+	}
+	// ...but the expiry event is still deliverable exactly once.
+	if gone := tb.Expired(); len(gone) != 1 || gone[0] != "fe0" {
+		t.Fatalf("Expired = %v, want [fe0] (reads must not consume expiry)", gone)
+	}
+	if gone := tb.Expired(); len(gone) != 0 {
+		t.Fatalf("second Expired = %v, want empty", gone)
+	}
+}

@@ -151,6 +151,12 @@ func (ms *ManagerStub) HandleMessage(msg san.Message) bool {
 			ms.sched.Forget(id)
 		}
 	}
+	// Collect entries that aged out between beacons (softstate reads
+	// are non-destructive; the owner reaps expiry). The scheduler
+	// forgets them too, so its estimator drops stale queue state.
+	for _, id := range ms.workers.Expired() {
+		ms.sched.Forget(id)
+	}
 	return true
 }
 

@@ -12,11 +12,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/san"
 	"repro/internal/tacc"
+	"repro/internal/vcache"
 )
 
 // Multicast groups. Components discover each other exclusively through
@@ -140,23 +141,52 @@ const (
 // ---------------------------------------------------------------------------
 // Wire codec.
 //
-// The in-process SAN passes message bodies as Go values, but a
-// production deployment serializes them. EncodeBody/DecodeBody define
-// that wire format: a compact, deterministic binary encoding (strings
-// and byte slices are uvarint-length-prefixed, maps are emitted in
-// sorted key order so equal values encode to equal bytes, floats are
-// IEEE-754 bits). DecodeBody is total: malformed input yields an
-// error, never a panic or an unbounded allocation — the property the
-// FuzzWireRoundTrip fuzzer hammers on.
+// EncodeBody/DecodeBody define the production wire format for every
+// SNS message — the stub control plane, the task/result data plane,
+// and the vcache cache protocol: a compact, deterministic binary
+// encoding (strings and byte slices are uvarint-length-prefixed, maps
+// are emitted in sorted key order so equal values encode to equal
+// bytes, floats are IEEE-754 bits). DecodeBody is total: malformed
+// input yields an error, never a panic or an unbounded allocation —
+// the property the FuzzWireRoundTrip fuzzer hammers on. A san.Network
+// built with san.WithCodec(WireCodec{}) runs this codec on its live
+// message path (wire mode); EncodeBodyAppend is the pooled-buffer
+// entry point that path uses, and control signals without a body
+// layout (MsgShutdown, MsgDisable, MsgEnable, vcache.MsgOK,
+// vcache.MsgStats) encode a nil body as empty bytes.
 
 // ErrWireFormat reports a malformed or truncated wire message.
 var ErrWireFormat = errors.New("stub: malformed wire message")
+
+// WireCodec adapts the package codec to san.Codec, so a network built
+// with san.WithCodec(stub.WireCodec{}) serializes every SNS message —
+// control plane, data plane, and the cache protocol — through the
+// production encoding.
+type WireCodec struct{}
+
+// AppendBody implements san.Codec.
+func (WireCodec) AppendBody(dst []byte, kind string, body any) ([]byte, error) {
+	return EncodeBodyAppend(dst, kind, body)
+}
+
+// DecodeBody implements san.Codec.
+func (WireCodec) DecodeBody(kind string, data []byte) (any, error) {
+	return DecodeBody(kind, data)
+}
 
 // EncodeBody serializes a message body for the given kind. Kinds
 // without a registered body layout (control signals like MsgShutdown)
 // encode a nil body as empty bytes.
 func EncodeBody(kind string, body any) ([]byte, error) {
-	w := &wireWriter{}
+	return EncodeBodyAppend(nil, kind, body)
+}
+
+// EncodeBodyAppend serializes a message body for the given kind into
+// dst (which may be nil or a recycled buffer; its existing contents
+// are preserved) and returns the extended slice — the zero-alloc
+// variant the SAN's pooled wire path uses.
+func EncodeBodyAppend(dst []byte, kind string, body any) ([]byte, error) {
+	w := &wireWriter{buf: dst}
 	switch kind {
 	case MsgBeacon:
 		b, ok := body.(Beacon)
@@ -237,6 +267,42 @@ func EncodeBody(kind string, body any) ([]byte, error) {
 		w.str(m.Kind)
 		w.str(m.Node)
 		w.f64Map(m.Metrics)
+	case vcache.MsgGet:
+		m, ok := body.(vcache.GetReq)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s wants vcache.GetReq, got %T", ErrWireFormat, kind, body)
+		}
+		w.str(m.Key)
+	case vcache.MsgGot:
+		m, ok := body.(vcache.GetResp)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s wants vcache.GetResp, got %T", ErrWireFormat, kind, body)
+		}
+		w.bool(m.Found)
+		w.bytes(m.Data)
+		w.str(m.MIME)
+	case vcache.MsgPut, vcache.MsgInject:
+		m, ok := body.(vcache.PutReq)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s wants vcache.PutReq, got %T", ErrWireFormat, kind, body)
+		}
+		w.str(m.Key)
+		w.bytes(m.Data)
+		w.str(m.MIME)
+		w.varint(int64(m.TTL))
+	case vcache.MsgStatsR:
+		m, ok := body.(vcache.Stats)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s wants vcache.Stats, got %T", ErrWireFormat, kind, body)
+		}
+		w.u64(m.Hits)
+		w.u64(m.Misses)
+		w.u64(m.Puts)
+		w.u64(m.Injects)
+		w.u64(m.Evictions)
+		w.u64(m.Expired)
+		w.varint(m.Used)
+		w.varint(int64(m.Objects))
 	default:
 		if body != nil {
 			return nil, fmt.Errorf("%w: kind %q carries no body layout", ErrWireFormat, kind)
@@ -300,6 +366,23 @@ func DecodeBody(kind string, data []byte) (any, error) {
 		body = SpawnReq{Class: r.str()}
 	case MsgMonReport:
 		body = StatusReport{Component: r.str(), Kind: r.str(), Node: r.str(), Metrics: r.f64Map()}
+	case vcache.MsgGet:
+		body = vcache.GetReq{Key: r.str()}
+	case vcache.MsgGot:
+		body = vcache.GetResp{Found: r.bool(), Data: r.bytes(), MIME: r.str()}
+	case vcache.MsgPut, vcache.MsgInject:
+		body = vcache.PutReq{Key: r.str(), Data: r.bytes(), MIME: r.str(), TTL: time.Duration(r.varint())}
+	case vcache.MsgStatsR:
+		body = vcache.Stats{
+			Hits:      r.u64(),
+			Misses:    r.u64(),
+			Puts:      r.u64(),
+			Injects:   r.u64(),
+			Evictions: r.u64(),
+			Expired:   r.u64(),
+			Used:      r.varint(),
+			Objects:   int(r.varint()),
+		}
 	default:
 		if len(data) != 0 {
 			return nil, fmt.Errorf("%w: kind %q carries no body layout", ErrWireFormat, kind)
@@ -321,6 +404,7 @@ func WireKinds() []string {
 	return []string{
 		MsgBeacon, MsgDeregister, MsgFEHello, MsgLoadReport, MsgMonReport,
 		MsgRegister, MsgResult, MsgSpawnReq, MsgTask,
+		vcache.MsgGet, vcache.MsgGot, vcache.MsgInject, vcache.MsgPut, vcache.MsgStatsR,
 	}
 }
 
@@ -373,14 +457,28 @@ func (w *wireWriter) blob(b tacc.Blob) {
 	w.strMap(b.Meta)
 }
 
-// strMap encodes a map in sorted key order: equal maps always yield
-// equal bytes.
-func (w *wireWriter) strMap(m map[string]string) {
-	keys := make([]string, 0, len(m))
+// sortedKeys collects and sorts a map's keys, using the caller's
+// stack-backed scratch array when it fits so typical small maps
+// (profiles, metrics) sort without a heap allocation.
+func sortedKeys[V any](m map[string]V, scratch *[8]string) []string {
+	var keys []string
+	if len(m) <= len(scratch) {
+		keys = scratch[:0]
+	} else {
+		keys = make([]string, 0, len(m))
+	}
 	for k := range m {
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
+	slices.Sort(keys)
+	return keys
+}
+
+// strMap encodes a map in sorted key order: equal maps always yield
+// equal bytes.
+func (w *wireWriter) strMap(m map[string]string) {
+	var scratch [8]string
+	keys := sortedKeys(m, &scratch)
 	w.uvarint(uint64(len(keys)))
 	for _, k := range keys {
 		w.str(k)
@@ -389,11 +487,8 @@ func (w *wireWriter) strMap(m map[string]string) {
 }
 
 func (w *wireWriter) f64Map(m map[string]float64) {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
+	var scratch [8]string
+	keys := sortedKeys(m, &scratch)
 	w.uvarint(uint64(len(keys)))
 	for _, k := range keys {
 		w.str(k)

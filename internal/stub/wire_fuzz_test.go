@@ -1,11 +1,14 @@
 package stub
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/san"
 	"repro/internal/tacc"
+	"repro/internal/vcache"
 )
 
 // wireSamples are representative protocol messages — the values the
@@ -54,6 +57,20 @@ func wireSamples() map[string]any {
 			Component: "w0", Kind: "worker", Node: "n1",
 			Metrics: map[string]float64{"qlen": 3, "costMs": 1.5, "done": 7},
 		},
+		vcache.MsgGet: vcache.GetReq{Key: "http://origin1.example/obj42.sjpg#distilled"},
+		vcache.MsgGot: vcache.GetResp{Found: true, Data: []byte("cached bytes"), MIME: "image/sjpg"},
+		vcache.MsgPut: vcache.PutReq{
+			Key: "http://origin1.example/obj42.sjpg", Data: []byte("original"),
+			MIME: "image/sjpg", TTL: 90 * time.Second,
+		},
+		vcache.MsgInject: vcache.PutReq{
+			Key: "http://origin1.example/obj42.sjpg#distilled", Data: []byte{9, 8, 7},
+			MIME: "image/sjpg", TTL: 0,
+		},
+		vcache.MsgStatsR: vcache.Stats{
+			Hits: 101, Misses: 17, Puts: 40, Injects: 12,
+			Evictions: 3, Expired: 1, Used: 1 << 20, Objects: 49,
+		},
 	}
 }
 
@@ -70,6 +87,48 @@ func TestWireRoundTrip(t *testing.T) {
 		}
 		if !reflect.DeepEqual(got, body) {
 			t.Fatalf("%s: round trip mismatch:\n got %#v\nwant %#v", kind, got, body)
+		}
+	}
+}
+
+// TestWireSamplesCoverEveryKind keeps the corpus honest: every kind
+// the codec registers has a seed sample.
+func TestWireSamplesCoverEveryKind(t *testing.T) {
+	samples := wireSamples()
+	for _, kind := range WireKinds() {
+		if _, ok := samples[kind]; !ok {
+			t.Errorf("no wire sample for kind %q", kind)
+		}
+	}
+	if len(samples) != len(WireKinds()) {
+		t.Errorf("%d samples for %d kinds", len(samples), len(WireKinds()))
+	}
+}
+
+// TestEncodeBodyAppend: the append-style entry point preserves the
+// destination prefix, produces bytes identical to EncodeBody, and
+// reuses the destination's capacity instead of allocating.
+func TestEncodeBodyAppend(t *testing.T) {
+	for kind, body := range wireSamples() {
+		want, err := EncodeBody(kind, body)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", kind, err)
+		}
+		prefix := []byte("frame-header:")
+		buf := make([]byte, len(prefix), len(prefix)+len(want)+64)
+		copy(buf, prefix)
+		got, err := EncodeBodyAppend(buf, kind, body)
+		if err != nil {
+			t.Fatalf("%s: append encode: %v", kind, err)
+		}
+		if !bytes.HasPrefix(got, prefix) {
+			t.Fatalf("%s: append clobbered the destination prefix", kind)
+		}
+		if !bytes.Equal(got[len(prefix):], want) {
+			t.Fatalf("%s: append encoding differs from EncodeBody", kind)
+		}
+		if &got[0] != &buf[0] {
+			t.Fatalf("%s: append reallocated despite sufficient capacity", kind)
 		}
 	}
 }
@@ -108,10 +167,13 @@ func TestWireRejects(t *testing.T) {
 	}
 }
 
-// FuzzWireRoundTrip fuzzes DecodeBody across every message kind:
-// arbitrary bytes must never panic or over-allocate, and any input
-// that decodes successfully must re-encode and re-decode to the same
-// value (the codec is canonical on its own output).
+// FuzzWireRoundTrip fuzzes DecodeBody across every message kind
+// (including the cache protocol): arbitrary bytes must never panic or
+// over-allocate, and any input that decodes successfully must
+// re-encode and re-decode to the same value (the codec is canonical on
+// its own output). The re-encode runs through EncodeBodyAppend into a
+// dirty recycled buffer, so the fuzzer also hammers the pooled
+// append path the SAN's wire mode uses.
 func FuzzWireRoundTrip(f *testing.F) {
 	kinds := WireKinds()
 	for i, kind := range kinds {
@@ -133,9 +195,15 @@ func FuzzWireRoundTrip(f *testing.F) {
 		if err != nil {
 			return // malformed input rejected cleanly: fine
 		}
-		re, err := EncodeBody(kind, body)
+		// Re-encode into a recycled buffer holding stale garbage, as
+		// the SAN's pool hands out.
+		scratch := bytes.Repeat([]byte{0xa5}, 16)
+		re, err := EncodeBodyAppend(scratch[:0], kind, body)
 		if err != nil {
 			t.Fatalf("%s: value %#v decoded but failed to re-encode: %v", kind, body, err)
+		}
+		if direct, err2 := EncodeBody(kind, body); err2 != nil || !bytes.Equal(re, direct) {
+			t.Fatalf("%s: append encoding diverges from EncodeBody (err=%v)", kind, err2)
 		}
 		body2, err := DecodeBody(kind, re)
 		if err != nil {

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Bench-regression gate: measure a fresh snapshot and diff it against
+# the newest committed BENCH_*.json baseline. Fails (exit 1) when any
+# seed-deterministic metric drifts more than its tolerance (±20%) —
+# see cmd/experiments/benchdiff.go for the gated-metric list.
+# Wall-clock metrics (ns/op, ms/KB, recovery latency) are reported for
+# the trajectory but never gated.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=$(ls BENCH_*.json 2>/dev/null | sort | tail -1)
+if [[ -z "${baseline}" ]]; then
+    echo "bench_diff: no committed BENCH_*.json baseline found" >&2
+    exit 2
+fi
+
+fresh=$(mktemp -t bench_snapshot.XXXXXX.json)
+trap 'rm -f "${fresh}"' EXIT
+
+echo "bench_diff: measuring fresh snapshot (baseline: ${baseline})..."
+go run ./cmd/experiments -snapshot "${fresh}" >/dev/null
+
+go run ./cmd/experiments -benchdiff "${baseline}" "${fresh}"
