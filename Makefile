@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race cover fuzz-smoke bench-snapshot bench-diff bench-wire chaos-soak
+.PHONY: build test test-short race cover fuzz-smoke fuzz-frames smoke-multiprocess bench-snapshot bench-diff bench-wire bench-transport chaos-soak
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,7 @@ test-short:
 
 # Race pass over the packages with real concurrency on the hot path.
 race:
-	$(GO) test -race -short ./internal/san ./internal/vcache ./internal/frontend ./internal/chaos
+	$(GO) test -race -short ./internal/san ./internal/vcache ./internal/frontend ./internal/transport ./internal/chaos
 
 # Coverage with the committed-baseline regression gate (satellite:
 # fails if total coverage drops >2 points from coverage_baseline.txt).
@@ -25,6 +25,16 @@ cover:
 # Short fuzz smoke over the wire codec (CI runs this on every push).
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzWireRoundTrip -fuzztime=15s ./internal/stub
+
+# Fuzz the transport's streaming frame decoder (torn reads, corrupt
+# CRCs, concatenated batches). CI runs this on every push.
+fuzz-frames:
+	$(GO) test -run='^$$' -fuzz=FuzzFrameRoundTrip -fuzztime=15s ./internal/transport
+
+# Two OS processes over loopback TCP serving a TranSend workload:
+# zero failed requests, zero wire errors, or the target fails.
+smoke-multiprocess:
+	./scripts/smoke_multiprocess.sh
 
 # Write BENCH_<date>.json with the figure-benchmark metrics so the
 # perf trajectory is a diffable artifact.
@@ -40,6 +50,11 @@ bench-diff:
 # serialization hot path.
 bench-wire:
 	$(GO) test -run='^$$' -bench='Wire' -benchmem -count=1 ./internal/stub .
+
+# Frame + bridge benchmarks: encode/decode cost and the batched-vs-
+# unbatched socket send comparison.
+bench-transport:
+	$(GO) test -run='^$$' -bench='Frame|Bridge' -benchmem -count=1 .
 
 # The randomized kill-anything soak plus the full chaos suite.
 chaos-soak:

@@ -31,6 +31,12 @@ var gatedMetrics = map[string]float64{
 	"san_send_passthrough_allocs": 0.20,
 	"san_send_wire_allocs":        0.20,
 	"partition_get_allocs":        0.20,
+	// Transport framing: steady-state encode and the zero-copy
+	// streaming decode both stay at 0 allocs/op (zeroSlack guards a
+	// zero baseline — a regression to >=1 alloc/op means the
+	// alloc-free append or buffer reuse broke).
+	"frame_encode_allocs": 0.20,
+	"frame_decode_allocs": 0.20,
 }
 
 // zeroSlack is the absolute drift allowed when the baseline value is

@@ -1,0 +1,241 @@
+// Command node runs one SNS cluster member as a real OS process: any
+// subset of the roles (front ends, manager, workers, caches, monitor)
+// attached to the cluster-wide SAN over the socket transport
+// (internal/transport). A cluster is however many node processes you
+// start, joined through any one of them.
+//
+// Two-terminal TranSend cluster on loopback:
+//
+//	# terminal 1 — control plane: manager, workers, caches
+//	go run ./cmd/node -listen tcp:127.0.0.1:7401 -prefix b \
+//	    -roles manager,worker,cache
+//
+//	# terminal 2 — serving plane: front ends + monitor, joins terminal 1
+//	go run ./cmd/node -listen tcp:127.0.0.1:7402 -prefix a \
+//	    -roles frontend,monitor -join tcp:127.0.0.1:7401 \
+//	    -cache-host b -http :8089
+//
+//	curl 'localhost:8089/fetch?url=http://origin1.example/obj42.sjpg'
+//	curl 'localhost:8089/status'
+//
+// Every message between the two terminals crosses a real TCP
+// connection as length-framed, CRC-protected, batched wire bytes.
+//
+// -selftest N runs N requests against the cluster after it reports
+// ready, prints a JSON summary (requests, failures, wire/frame error
+// counters, batching figures), and exits non-zero on any failure —
+// the mode CI's two-process smoke test uses.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/distiller"
+	"repro/internal/manager"
+	"repro/internal/tacc"
+)
+
+func main() {
+	listen := flag.String("listen", "tcp:127.0.0.1:0", "transport bridge listen address (tcp:host:port or unix:/path)")
+	join := flag.String("join", "", "comma-separated seed bridge addresses to join")
+	id := flag.String("id", "", "bridge id (default: -prefix, then the listen address)")
+	prefix := flag.String("prefix", "", "node-name prefix; must be unique per process (required with -join or when joined)")
+	rolesFlag := flag.String("roles", "all", "roles to host: frontend,manager,worker,cache,monitor (or 'all')")
+	cacheHost := flag.String("cache-host", "", "node prefix of the process hosting the cache partitions (when the cache role is remote)")
+	frontEnds := flag.Int("frontends", 2, "front ends (frontend role)")
+	cacheParts := flag.Int("caches", 2, "cache partitions (cluster-wide count; used to compute remote addresses too)")
+	nodes := flag.Int("nodes", 8, "dedicated cluster nodes in this process")
+	cacheNodes := flag.Int("cache-nodes", 0, "dedicated node count of the cache-hosting process (default: -nodes)")
+	overflow := flag.Int("overflow", 2, "overflow pool nodes")
+	spawnH := flag.Float64("H", 10, "spawn threshold (avg queue length)")
+	dampD := flag.Duration("D", 5*time.Second, "spawn damping window")
+	profileDir := flag.String("profiles", "", "profile DB directory (empty = temp)")
+	httpAddr := flag.String("http", "", "serve the TranSend HTTP API on this address (frontend role)")
+	selftest := flag.Int("selftest", 0, "run N requests after ready, print a JSON summary, and exit")
+	readyTimeout := flag.Duration("ready-timeout", 30*time.Second, "how long to wait for the cluster to become serviceable")
+	seed := flag.Int64("seed", 0, "random seed (0 = time-based)")
+	flag.Parse()
+
+	roles, err := core.ParseRoles(*rolesFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *seed == 0 {
+		*seed = time.Now().UnixNano()
+	}
+	if *prefix == "" && *join != "" {
+		log.Fatal("node: -prefix is required when joining a cluster (node names must be unique per process)")
+	}
+	var joins []string
+	for _, a := range strings.Split(*join, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			joins = append(joins, a)
+		}
+	}
+
+	registry := tacc.NewRegistry()
+	distiller.RegisterAll(registry)
+	workers := map[string]int{
+		distiller.ClassSGIF: 1,
+		distiller.ClassSJPG: 1,
+		distiller.ClassHTML: 1,
+	}
+
+	cfg := core.Config{
+		Seed:       *seed,
+		Roles:      roles,
+		NodePrefix: *prefix,
+		Transport: core.TransportConfig{
+			Listen: *listen,
+			Join:   joins,
+			ID:     *id,
+		},
+		DedicatedNodes: *nodes,
+		OverflowNodes:  *overflow,
+		FrontEnds:      *frontEnds,
+		CacheParts:     *cacheParts,
+		Workers:        workers,
+		Registry:       registry,
+		Rules:          distiller.TranSendRules(),
+		ProfileDir:     *profileDir,
+		Policy: manager.Policy{
+			SpawnThreshold: *spawnH,
+			Damping:        *dampD,
+			ReapThreshold:  0.5,
+		},
+	}
+	if *cacheHost != "" {
+		cn := *cacheNodes
+		if cn <= 0 {
+			cn = *nodes
+		}
+		cfg.RemoteCaches = core.CacheAddrs(*cacheHost, *cacheParts, cn)
+	}
+
+	sys, err := core.Start(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Stop()
+	log.Printf("node: bridge %s listening on %s (roles %s, prefix %q)",
+		sys.Bridge.ID(), sys.Bridge.Advertise(), *rolesFlag, *prefix)
+
+	if !sys.WaitReady(*readyTimeout) {
+		log.Fatalf("node: cluster not serviceable within %s (peers: %v)", *readyTimeout, sys.Bridge.Peers())
+	}
+	log.Printf("node: ready — peers %v", sys.Bridge.Peers())
+
+	if *selftest > 0 {
+		if err := runSelftest(sys, *selftest); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *httpAddr != "" {
+		go serveHTTP(sys, *httpAddr)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("node: shutting down")
+}
+
+// selftestReport is the JSON the CI smoke test asserts on.
+type selftestReport struct {
+	Requests       int     `json:"requests"`
+	Failures       int     `json:"failures"`
+	Distilled      uint64  `json:"distilled"`
+	CacheHits      uint64  `json:"cache_hits"`
+	Fallbacks      uint64  `json:"fallbacks"`
+	WireErrors     uint64  `json:"wire_errors"`
+	FrameErrors    uint64  `json:"frame_errors"`
+	FramesOut      uint64  `json:"frames_out"`
+	FramesIn       uint64  `json:"frames_in"`
+	Batches        uint64  `json:"batches"`
+	FramesPerBatch float64 `json:"frames_per_batch"`
+	Peers          int     `json:"peers"`
+}
+
+func runSelftest(sys *core.System, n int) error {
+	ctx := context.Background()
+	rep := selftestReport{Requests: n}
+	for i := 0; i < n; i++ {
+		url := fmt.Sprintf("http://origin%d.example/obj%d.sjpg", i%4, i%32)
+		rctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+		_, err := sys.Request(rctx, url, fmt.Sprintf("user%d", i%8))
+		cancel()
+		if err != nil {
+			rep.Failures++
+			log.Printf("selftest: request %d (%s) failed: %v", i, url, err)
+		}
+	}
+	for _, fe := range sys.FrontEnds() {
+		st := fe.Stats()
+		rep.Distilled += st.Distilled
+		rep.CacheHits += st.CacheDistilled + st.CacheOriginal
+		rep.Fallbacks += st.Fallbacks
+	}
+	rep.WireErrors = sys.Net.Stats().WireErrors
+	br := sys.Bridge.Stats()
+	rep.FrameErrors = br.FrameErrors
+	rep.FramesOut, rep.FramesIn = br.FramesOut, br.FramesIn
+	rep.Batches = br.Batches
+	if br.Batches > 0 {
+		rep.FramesPerBatch = float64(br.FramesOut) / float64(br.Batches)
+	}
+	rep.Peers = br.Peers
+	out, _ := json.Marshal(rep)
+	fmt.Println(string(out))
+	if rep.Failures > 0 || rep.WireErrors > 0 || rep.FrameErrors > 0 {
+		return fmt.Errorf("selftest: %d failures, %d wire errors, %d frame errors",
+			rep.Failures, rep.WireErrors, rep.FrameErrors)
+	}
+	return nil
+}
+
+// serveHTTP exposes the same /fetch and /status endpoints as
+// cmd/transend, backed by this process's front ends.
+func serveHTTP(sys *core.System, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fetch", func(w http.ResponseWriter, r *http.Request) {
+		url := r.URL.Query().Get("url")
+		if url == "" {
+			http.Error(w, "missing url parameter", http.StatusBadRequest)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+		defer cancel()
+		resp, err := sys.Request(ctx, url, r.URL.Query().Get("user"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("X-TranSend-Source", resp.Source)
+		w.Write(resp.Blob.Data)
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		if sys.Mon != nil {
+			fmt.Fprintln(w, sys.Mon.RenderTable())
+		}
+		for _, fe := range sys.FrontEnds() {
+			fmt.Fprintf(w, "%s: %+v\n", fe.ID(), fe.Stats())
+		}
+		fmt.Fprintf(w, "san: wire=%v %+v\n", sys.Net.WireMode(), sys.Net.Stats())
+		fmt.Fprintf(w, "bridge: %+v\n", sys.Bridge.Stats())
+	})
+	log.Printf("node: http on %s", addr)
+	log.Fatal(http.ListenAndServe(addr, mux))
+}

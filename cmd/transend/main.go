@@ -16,6 +16,16 @@
 // Synthetic URLs look like http://origin7.example/obj123.sjpg — any
 // obj<N>.<sgif|sjpg|html> works; content is generated deterministically
 // by the simulated origin universe.
+//
+// Multi-process mode: -san-listen attaches the SAN to a socket bridge
+// and -join splices this process into a cluster spanning other OS
+// processes (cmd/node or other transend instances). -roles restricts
+// which components run here; see cmd/node for the two-terminal
+// walkthrough:
+//
+//	go run ./cmd/node -listen tcp:127.0.0.1:7401 -prefix b -roles manager,worker,cache
+//	go run ./cmd/transend -san-listen tcp:127.0.0.1:7402 -join tcp:127.0.0.1:7401 \
+//	    -prefix a -roles frontend,monitor -cache-host b
 package main
 
 import (
@@ -44,13 +54,38 @@ func main() {
 	dampD := flag.Duration("D", 5*time.Second, "spawn damping window")
 	profileDir := flag.String("profiles", "", "profile DB directory (empty = temp)")
 	wire := flag.Bool("wire", true, "serialize SAN messages through the wire codec (production path)")
+	sanListen := flag.String("san-listen", "", "transport bridge listen address (tcp:host:port or unix:/path); enables multi-process mode")
+	join := flag.String("join", "", "comma-separated seed bridge addresses of a running cluster to join")
+	rolesFlag := flag.String("roles", "all", "roles this process hosts: frontend,manager,worker,cache,monitor (or 'all')")
+	prefix := flag.String("prefix", "", "node-name prefix; must be unique per process in multi-process mode")
+	cacheHost := flag.String("cache-host", "", "node prefix of the process hosting the cache partitions (when the cache role is remote)")
+	cacheNodes := flag.Int("cache-nodes", 0, "dedicated node count of the cache-hosting process (default: -nodes)")
 	flag.Parse()
+
+	roles, err := core.ParseRoles(*rolesFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *join != "" && *sanListen == "" {
+		*sanListen = "tcp:127.0.0.1:0" // joining requires a bridge of our own
+	}
+	if *sanListen != "" && *prefix == "" {
+		log.Fatal("transend: -prefix is required in multi-process mode (node names must be unique per process)")
+	}
+	var joins []string
+	for _, a := range strings.Split(*join, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			joins = append(joins, a)
+		}
+	}
 
 	registry := tacc.NewRegistry()
 	distiller.RegisterAll(registry)
-	sys, err := core.Start(core.Config{
+	cfg := core.Config{
 		Seed:           time.Now().UnixNano(),
 		WireMode:       *wire,
+		Roles:          roles,
+		NodePrefix:     *prefix,
 		DedicatedNodes: *nodes,
 		OverflowNodes:  *overflow,
 		FrontEnds:      *frontEnds,
@@ -68,7 +103,18 @@ func main() {
 			Damping:        *dampD,
 			ReapThreshold:  0.5,
 		},
-	})
+	}
+	if *sanListen != "" {
+		cfg.Transport = core.TransportConfig{Listen: *sanListen, Join: joins}
+	}
+	if *cacheHost != "" {
+		cn := *cacheNodes
+		if cn <= 0 {
+			cn = *nodes
+		}
+		cfg.RemoteCaches = core.CacheAddrs(*cacheHost, *cacheParts, cn)
+	}
+	sys, err := core.Start(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,6 +124,10 @@ func main() {
 	}
 	log.Printf("transend: cluster up — %d nodes, %d front ends, %d cache partitions",
 		*nodes, *frontEnds, *cacheParts)
+	if sys.Bridge != nil {
+		log.Printf("transend: bridge %s on %s, peers %v",
+			sys.Bridge.ID(), sys.Bridge.Advertise(), sys.Bridge.Peers())
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/fetch", func(w http.ResponseWriter, r *http.Request) {
@@ -129,13 +179,19 @@ func main() {
 		fmt.Fprintf(w, "profile %s: %v\n", user, sys.Profile.Get(user))
 	})
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, sys.Mon.RenderTable())
+		if sys.Mon != nil {
+			fmt.Fprintln(w, sys.Mon.RenderTable())
+		}
 		for _, fe := range sys.FrontEnds() {
 			st := fe.Stats()
 			fmt.Fprintf(w, "%s: %+v\n", fe.ID(), st)
 		}
 		ns := sys.Net.Stats()
 		fmt.Fprintf(w, "san: wire=%v %+v\n", sys.Net.WireMode(), ns)
+		if sys.Bridge != nil {
+			fmt.Fprintf(w, "bridge %s (%s) peers=%v: %+v\n",
+				sys.Bridge.ID(), sys.Bridge.Advertise(), sys.Bridge.Peers(), sys.Bridge.Stats())
+		}
 	})
 	mux.HandleFunc("/chaos", func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Query().Get("kill") {

@@ -7,8 +7,11 @@
 //
 // Start with README.md for the tour and the package map (including
 // the SAN's wire mode — the production serialization path, default-on
-// in chaos runs). The benchmarks in bench_test.go (one per reproduced
-// artifact, plus matched passthrough/wire SAN pairs) and
-// cmd/experiments regenerate the results; make bench-snapshot and
-// make bench-diff track the perf trajectory across PRs.
+// in chaos runs — and internal/transport, the framed, batched socket
+// layer that lets one cluster span real OS processes via cmd/node).
+// The benchmarks in bench_test.go (one per reproduced artifact, plus
+// matched passthrough/wire SAN pairs and the batched/unbatched bridge
+// pair) and cmd/experiments regenerate the results; make
+// bench-snapshot and make bench-diff track the perf trajectory across
+// PRs.
 package repro

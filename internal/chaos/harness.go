@@ -48,6 +48,14 @@ type Config struct {
 	CallTimeout    time.Duration
 	CacheTimeout   time.Duration
 
+	// CacheSuperviseTTL tunes the manager's cache process-peer
+	// timeout. The harness default (10 s) is deliberately longer than
+	// any scripted partition or loss burst, so cache restarts appear
+	// on a timeline only when a schedule actually kills a cache —
+	// keeping run-to-run timelines deterministic. The crash-loop
+	// scenario opts into a tight TTL explicitly.
+	CacheSuperviseTTL time.Duration
+
 	// Policy defaults to recovery-only: replace crashed workers,
 	// never spawn on load — so respawn counts are a pure function of
 	// the fault schedule.
@@ -96,6 +104,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheTimeout <= 0 {
 		c.CacheTimeout = 100 * time.Millisecond
 	}
+	if c.CacheSuperviseTTL <= 0 {
+		c.CacheSuperviseTTL = 10 * time.Second
+	}
 	if c.Policy == (manager.Policy{}) {
 		c.Policy = manager.Policy{SpawnThreshold: 1e9, Damping: time.Hour, ReapThreshold: -1}
 	}
@@ -118,21 +129,22 @@ type Harness struct {
 func New(cfg Config) (*Harness, error) {
 	cfg = cfg.withDefaults()
 	sys, err := core.Start(core.Config{
-		Seed:           cfg.Seed,
-		WireMode:       !cfg.Passthrough,
-		DedicatedNodes: cfg.DedicatedNodes,
-		OverflowNodes:  cfg.OverflowNodes,
-		FrontEnds:      cfg.FrontEnds,
-		CacheParts:     cfg.CacheParts,
-		Workers:        cfg.Workers,
-		Registry:       cfg.Registry,
-		Rules:          cfg.Rules,
-		BeaconInterval: cfg.BeaconInterval,
-		ReportInterval: cfg.ReportInterval,
-		CallTimeout:    cfg.CallTimeout,
-		CacheTimeout:   cfg.CacheTimeout,
-		MinDistillSize: 1, // everything traverses the worker pipeline
-		Policy:         cfg.Policy,
+		Seed:              cfg.Seed,
+		WireMode:          !cfg.Passthrough,
+		DedicatedNodes:    cfg.DedicatedNodes,
+		OverflowNodes:     cfg.OverflowNodes,
+		FrontEnds:         cfg.FrontEnds,
+		CacheParts:        cfg.CacheParts,
+		Workers:           cfg.Workers,
+		Registry:          cfg.Registry,
+		Rules:             cfg.Rules,
+		BeaconInterval:    cfg.BeaconInterval,
+		ReportInterval:    cfg.ReportInterval,
+		CallTimeout:       cfg.CallTimeout,
+		CacheTimeout:      cfg.CacheTimeout,
+		CacheSuperviseTTL: cfg.CacheSuperviseTTL,
+		MinDistillSize:    1, // everything traverses the worker pipeline
+		Policy:            cfg.Policy,
 	})
 	if err != nil {
 		return nil, err
@@ -233,6 +245,13 @@ func (h *Harness) inject(ev Event) {
 		}
 	case KillManager:
 		_ = h.Sys.KillManager()
+	case KillCache:
+		if name := h.pickCache(ev.Slot); name != "" {
+			_ = h.Sys.KillCache(name)
+			detail = name
+		} else {
+			detail = "no-target"
+		}
 	case KillFrontEnd:
 		if name := h.pickFrontEnd(ev.Slot); name != "" {
 			_ = h.Sys.KillFrontEnd(name)
@@ -284,6 +303,16 @@ func (h *Harness) pickWorker(slot int) string {
 		return ""
 	}
 	return ids[slot%len(ids)]
+}
+
+// pickCache resolves a slot to a locally hosted cache name (sorted
+// order).
+func (h *Harness) pickCache(slot int) string {
+	names := h.Sys.Caches()
+	if len(names) == 0 {
+		return ""
+	}
+	return names[slot%len(names)]
 }
 
 // pickFrontEnd resolves a slot to a front-end name (creation order).

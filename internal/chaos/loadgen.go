@@ -150,4 +150,3 @@ func (lg *loadGen) stats() LoadStats {
 		Failed:   lg.failed.Load(),
 	}
 }
-

@@ -184,6 +184,63 @@ func TestScenarioCachePartitionFallback(t *testing.T) {
 	})
 }
 
+// TestScenarioCacheCrashLoop (ROADMAP cache-node crash-loop): kill a
+// cache service repeatedly. Every cycle the manager's cache
+// process-peer duty must notice the heartbeat silence and respawn the
+// partition; requests issued during the outage fall back to origin
+// fetches (BASE — never an error), and after each revival the cache
+// is re-absorbed (the same URL serves from cache again).
+func TestScenarioCacheCrashLoop(t *testing.T) {
+	h := newHarness(t, Config{Seed: seed, CacheSuperviseTTL: 80 * time.Millisecond})
+	ctx := context.Background()
+	url := "http://chaos.example/crashloop.sgif"
+
+	req := func() string {
+		t.Helper()
+		rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		defer cancel()
+		resp, err := h.Sys.Request(rctx, url, "u")
+		if err != nil {
+			t.Fatalf("request failed during cache outage: %v", err)
+		}
+		return resp.Source
+	}
+	waitHit := func(phase string) {
+		waitFor(t, "cache hit "+phase, func() bool {
+			rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+			defer cancel()
+			resp, err := h.Sys.Request(rctx, url, "u")
+			return err == nil && resp.Source == "cache-distilled"
+		})
+	}
+
+	req() // distill once and populate the cache
+	waitHit("initially")
+
+	const cycles = 3
+	for cycle := 0; cycle < cycles; cycle++ {
+		restartsBefore := h.Sys.Manager().Stats().CacheRestarts
+		h.Execute(ctx, Schedule{Seed: seed, Events: []Event{
+			{Kind: KillCache, Slot: 0},
+			{Kind: KillCache, Slot: 1},
+		}})
+		// Fallback: with every partition dead, requests still succeed
+		// (served from origin + distillation, not from the cache).
+		if src := req(); strings.HasPrefix(src, "cache-") {
+			t.Fatalf("cycle %d: served %q from a dead cache", cycle, src)
+		}
+		// Reabsorption: the manager restarts the partitions, and the
+		// distilled object lands back in cache on the next request.
+		waitFor(t, fmt.Sprintf("cache respawn (cycle %d)", cycle), func() bool {
+			return h.Sys.Manager().Stats().CacheRestarts >= restartsBefore+2
+		})
+		waitHit(fmt.Sprintf("after cycle %d", cycle))
+	}
+	if got := h.Sys.Manager().Stats().CacheRestarts; got < 2*cycles {
+		t.Fatalf("manager recorded %d cache restarts over %d cycles", got, cycles)
+	}
+}
+
 // TestScenarioWorkerHangDrains: a hung worker (gray failure — alive
 // on the SAN, completing nothing) must not fail requests: dispatch
 // timeouts fail over to the survivor, and the queue drains once the

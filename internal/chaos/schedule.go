@@ -22,6 +22,11 @@ const (
 	// KillFrontEnd crashes a front end; the manager's process-peer
 	// duty restarts it.
 	KillFrontEnd ActionKind = "kill-frontend"
+	// KillCache crashes a cache service (no goodbye — heartbeat
+	// silence is the only evidence); the manager's cache process-peer
+	// duty restarts it empty, and front ends fall back to origin
+	// fetches in the meantime.
+	KillCache ActionKind = "kill-cache"
 	// PartitionCaches splits every cache node away from the rest of
 	// the SAN for Dur; front ends must fall back to origin fetches
 	// and re-absorb the cache on heal.

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,8 +30,90 @@ import (
 	"repro/internal/san"
 	"repro/internal/stub"
 	"repro/internal/tacc"
+	"repro/internal/transport"
 	"repro/internal/vcache"
 )
+
+// Roles selects which SNS components a process hosts. The zero value
+// hosts everything (the classic single-process deployment); a
+// multi-process cluster gives each cmd/node process a subset and the
+// components discover each other over the bridged SAN exactly as they
+// would in one process.
+//
+// Role sets should be disjoint across the processes of one cluster:
+// component process names (fe0, cache0, manager) are not
+// prefix-qualified, so two processes hosting the same role run
+// same-named components whose heartbeats interleave in the manager's
+// soft-state tables (cache entries are address-keyed and safe; front
+// ends and managers are not). Scaling a role out means more
+// components in its one process, not the role in two processes.
+type Roles struct {
+	FrontEnds bool
+	Manager   bool
+	Workers   bool
+	Caches    bool
+	Monitor   bool
+}
+
+// All reports whether this is the host-everything zero value.
+func (r Roles) All() bool { return r == (Roles{}) }
+
+func (r Roles) frontEnds() bool { return r.All() || r.FrontEnds }
+func (r Roles) manager() bool   { return r.All() || r.Manager }
+func (r Roles) workers() bool   { return r.All() || r.Workers }
+func (r Roles) caches() bool    { return r.All() || r.Caches }
+func (r Roles) monitor() bool   { return r.All() || r.Monitor }
+
+// ParseRoles parses a comma-separated role list
+// ("frontend,manager,worker,cache,monitor"; "all" or "" selects
+// everything) — the cmd/node and cmd/transend flag format.
+func ParseRoles(s string) (Roles, error) {
+	var r Roles
+	if s == "" || s == "all" {
+		return r, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		switch strings.TrimSpace(part) {
+		case "frontend", "frontends", "fe":
+			r.FrontEnds = true
+		case "manager", "mgr":
+			r.Manager = true
+		case "worker", "workers":
+			r.Workers = true
+		case "cache", "caches":
+			r.Caches = true
+		case "monitor", "mon":
+			r.Monitor = true
+		case "":
+		default:
+			return Roles{}, fmt.Errorf("core: unknown role %q", part)
+		}
+	}
+	if r.All() {
+		return Roles{}, fmt.Errorf("core: no roles in %q", s)
+	}
+	return r, nil
+}
+
+// TransportConfig attaches the SAN to a socket bridge
+// (internal/transport) so the process can splice into a cluster that
+// spans real OS processes. A non-empty Listen enables it and forces
+// wire mode.
+type TransportConfig struct {
+	// Listen is the bridge's socket: "tcp:host:port" or "unix:/path"
+	// (port 0 picks a free port).
+	Listen string
+	// Join lists seed bridge addresses; peer gossip completes the
+	// mesh from any one of them.
+	Join []string
+	// ID names this process's bridge uniquely in the cluster
+	// (defaults to NodePrefix, then to the resolved listen address).
+	ID string
+	// FlushBytes/FlushDelay tune frame batching (transport defaults
+	// when zero; negative FlushDelay disables batching).
+	FlushBytes int
+	FlushDelay time.Duration
+}
 
 // Config describes a deployment.
 type Config struct {
@@ -41,6 +124,25 @@ type Config struct {
 	// messages cross the SAN as bytes exactly as they would a
 	// production interconnect. Chaos runs enable this by default.
 	WireMode bool
+
+	// Roles selects the components this process hosts (zero = all).
+	Roles Roles
+
+	// NodePrefix prefixes every cluster node name ("node0" becomes
+	// "<prefix>node0"), keeping SAN addresses disjoint when several
+	// OS processes join one logical SAN. Required (and must be
+	// unique) per process in multi-process mode.
+	NodePrefix string
+
+	// Transport, when Listen is set, bridges this process's SAN to
+	// its peers over sockets.
+	Transport TransportConfig
+
+	// RemoteCaches names cache partitions hosted by peer processes
+	// (use CacheAddrs to compute them from the hosting process's
+	// prefix and topology). Merged with locally hosted partitions
+	// into every front end's view.
+	RemoteCaches map[string]san.Addr
 
 	// Topology.
 	DedicatedNodes int // worker/cache/FE hosts (default 8)
@@ -75,6 +177,13 @@ type Config struct {
 	MinDistillSize int
 	// CacheServiceTime optionally models per-hit cache cost (§4.4).
 	CacheServiceTime func() time.Duration
+	// CacheSuperviseTTL is how long the manager tolerates cache
+	// heartbeat silence before its process-peer duty restarts the
+	// service (default 5x ReportInterval). Keep it comfortably above
+	// the longest network partition a deployment should ride out —
+	// restarting a merely-partitioned cache is safe (the content is
+	// discardable) but churns.
+	CacheSuperviseTTL time.Duration
 	// DisableDeltaEstimator turns off the §4.5 queue-delta fix
 	// (used by the oscillation ablation).
 	DisableDeltaEstimator bool
@@ -108,6 +217,9 @@ func (c Config) withDefaults() Config {
 	if c.CallTimeout <= 0 {
 		c.CallTimeout = stub.DefaultCallTimeout
 	}
+	if c.CacheSuperviseTTL <= 0 {
+		c.CacheSuperviseTTL = 5 * c.ReportInterval
+	}
 	if c.FEThreads <= 0 {
 		c.FEThreads = 64
 	}
@@ -125,11 +237,14 @@ type System struct {
 	Cluster *cluster.Cluster
 	DB      *profiledb.DB
 	Profile *profiledb.ReadCache
-	Mon     *monitor.Monitor
-
-	cacheNodes map[string]san.Addr
+	Mon     *monitor.Monitor // nil when the monitor role is remote
+	// Bridge is the socket transport splicing this process into a
+	// multi-process SAN; nil in single-process deployments.
+	Bridge *transport.Bridge
 
 	mu          sync.Mutex
+	cacheNodes  map[string]san.Addr // local + remote partitions (FE view)
+	localCaches map[string]bool     // partitions this process hosts
 	mgr         *manager.Manager
 	mgrHandle   *cluster.Handle
 	mgrEpoch    int
@@ -146,12 +261,42 @@ type System struct {
 	stopped   atomic.Bool
 }
 
+// nodeName/ovfName build prefix-qualified cluster node names — unique
+// across processes when each supplies a distinct NodePrefix.
+func nodeName(prefix string, i int) string { return fmt.Sprintf("%snode%d", prefix, i) }
+func ovfName(prefix string, i int) string  { return fmt.Sprintf("%sovf%d", prefix, i) }
+
+// CacheAddrs computes the deterministic SAN addresses the cache
+// partitions of a process started with the given prefix and topology
+// will hold: cache i lives on node i (mod dedicated). A front-end
+// process uses this to reach partitions hosted by a peer process
+// without a discovery protocol. Zero parts/dedicated take the Config
+// defaults (2 partitions, 8 nodes).
+func CacheAddrs(nodePrefix string, cacheParts, dedicatedNodes int) map[string]san.Addr {
+	if cacheParts <= 0 {
+		cacheParts = 2
+	}
+	if dedicatedNodes <= 0 {
+		dedicatedNodes = 8
+	}
+	out := make(map[string]san.Addr, cacheParts)
+	for i := 0; i < cacheParts; i++ {
+		name := fmt.Sprintf("cache%d", i)
+		out[name] = san.Addr{Node: nodeName(nodePrefix, i%dedicatedNodes), Proc: name}
+	}
+	return out
+}
+
 // Start builds and boots a system.
 func Start(cfg Config) (*System, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Transport.Listen != "" {
+		cfg.WireMode = true // bodies must be bytes to cross processes
+	}
 	s := &System{
 		cfg:         cfg,
 		cacheNodes:  make(map[string]san.Addr),
+		localCaches: make(map[string]bool),
 		fes:         make(map[string]*frontend.FrontEnd),
 		feNodes:     make(map[string]string),
 		workerNodes: make(map[string]string),
@@ -162,12 +307,30 @@ func Start(cfg Config) (*System, error) {
 		netOpts = append(netOpts, san.WithCodec(stub.WireCodec{}))
 	}
 	s.Net = san.NewNetwork(cfg.Seed, netOpts...)
+	if cfg.Transport.Listen != "" {
+		id := cfg.Transport.ID
+		if id == "" {
+			id = cfg.NodePrefix // may still be empty; bridge then uses its listen addr
+		}
+		br, err := transport.New(transport.Config{
+			Net:        s.Net,
+			Listen:     cfg.Transport.Listen,
+			Join:       cfg.Transport.Join,
+			ID:         id,
+			FlushBytes: cfg.Transport.FlushBytes,
+			FlushDelay: cfg.Transport.FlushDelay,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.Bridge = br
+	}
 	s.Cluster = cluster.New(s.Net)
 	for i := 0; i < cfg.DedicatedNodes; i++ {
-		s.Cluster.AddNode(fmt.Sprintf("node%d", i), false)
+		s.Cluster.AddNode(nodeName(cfg.NodePrefix, i), false)
 	}
 	for i := 0; i < cfg.OverflowNodes; i++ {
-		s.Cluster.AddNode(fmt.Sprintf("ovf%d", i), true)
+		s.Cluster.AddNode(ovfName(cfg.NodePrefix, i), true)
 	}
 
 	// ACID island: the profile database.
@@ -192,61 +355,85 @@ func Start(cfg Config) (*System, error) {
 		s.cfg.Origin = origin.NewSimulated(cfg.Seed)
 	}
 
-	// Cache partitions.
-	for i := 0; i < cfg.CacheParts; i++ {
-		name := fmt.Sprintf("cache%d", i)
-		node := s.placeOrErr()
-		if node == "" {
-			s.cleanup()
-			return nil, fmt.Errorf("core: no node for %s", name)
+	// Cache partitions. Placement comes from CacheAddrs — the same
+	// function peer processes call — so the "computed address ==
+	// actual address" contract that replaces a discovery protocol is
+	// enforced by construction, not by keeping two formulas in sync.
+	if cfg.Roles.caches() {
+		for name, addr := range CacheAddrs(cfg.NodePrefix, cfg.CacheParts, cfg.DedicatedNodes) {
+			svc := s.newCacheService(name, addr.Node)
+			if _, err := s.Cluster.Spawn(addr.Node, svc); err != nil {
+				s.cleanup()
+				return nil, err
+			}
+			s.cacheNodes[name] = svc.Addr()
+			s.localCaches[name] = true
 		}
-		svc := vcache.NewService(name, s.Net, node, vcache.NewPartition(cfg.CacheBudget, nil))
-		svc.ServiceTime = cfg.CacheServiceTime
-		if _, err := s.Cluster.Spawn(node, svc); err != nil {
-			s.cleanup()
-			return nil, err
+	}
+	// Partitions hosted by peer processes join the front ends' view.
+	for name, addr := range cfg.RemoteCaches {
+		if _, local := s.localCaches[name]; !local {
+			s.cacheNodes[name] = addr
 		}
-		s.cacheNodes[name] = svc.Addr()
 	}
 
 	// Manager.
-	if err := s.spawnManager(); err != nil {
-		s.cleanup()
-		return nil, err
+	if cfg.Roles.manager() {
+		if err := s.spawnManager(); err != nil {
+			s.cleanup()
+			return nil, err
+		}
 	}
 
 	// Monitor.
-	s.Mon = monitor.New(monitor.Config{
-		Node:         s.placeOrErr(),
-		Net:          s.Net,
-		SilenceAfter: 4 * cfg.ReportInterval,
-	})
-	if _, err := s.Cluster.Spawn(s.Mon.Addr().Node, s.Mon); err != nil {
-		s.cleanup()
-		return nil, err
+	if cfg.Roles.monitor() {
+		s.Mon = monitor.New(monitor.Config{
+			Node:         s.placeOrErr(),
+			Net:          s.Net,
+			SilenceAfter: 4 * cfg.ReportInterval,
+		})
+		if _, err := s.Cluster.Spawn(s.Mon.Addr().Node, s.Mon); err != nil {
+			s.cleanup()
+			return nil, err
+		}
 	}
 
 	// Initial workers.
-	sp := &spawner{s: s}
-	for class, n := range cfg.Workers {
-		for i := 0; i < n; i++ {
-			if _, err := sp.SpawnWorker(class, false); err != nil {
-				s.cleanup()
-				return nil, err
+	if cfg.Roles.workers() {
+		sp := &spawner{s: s}
+		for class, n := range cfg.Workers {
+			for i := 0; i < n; i++ {
+				if _, err := sp.SpawnWorker(class, false); err != nil {
+					s.cleanup()
+					return nil, err
+				}
 			}
 		}
 	}
 
 	// Front ends.
-	for i := 0; i < cfg.FrontEnds; i++ {
-		name := fmt.Sprintf("fe%d", i)
-		node := s.placeOrErr()
-		if err := s.spawnFrontEnd(name, node); err != nil {
-			s.cleanup()
-			return nil, err
+	if cfg.Roles.frontEnds() {
+		for i := 0; i < cfg.FrontEnds; i++ {
+			name := fmt.Sprintf("fe%d", i)
+			node := s.placeOrErr()
+			if err := s.spawnFrontEnd(name, node); err != nil {
+				s.cleanup()
+				return nil, err
+			}
 		}
 	}
 	return s, nil
+}
+
+// newCacheService builds one cache partition process with its
+// supervision heartbeat wired to the control group, so whichever
+// process hosts the manager carries the cache's process-peer duty.
+func (s *System) newCacheService(name, node string) *vcache.Service {
+	svc := vcache.NewService(name, s.Net, node, vcache.NewPartition(s.cfg.CacheBudget, nil))
+	svc.ServiceTime = s.cfg.CacheServiceTime
+	svc.HeartbeatGroup = stub.GroupControl
+	svc.HeartbeatInterval = s.cfg.ReportInterval
+	return svc
 }
 
 func (s *System) placeOrErr() string {
@@ -255,6 +442,10 @@ func (s *System) placeOrErr() string {
 
 func (s *System) cleanup() {
 	s.Cluster.StopAll()
+	if s.Bridge != nil {
+		_ = s.Bridge.Close()
+	}
+	s.Net.Close()
 	if s.DB != nil {
 		s.DB.Close()
 	}
@@ -294,6 +485,7 @@ func (s *System) spawnManager() error {
 		BeaconInterval: s.cfg.BeaconInterval,
 		WorkerTTL:      5 * s.cfg.ReportInterval,
 		FETTL:          6 * s.cfg.BeaconInterval,
+		CacheTTL:       s.cfg.CacheSuperviseTTL,
 		Spawner:        &spawner{s: s},
 	})
 	h, err := s.Cluster.Spawn(node, m)
@@ -316,9 +508,12 @@ func (s *System) Manager() *manager.Manager {
 
 // restartManager is the front ends' process-peer action ("the front
 // end detects and restarts a crashed manager", §3.1.3). A cooldown
-// keeps multiple front ends from racing to restart it.
+// keeps multiple front ends from racing to restart it. In a
+// multi-process deployment only the process hosting the manager role
+// may act — a front-end-only process inferring silence must not spawn
+// a second manager of its own.
 func (s *System) restartManager() {
-	if s.stopped.Load() {
+	if s.stopped.Load() || !s.cfg.Roles.manager() {
 		return
 	}
 	s.mu.Lock()
@@ -347,7 +542,7 @@ func (s *System) spawnFrontEnd(name, node string) error {
 		Rules:             s.cfg.Rules,
 		Profiles:          s.Profile,
 		Origin:            s.cfg.Origin,
-		CacheNodes:        s.cacheNodes,
+		CacheNodes:        s.CacheNodes(),
 		Threads:           s.cfg.FEThreads,
 		CacheTTL:          s.cfg.CacheTTL,
 		CacheTimeout:      s.cfg.CacheTimeout,
@@ -397,10 +592,16 @@ func (s *System) FrontEnds() []*frontend.FrontEnd {
 	return out
 }
 
-// WaitReady blocks until the system is serviceable: every front end's
-// receive loop is running and has heard a manager beacon, and the
-// initially configured workers have registered. It returns false on
-// timeout.
+// WaitReady blocks until the system is serviceable. In a
+// single-process deployment that means every front end's receive loop
+// is running and has heard a manager beacon, and the initially
+// configured workers have registered with the manager. A process
+// hosting only a subset of roles checks what it can observe: a
+// local manager counts registrations (from this process and its
+// peers alike); front ends without a local manager instead wait until
+// their stub's beacon cache holds every configured worker class at
+// full strength — the cluster-wide view a beacon carries. It returns
+// false on timeout.
 func (s *System) WaitReady(timeout time.Duration) bool {
 	want := 0
 	for _, n := range s.cfg.Workers {
@@ -408,15 +609,33 @@ func (s *System) WaitReady(timeout time.Duration) bool {
 	}
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		ready := s.Manager().Stats().Workers >= want
-		for _, fe := range s.FrontEnds() {
-			if !fe.Running() || fe.ManagerStub().Stats().BeaconsSeen == 0 {
+		ready := true
+		if s.cfg.Roles.manager() {
+			if s.Manager().Stats().Workers < want {
 				ready = false
-				break
 			}
 		}
-		if len(s.FrontEnds()) == 0 {
-			ready = false
+		if s.cfg.Roles.frontEnds() {
+			fes := s.FrontEnds()
+			if len(fes) == 0 {
+				ready = false
+			}
+			for _, fe := range fes {
+				if !fe.Running() || fe.ManagerStub().Stats().BeaconsSeen == 0 {
+					ready = false
+					break
+				}
+				if !s.cfg.Roles.manager() {
+					// The manager is remote: readiness is judged from
+					// the worker inventory its beacons deliver.
+					for class, n := range s.cfg.Workers {
+						if len(fe.ManagerStub().Workers(class)) < n {
+							ready = false
+							break
+						}
+					}
+				}
+			}
 		}
 		if ready {
 			return true
@@ -543,6 +762,57 @@ func (sp *spawner) RestartFrontEnd(name string) error {
 	return s.spawnFrontEnd(name, node)
 }
 
+// RestartCache is the manager's process-peer action for cache
+// services: kill any lingering instance, then respawn the partition
+// (empty — it is a cache) under the same name. The address is
+// preserved when the node survives, so front ends re-absorb the
+// partition with no reconfiguration; if the node died the service
+// moves and the local front ends' clients are re-pointed.
+func (sp *spawner) RestartCache(name string) error {
+	s := sp.s
+	if s.stopped.Load() {
+		return fmt.Errorf("core: system stopped")
+	}
+	s.mu.Lock()
+	addr, ok := s.cacheNodes[name]
+	local := s.localCaches[name]
+	s.mu.Unlock()
+	if !ok || !local {
+		// A heartbeat from a partition another process hosts: that
+		// process's manager-peer (or supervisor) owns the restart.
+		return fmt.Errorf("core: cache %s is not hosted here", name)
+	}
+	_ = s.Cluster.KillProcess(addr.Node, name) // usually already dead
+	node := addr.Node
+	for _, n := range s.Cluster.Nodes() {
+		if n.ID == node && !n.Alive {
+			node = s.placeOrErr()
+			break
+		}
+	}
+	if node == "" {
+		return fmt.Errorf("core: no node for cache %s", name)
+	}
+	svc := s.newCacheService(name, node)
+	if _, err := s.Cluster.Spawn(node, svc); err != nil {
+		return err
+	}
+	if newAddr := svc.Addr(); newAddr != addr {
+		s.mu.Lock()
+		s.cacheNodes[name] = newAddr
+		fes := make([]*frontend.FrontEnd, 0, len(s.fes))
+		for _, fe := range s.fes {
+			fes = append(fes, fe)
+		}
+		s.mu.Unlock()
+		for _, fe := range fes {
+			fe.Cache().RemoveNode(name)
+			fe.Cache().AddNode(name, newAddr)
+		}
+	}
+	return nil
+}
+
 // HasDedicatedCapacity reports whether any dedicated node has room.
 func (sp *spawner) HasDedicatedCapacity() bool {
 	s := sp.s
@@ -636,11 +906,46 @@ func (s *System) FrontEndNode(name string) string {
 	return s.feNodes[name]
 }
 
-// CacheNodes returns the cache partition addresses.
+// CacheNodes returns the cache partition addresses (local and
+// remote).
 func (s *System) CacheNodes() map[string]san.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make(map[string]san.Addr, len(s.cacheNodes))
 	for k, v := range s.cacheNodes {
 		out[k] = v
 	}
 	return out
+}
+
+// Caches returns the names of cache partitions hosted by this
+// process, sorted.
+func (s *System) Caches() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.localCaches))
+	for name := range s.localCaches {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KillCache crashes a locally hosted cache service abruptly (fault
+// injection): its endpoint drops off the SAN before the process is
+// cancelled, so no goodbye traffic is sent — the manager must infer
+// the loss from heartbeat silence, exactly as for a real crash.
+func (s *System) KillCache(name string) error {
+	s.mu.Lock()
+	addr, ok := s.cacheNodes[name]
+	local := s.localCaches[name]
+	s.mu.Unlock()
+	if !ok || !local {
+		return fmt.Errorf("core: unknown local cache %s", name)
+	}
+	s.Net.Drop(addr)
+	// The endpoint closure usually makes the service exit on its own;
+	// racing "already gone" is success, as with KillWorker.
+	_ = s.Cluster.KillProcess(addr.Node, name)
+	return nil
 }

@@ -231,8 +231,11 @@ func TestOverload(t *testing.T) {
 			}
 		}()
 	}
+	// Generous deadline: under -race on a loaded single-core runner
+	// the goroutines here can be starved for whole seconds; the shed
+	// itself normally happens in milliseconds.
 	overloaded := false
-	deadline := time.Now().Add(3 * time.Second)
+	deadline := time.Now().Add(15 * time.Second)
 	for i := 0; time.Now().Before(deadline); i++ {
 		url := fmt.Sprintf("http://a/x%d.bin", i%60)
 		if _, err := fe.Do(ctx, Request{URL: url}); err == ErrOverloaded {

@@ -17,12 +17,14 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/san"
 	"repro/internal/softstate"
 	"repro/internal/stub"
+	"repro/internal/vcache"
 )
 
 // Policy is the spawn/reap policy (§4.5). It is shared verbatim with
@@ -86,6 +88,11 @@ type Spawner interface {
 	ReapWorker(id string) error
 	// RestartFrontEnd restarts a crashed front end (process peer).
 	RestartFrontEnd(name string) error
+	// RestartCache restarts a crashed cache service (process peer).
+	// The content is gone — it was a cache — but the partition's
+	// address and key range come back, so front ends re-absorb it
+	// without reconfiguration.
+	RestartCache(name string) error
 	// HasDedicatedCapacity reports whether a dedicated (non-
 	// overflow) node can host another worker.
 	HasDedicatedCapacity() bool
@@ -105,6 +112,9 @@ type Config struct {
 	// FETTL expires front ends that stop heartbeating; expiry
 	// triggers the process-peer restart.
 	FETTL time.Duration
+	// CacheTTL expires cache services that stop heartbeating; expiry
+	// triggers the process-peer restart (defaults to FETTL).
+	CacheTTL time.Duration
 	// Spawner performs cluster actions; may be nil (no spawning).
 	Spawner Spawner
 }
@@ -122,6 +132,9 @@ func (c Config) withDefaults() Config {
 	if c.FETTL <= 0 {
 		c.FETTL = 6 * c.BeaconInterval
 	}
+	if c.CacheTTL <= 0 {
+		c.CacheTTL = c.FETTL
+	}
 	if c.Policy == (Policy{}) {
 		c.Policy = DefaultPolicy()
 	}
@@ -132,9 +145,11 @@ func (c Config) withDefaults() Config {
 type Stats struct {
 	Workers        int
 	FrontEnds      int
+	Caches         int
 	Spawns         uint64
 	Reaps          uint64
 	FERestarts     uint64
+	CacheRestarts  uint64
 	ReportsHandled uint64
 	BeaconsSent    uint64
 	Registrations  uint64
@@ -154,10 +169,13 @@ type Manager struct {
 	mu           sync.Mutex
 	workers      *softstate.Table[*workerState]
 	fes          *softstate.Table[stub.FEHeartbeat]
+	caches       *softstate.Table[vcache.HelloMsg]
 	desired      map[string]int // class -> replica floor (learned)
 	lastSpawn    map[string]time.Time
 	feRetry      []string
 	feRetryCount map[string]int
+	cacheRetry   []string
+	cacheRetryN  map[string]int
 	seq          uint64
 	stats        Stats
 }
@@ -169,6 +187,7 @@ func New(cfg Config) *Manager {
 		cfg:       cfg,
 		workers:   softstate.NewTable[*workerState](cfg.WorkerTTL, nil),
 		fes:       softstate.NewTable[stub.FEHeartbeat](cfg.FETTL, nil),
+		caches:    softstate.NewTable[vcache.HelloMsg](cfg.CacheTTL, nil),
 		desired:   make(map[string]int),
 		lastSpawn: make(map[string]time.Time),
 	}
@@ -191,6 +210,7 @@ func (m *Manager) Stats() Stats {
 	st := m.stats
 	st.Workers = m.workers.Len()
 	st.FrontEnds = m.fes.Len()
+	st.Caches = m.caches.Len()
 	return st
 }
 
@@ -298,6 +318,18 @@ func (m *Manager) handle(msg san.Message) {
 			return
 		}
 		m.trySpawn(req.Class, "front-end request")
+	case vcache.MsgHello:
+		hb, ok := msg.Body.(vcache.HelloMsg)
+		if !ok {
+			return
+		}
+		// Keyed by SAN address, not name: several processes may each
+		// host a "cache0", and one process's heartbeats must not mask
+		// the death of another's (the restart call still passes the
+		// name — RestartCache acts on locally hosted partitions only).
+		m.mu.Lock()
+		m.caches.Put(hb.Addr.String(), hb)
+		m.mu.Unlock()
 	}
 }
 
@@ -429,22 +461,49 @@ func (m *Manager) evaluatePolicy() {
 	goneFEs := append(m.fes.Expired(), m.feRetry...)
 	m.feRetry = nil
 	m.mu.Unlock()
-	for _, name := range goneFEs {
-		if err := m.cfg.Spawner.RestartFrontEnd(name); err == nil {
+	m.restartSweep(goneFEs, &m.feRetry, &m.feRetryCount,
+		m.cfg.Spawner.RestartFrontEnd, &m.stats.FERestarts)
+
+	// 6. Cache process peer: same watch-until-back discipline for
+	// silent cache services. Cache state is soft twice over — the
+	// content was always discardable, and the inventory rebuilds from
+	// heartbeats alone. Expired keys are "node/proc" addresses; the
+	// restart duty wants the service name (the proc half).
+	m.mu.Lock()
+	goneCaches := m.caches.Expired()
+	for i, key := range goneCaches {
+		if slash := strings.LastIndex(key, "/"); slash >= 0 {
+			goneCaches[i] = key[slash+1:]
+		}
+	}
+	goneCaches = append(goneCaches, m.cacheRetry...)
+	m.cacheRetry = nil
+	m.mu.Unlock()
+	m.restartSweep(goneCaches, &m.cacheRetry, &m.cacheRetryN,
+		m.cfg.Spawner.RestartCache, &m.stats.CacheRestarts)
+}
+
+// restartSweep runs one process-peer restart pass with the shared
+// retry discipline: a success counts in stat and clears the retry
+// budget; a failure re-queues the name for the next tick, up to 10
+// attempts. retry/counts/stat are fields of m guarded by m.mu.
+func (m *Manager) restartSweep(gone []string, retry *[]string, counts *map[string]int, restart func(string) error, stat *uint64) {
+	for _, name := range gone {
+		if err := restart(name); err == nil {
 			m.mu.Lock()
-			m.stats.FERestarts++
-			delete(m.feRetryCount, name)
+			*stat++
+			delete(*counts, name)
 			m.mu.Unlock()
 		} else {
 			m.mu.Lock()
-			if m.feRetryCount == nil {
-				m.feRetryCount = make(map[string]int)
+			if *counts == nil {
+				*counts = make(map[string]int)
 			}
-			m.feRetryCount[name]++
-			if m.feRetryCount[name] < 10 {
-				m.feRetry = append(m.feRetry, name)
+			(*counts)[name]++
+			if (*counts)[name] < 10 {
+				*retry = append(*retry, name)
 			} else {
-				delete(m.feRetryCount, name)
+				delete(*counts, name)
 			}
 			m.mu.Unlock()
 		}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/san"
 	"repro/internal/stub"
 	"repro/internal/tacc"
+	"repro/internal/vcache"
 )
 
 type nullWorker struct{ class string }
@@ -25,14 +26,15 @@ type testSpawner struct {
 	net      *san.Network
 	interval time.Duration
 
-	mu        sync.Mutex
-	nextID    int
-	cancels   map[string]context.CancelFunc
-	nodes     map[string]string
-	spawns    atomic.Int64
-	reaps     atomic.Int64
-	feStarts  atomic.Int64
-	dedicated atomic.Bool
+	mu          sync.Mutex
+	nextID      int
+	cancels     map[string]context.CancelFunc
+	nodes       map[string]string
+	spawns      atomic.Int64
+	reaps       atomic.Int64
+	feStarts    atomic.Int64
+	cacheStarts atomic.Int64
+	dedicated   atomic.Bool
 }
 
 func newTestSpawner(net *san.Network, interval time.Duration) *testSpawner {
@@ -96,6 +98,11 @@ func (s *testSpawner) ReapWorker(id string) error {
 
 func (s *testSpawner) RestartFrontEnd(name string) error {
 	s.feStarts.Add(1)
+	return nil
+}
+
+func (s *testSpawner) RestartCache(name string) error {
+	s.cacheStarts.Add(1)
 	return nil
 }
 
@@ -358,6 +365,30 @@ func TestFrontEndProcessPeerRestart(t *testing.T) {
 	waitFor(t, "FE restart", func() bool { return sp.feStarts.Load() >= 1 })
 	if m.Stats().FERestarts == 0 {
 		t.Fatal("restart not recorded in stats")
+	}
+}
+
+// TestCacheProcessPeerRestart: cache services heartbeat on the
+// control group; silence past CacheTTL triggers the manager's
+// RestartCache duty, exactly like front ends.
+func TestCacheProcessPeerRestart(t *testing.T) {
+	net := san.NewNetwork(1)
+	sp := newTestSpawner(net, tick)
+	defer sp.stopAll()
+	m := startManager(t, net, sp, Policy{SpawnThreshold: 1e9, Damping: time.Hour, ReapThreshold: -1})
+
+	cache := net.Endpoint(san.Addr{Node: "c0", Proc: "cache0"}, 64)
+	waitFor(t, "cache tracked", func() bool {
+		// Heartbeat until the manager (whose Run loop joins the group
+		// asynchronously) has caught one.
+		cache.Multicast(stub.GroupControl, vcache.MsgHello,
+			vcache.HelloMsg{Name: "cache0", Addr: cache.Addr(), Node: "c0"}, 48)
+		return m.Stats().Caches == 1
+	})
+	// Stop heartbeating: the manager restarts the cache after CacheTTL.
+	waitFor(t, "cache restart", func() bool { return sp.cacheStarts.Load() >= 1 })
+	if m.Stats().CacheRestarts == 0 {
+		t.Fatal("cache restart not recorded in stats")
 	}
 }
 

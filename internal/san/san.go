@@ -24,6 +24,14 @@
 // are pooled (steady-state sends allocate nothing for encoding) and
 // Multicast encodes each body exactly once regardless of group size,
 // sharing the immutable byte slice across all recipient decodes.
+//
+// A Fabric (SetFabric) splices this network into a larger logical SAN
+// spanning OS processes: point-to-point sends whose destination is not
+// registered locally are handed to the fabric as wire bytes, every
+// multicast is mirrored to it, and frames arriving from remote
+// processes re-enter through InjectUnicast/InjectMulticast. The
+// in-process mode is untouched when no fabric is installed —
+// internal/transport provides the socket implementation.
 package san
 
 import (
@@ -93,6 +101,9 @@ var (
 	// not be encoded (or its bytes decoded), so nothing was sent — the
 	// analogue of a marshalling error at a production NIC.
 	ErrCodec = errors.New("san: wire codec")
+	// ErrNetworkClosed is returned by operations on a network after
+	// Close.
+	ErrNetworkClosed = errors.New("san: network closed")
 )
 
 // Codec serializes message bodies for wire mode. AppendBody writes the
@@ -104,6 +115,22 @@ var (
 type Codec interface {
 	AppendBody(dst []byte, kind string, body any) ([]byte, error)
 	DecodeBody(kind string, data []byte) (any, error)
+}
+
+// Fabric carries SAN traffic to endpoints hosted by other OS
+// processes — the pluggable seam the socket transport plugs into
+// (internal/transport.Bridge). Implementations receive already-encoded
+// wire bytes (valid only for the duration of the call; copy to
+// retain) and must be safe for concurrent use. Delivery is best
+// effort with datagram semantics, exactly like the local SAN.
+type Fabric interface {
+	// Unicast forwards a point-to-point message whose destination is
+	// not registered on this network. It reports whether the message
+	// was handed to at least one remote process.
+	Unicast(from, to Addr, kind string, callID uint64, reply bool, wire []byte) bool
+	// Multicast forwards a group message to every remote process;
+	// each re-fans it out to its own local group members.
+	Multicast(from Addr, group, kind string, wire []byte)
 }
 
 // Option configures a Network at construction.
@@ -143,6 +170,7 @@ type netState struct {
 	endpoints map[Addr]*Endpoint
 	groups    map[string][]*Endpoint
 	partition map[string]int // node -> partition id; absent = 0
+	fabric    Fabric         // nil = purely in-process
 
 	// Impairments. Loss probabilities are applied per delivery.
 	lossP      float64 // point-to-point loss probability
@@ -157,6 +185,7 @@ func (s *netState) clone() *netState {
 		endpoints:  make(map[Addr]*Endpoint, len(s.endpoints)),
 		groups:     make(map[string][]*Endpoint, len(s.groups)),
 		partition:  make(map[string]int, len(s.partition)),
+		fabric:     s.fabric,
 		lossP:      s.lossP,
 		mcastLossP: s.mcastLossP,
 		latency:    s.latency,
@@ -194,10 +223,11 @@ func withoutMember(members []*Endpoint, ep *Endpoint) []*Endpoint {
 // Network is an in-process SAN. The zero value is not usable;
 // construct with NewNetwork.
 type Network struct {
-	mu    sync.Mutex // serializes mutators; senders never take it
-	state atomic.Pointer[netState]
-	seed  int64 // derives each endpoint's deterministic rng
-	codec Codec  // nil = passthrough mode (bodies pass by reference)
+	mu     sync.Mutex // serializes mutators; senders never take it
+	state  atomic.Pointer[netState]
+	seed   int64 // derives each endpoint's deterministic rng
+	codec  Codec // nil = passthrough mode (bodies pass by reference)
+	closed atomic.Bool
 
 	sent         atomic.Uint64
 	dropped      atomic.Uint64
@@ -226,6 +256,116 @@ func NewNetwork(seed int64, opts ...Option) *Network {
 
 // WireMode reports whether a codec is installed.
 func (n *Network) WireMode() bool { return n.codec != nil }
+
+// SetFabric installs (or, with nil, detaches) the cross-process
+// fabric. A fabric requires wire mode: message bodies must already be
+// bytes to cross a process boundary, so installing one on a
+// passthrough network panics — that is a deployment bug, not a
+// runtime condition.
+func (n *Network) SetFabric(f Fabric) {
+	if f != nil && n.codec == nil {
+		panic("san: SetFabric requires wire mode (construct the network with WithCodec)")
+	}
+	n.mutate(func(s *netState) { s.fabric = f })
+}
+
+// Close shuts the network down deterministically: the fabric is
+// detached, every endpoint is closed (pending calls fail, inboxes
+// close after their buffered messages drain), and subsequent sends
+// fail with ErrClosed. Latency-delayed deliveries still in flight are
+// dropped when their timers fire — nothing is ever delivered to a
+// closed endpoint — so a transport bridge can tear down without
+// leaking goroutines or racing late pushes. Close is idempotent.
+func (n *Network) Close() {
+	if !n.closed.CompareAndSwap(false, true) {
+		return
+	}
+	var eps []*Endpoint
+	n.mutate(func(s *netState) {
+		for _, ep := range s.endpoints {
+			eps = append(eps, ep)
+		}
+		s.endpoints = make(map[Addr]*Endpoint)
+		s.groups = make(map[string][]*Endpoint)
+		s.fabric = nil
+	})
+	for _, ep := range eps {
+		ep.closeInternal()
+	}
+}
+
+// Closed reports whether Close has been called.
+func (n *Network) Closed() bool { return n.closed.Load() }
+
+// InjectUnicast delivers a point-to-point message that arrived from a
+// remote process over the fabric: the wire bytes are decoded through
+// the local codec and pushed to the destination endpoint, applying
+// this network's partition map (loss was the sending side's call). It
+// reports whether the message reached an inbox — false reads as a
+// dropped datagram, never an error, mirroring a NIC discarding a
+// frame for an unbound port.
+func (n *Network) InjectUnicast(from, to Addr, kind string, callID uint64, reply bool, wire []byte) bool {
+	if n.closed.Load() || n.codec == nil {
+		return false
+	}
+	st := n.state.Load()
+	dst, ok := st.endpoints[to]
+	if !ok {
+		return false
+	}
+	if !st.samePartition(from.Node, to.Node) {
+		n.dropped.Add(1)
+		return false
+	}
+	body, err := n.decodeWire(kind, wire)
+	if err != nil {
+		n.dropped.Add(1)
+		return false
+	}
+	msg := Message{From: from, To: to, Kind: kind, Body: body, Size: len(wire), CallID: callID, Reply: reply}
+	if n.deliver(dst, msg, st.latency) {
+		n.sent.Add(1)
+		n.bytes.Add(uint64(len(wire)))
+		return true
+	}
+	n.dropped.Add(1)
+	return false
+}
+
+// InjectMulticast fans a group message that arrived from a remote
+// process out to this network's local members, decoding a fresh body
+// per actual delivery exactly as the local multicast path does. It
+// returns the number of members reached.
+func (n *Network) InjectMulticast(from Addr, group, kind string, wire []byte) int {
+	if n.closed.Load() || n.codec == nil {
+		return 0
+	}
+	st := n.state.Load()
+	delivered := 0
+	for _, dst := range st.groups[group] {
+		if dst.addr == from {
+			continue
+		}
+		n.mcastSent.Add(1)
+		if !st.samePartition(from.Node, dst.addr.Node) || dst.chance(st.mcastLossP) {
+			n.mcastDropped.Add(1)
+			continue
+		}
+		body, err := n.decodeWire(kind, wire)
+		if err != nil {
+			n.mcastDropped.Add(1)
+			continue
+		}
+		msg := Message{From: from, Group: group, Kind: kind, Body: body, Size: len(wire)}
+		if n.deliver(dst, msg, st.latency) {
+			delivered++
+			n.bytes.Add(uint64(len(wire)))
+		} else {
+			n.mcastDropped.Add(1)
+		}
+	}
+	return delivered
+}
 
 // encodeToPool serializes body into a pooled buffer — the sender's
 // half of the wire, at amortized zero allocations. On success the
@@ -359,11 +499,24 @@ func (n *Network) Endpoint(addr Addr, inboxCap int) *Endpoint {
 		pending: make(map[uint64]chan Message),
 	}
 	ep.rng.seed(n.seed, addr)
+	// The closed check happens inside the mutator (under its lock) so
+	// a process racing the network's teardown gets a dead endpoint
+	// instead of resurrecting the address table after Close swept it;
+	// the unchanged clone mutate publishes in that case is harmless.
 	var old *Endpoint
+	registered := false
 	n.mutate(func(s *netState) {
+		if n.closed.Load() {
+			return
+		}
 		old = s.endpoints[addr]
 		s.endpoints[addr] = ep
+		registered = true
 	})
+	if !registered {
+		ep.closeInternal()
+		return ep
+	}
 	if old != nil {
 		old.Close()
 	}
@@ -607,10 +760,16 @@ func (e *Endpoint) send(to Addr, kind string, body any, size int, callID uint64,
 		return ErrClosed // a dead process sends nothing
 	}
 	n := e.net
+	if n.closed.Load() {
+		return ErrNetworkClosed
+	}
 	st := n.state.Load()
 	dst, ok := st.endpoints[to]
 	if !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownAddr, to)
+		if st.fabric == nil {
+			return fmt.Errorf("%w: %s", ErrUnknownAddr, to)
+		}
+		return e.sendRemote(st, to, kind, body, callID, reply)
 	}
 	var (
 		wire []byte
@@ -654,6 +813,31 @@ func (e *Endpoint) send(to Addr, kind string, body any, size int, callID uint64,
 	return nil
 }
 
+// sendRemote hands a message whose destination lives in another OS
+// process to the fabric. The sender pays the same costs as a local
+// send — partition check, loss draw, serialization — before the bytes
+// leave; delivery on the far side is the remote network's business
+// (datagram semantics, no acknowledgement).
+func (e *Endpoint) sendRemote(st *netState, to Addr, kind string, body any, callID uint64, reply bool) error {
+	n := e.net
+	if !st.samePartition(e.addr.Node, to.Node) || e.chance(st.lossP) {
+		n.dropped.Add(1)
+		return nil
+	}
+	wire, bp, err := n.encodeToPool(kind, body)
+	if err != nil {
+		return err
+	}
+	if st.fabric.Unicast(e.addr, to, kind, callID, reply, wire) {
+		n.sent.Add(1)
+		n.bytes.Add(uint64(len(wire)))
+	} else {
+		n.dropped.Add(1)
+	}
+	putEncBuf(bp, wire)
+	return nil
+}
+
 // Multicast delivers a best-effort message to every group member
 // except the sender. It returns the number of members the message was
 // handed to (before loss). The whole fanout reads one topology
@@ -667,13 +851,16 @@ func (e *Endpoint) send(to Addr, kind string, body any, size int, callID uint64,
 // An unencodable body reaches nobody and returns 0.
 func (e *Endpoint) Multicast(group, kind string, body any, size int) int {
 	n := e.net
+	if n.closed.Load() {
+		return 0
+	}
 	st := n.state.Load()
 	members := st.groups[group]
 	var (
 		wire []byte
 		bufp *[]byte
 	)
-	if n.codec != nil && len(members) > 0 {
+	if n.codec != nil && (len(members) > 0 || st.fabric != nil) {
 		var err error
 		wire, bufp, err = n.encodeToPool(kind, body) // encode-once fan-out: 1 per Multicast
 		if err != nil {
@@ -707,6 +894,11 @@ func (e *Endpoint) Multicast(group, kind string, body any, size int) int {
 		} else {
 			n.mcastDropped.Add(1)
 		}
+	}
+	if st.fabric != nil && wire != nil {
+		// The same encode-once bytes cross the process boundary; each
+		// remote network re-fans them out to its own members.
+		st.fabric.Multicast(e.addr, group, kind, wire)
 	}
 	if bufp != nil {
 		putEncBuf(bufp, wire)

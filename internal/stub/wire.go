@@ -273,6 +273,14 @@ func EncodeBodyAppend(dst []byte, kind string, body any) ([]byte, error) {
 			return nil, fmt.Errorf("%w: %s wants vcache.GetReq, got %T", ErrWireFormat, kind, body)
 		}
 		w.str(m.Key)
+	case vcache.MsgHello:
+		m, ok := body.(vcache.HelloMsg)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s wants vcache.HelloMsg, got %T", ErrWireFormat, kind, body)
+		}
+		w.str(m.Name)
+		w.addr(m.Addr)
+		w.str(m.Node)
 	case vcache.MsgGot:
 		m, ok := body.(vcache.GetResp)
 		if !ok {
@@ -368,6 +376,8 @@ func DecodeBody(kind string, data []byte) (any, error) {
 		body = StatusReport{Component: r.str(), Kind: r.str(), Node: r.str(), Metrics: r.f64Map()}
 	case vcache.MsgGet:
 		body = vcache.GetReq{Key: r.str()}
+	case vcache.MsgHello:
+		body = vcache.HelloMsg{Name: r.str(), Addr: r.addr(), Node: r.str()}
 	case vcache.MsgGot:
 		body = vcache.GetResp{Found: r.bool(), Data: r.bytes(), MIME: r.str()}
 	case vcache.MsgPut, vcache.MsgInject:
@@ -404,7 +414,7 @@ func WireKinds() []string {
 	return []string{
 		MsgBeacon, MsgDeregister, MsgFEHello, MsgLoadReport, MsgMonReport,
 		MsgRegister, MsgResult, MsgSpawnReq, MsgTask,
-		vcache.MsgGet, vcache.MsgGot, vcache.MsgInject, vcache.MsgPut, vcache.MsgStatsR,
+		vcache.MsgGet, vcache.MsgGot, vcache.MsgHello, vcache.MsgInject, vcache.MsgPut, vcache.MsgStatsR,
 	}
 }
 

@@ -51,13 +51,16 @@ func wireSamples() map[string]any {
 			Blob: tacc.Blob{MIME: "image/sjpg", Data: []byte("distilled")},
 			Err:  "",
 		},
-		MsgFEHello: FEHeartbeat{Name: "fe0", Addr: san.Addr{Node: "fe", Proc: "fe0"}, Node: "fe"},
+		MsgFEHello:  FEHeartbeat{Name: "fe0", Addr: san.Addr{Node: "fe", Proc: "fe0"}, Node: "fe"},
 		MsgSpawnReq: SpawnReq{Class: "echo"},
 		MsgMonReport: StatusReport{
 			Component: "w0", Kind: "worker", Node: "n1",
 			Metrics: map[string]float64{"qlen": 3, "costMs": 1.5, "done": 7},
 		},
 		vcache.MsgGet: vcache.GetReq{Key: "http://origin1.example/obj42.sjpg#distilled"},
+		vcache.MsgHello: vcache.HelloMsg{
+			Name: "cache0", Addr: san.Addr{Node: "node0", Proc: "cache0"}, Node: "node0",
+		},
 		vcache.MsgGot: vcache.GetResp{Found: true, Data: []byte("cached bytes"), MIME: "image/sjpg"},
 		vcache.MsgPut: vcache.PutReq{
 			Key: "http://origin1.example/obj42.sjpg", Data: []byte("original"),

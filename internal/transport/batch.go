@@ -1,0 +1,164 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"time"
+)
+
+// Batching defaults. The delay is the "microsecond deadline": long
+// enough for a burst of sends to pile into one packet, short enough to
+// be invisible next to even a loopback RTT.
+const (
+	DefaultFlushBytes = 32 << 10
+	DefaultFlushDelay = 200 * time.Microsecond
+)
+
+// ErrBatcherClosed is returned by Append/Flush after Close.
+var ErrBatcherClosed = errors.New("transport: batcher closed")
+
+// BatchStats counts a batcher's life. FramesPerBatch (derivable as
+// Frames/Batches) is the coalescing figure of merit: >1 means multiple
+// frames shared a syscall/packet.
+type BatchStats struct {
+	Frames      uint64 // frames appended
+	Batches     uint64 // Write calls issued
+	Bytes       uint64 // bytes written
+	SizeFlushes uint64 // flushes triggered by the size threshold
+	TimeFlushes uint64 // flushes triggered by the deadline
+}
+
+// Batcher coalesces frames into one buffered write per flush. Appends
+// accumulate until the buffer reaches FlushBytes (flush inline, on the
+// appender's goroutine) or the oldest pending frame has waited
+// FlushDelay (flush from a timer). A FlushDelay of zero (or negative)
+// disables coalescing: every Append writes immediately — the
+// "unbatched" mode the benchmarks compare against.
+//
+// Writes happen under the batcher's lock, so the underlying writer
+// needs no extra synchronization; errors are sticky and surface on
+// the next Append/Flush.
+type Batcher struct {
+	w          io.Writer
+	flushBytes int
+	delay      time.Duration
+
+	mu      sync.Mutex
+	buf     []byte
+	pending int // frames in buf
+	armed   bool
+	timer   *time.Timer
+	closed  bool
+	err     error
+
+	stats BatchStats
+}
+
+// NewBatcher wraps w. Zero flushBytes/delay pick the defaults; a
+// negative delay disables batching entirely.
+func NewBatcher(w io.Writer, flushBytes int, delay time.Duration) *Batcher {
+	if flushBytes <= 0 {
+		flushBytes = DefaultFlushBytes
+	}
+	if delay == 0 {
+		delay = DefaultFlushDelay
+	}
+	return &Batcher{w: w, flushBytes: flushBytes, delay: delay}
+}
+
+// Append queues one frame. The bytes are copied; the caller's buffer
+// is free for reuse on return.
+func (b *Batcher) Append(frame []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrBatcherClosed
+	}
+	if b.err != nil {
+		return b.err
+	}
+	b.buf = append(b.buf, frame...)
+	b.pending++
+	b.stats.Frames++
+	if b.delay < 0 || len(b.buf) >= b.flushBytes {
+		return b.flushLocked(&b.stats.SizeFlushes)
+	}
+	if !b.armed {
+		b.armed = true
+		if b.timer == nil {
+			b.timer = time.AfterFunc(b.delay, b.timerFlush)
+		} else {
+			b.timer.Reset(b.delay)
+		}
+	}
+	return nil
+}
+
+func (b *Batcher) timerFlush() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed || b.pending == 0 {
+		return
+	}
+	_ = b.flushLocked(&b.stats.TimeFlushes)
+}
+
+// Flush writes any pending frames now.
+func (b *Batcher) Flush() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrBatcherClosed
+	}
+	if b.pending == 0 {
+		return b.err
+	}
+	return b.flushLocked(&b.stats.TimeFlushes)
+}
+
+func (b *Batcher) flushLocked(cause *uint64) error {
+	if b.armed {
+		b.armed = false
+		b.timer.Stop()
+	}
+	if b.err != nil {
+		return b.err
+	}
+	if b.pending == 0 {
+		return nil
+	}
+	n, err := b.w.Write(b.buf)
+	b.stats.Batches++
+	b.stats.Bytes += uint64(n)
+	*cause++
+	b.buf = b.buf[:0]
+	b.pending = 0
+	if err != nil {
+		b.err = err
+	}
+	return b.err
+}
+
+// Close flushes what it can and refuses further appends. It does not
+// close the underlying writer.
+func (b *Batcher) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	err := b.flushLocked(&b.stats.TimeFlushes)
+	b.closed = true
+	if b.timer != nil {
+		b.timer.Stop()
+	}
+	return err
+}
+
+// Stats returns a snapshot of the counters.
+func (b *Batcher) Stats() BatchStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}

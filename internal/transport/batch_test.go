@@ -1,0 +1,129 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/san"
+)
+
+// recordingWriter counts Write calls — each one models a syscall/packet.
+type recordingWriter struct {
+	mu     sync.Mutex
+	writes int
+	bytes  int
+}
+
+func (w *recordingWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	w.writes++
+	w.bytes += len(p)
+	w.mu.Unlock()
+	return len(p), nil
+}
+
+// TestBatcherPacksBurst is the coalescing acceptance test: a burst of
+// frames appended faster than the flush deadline must share packets —
+// at least 2 frames per Write on average, and far fewer Writes than
+// frames.
+func TestBatcherPacksBurst(t *testing.T) {
+	w := &recordingWriter{}
+	b := NewBatcher(w, 16<<10, 2*time.Millisecond)
+	frame := AppendMcast(nil, san.Addr{Node: "a", Proc: "p"}, "g", "k", []byte("0123456789abcdef"))
+
+	const frames = 1000
+	for i := 0; i < frames; i++ {
+		if err := b.Append(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := b.Stats()
+	if st.Frames != frames {
+		t.Fatalf("recorded %d frames, want %d", st.Frames, frames)
+	}
+	if st.Batches == 0 {
+		t.Fatal("no batches flushed")
+	}
+	perBatch := float64(st.Frames) / float64(st.Batches)
+	if perBatch < 2 {
+		t.Fatalf("burst averaged %.2f frames/batch, want >= 2 (batches=%d)", perBatch, st.Batches)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.writes != int(st.Batches) {
+		t.Fatalf("writer saw %d writes, stats say %d batches", w.writes, st.Batches)
+	}
+	if w.bytes != frames*len(frame) {
+		t.Fatalf("writer saw %d bytes, want %d", w.bytes, frames*len(frame))
+	}
+}
+
+// TestBatcherDeadlineFlush: a lone frame must not wait forever — the
+// microsecond deadline flushes it without further appends.
+func TestBatcherDeadlineFlush(t *testing.T) {
+	w := &recordingWriter{}
+	b := NewBatcher(w, 1<<20, time.Millisecond)
+	defer b.Close()
+	if err := b.Append([]byte("solo")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for {
+		w.mu.Lock()
+		writes := w.writes
+		w.mu.Unlock()
+		if writes == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("deadline flush never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := b.Stats(); st.TimeFlushes != 1 {
+		t.Fatalf("TimeFlushes = %d, want 1", st.TimeFlushes)
+	}
+}
+
+// TestBatcherSizeFlush: crossing the size threshold flushes inline,
+// before any deadline.
+func TestBatcherSizeFlush(t *testing.T) {
+	w := &recordingWriter{}
+	b := NewBatcher(w, 64, time.Hour) // deadline effectively off
+	defer b.Close()
+	chunk := make([]byte, 48)
+	if err := b.Append(chunk); err != nil {
+		t.Fatal(err)
+	}
+	if st := b.Stats(); st.Batches != 0 {
+		t.Fatal("flushed below the size threshold")
+	}
+	if err := b.Append(chunk); err != nil {
+		t.Fatal(err)
+	}
+	st := b.Stats()
+	if st.SizeFlushes != 1 || st.Batches != 1 {
+		t.Fatalf("size flush not taken: %+v", st)
+	}
+}
+
+// TestBatcherUnbatched: negative delay writes every frame immediately
+// — the comparison mode for the batched-vs-unbatched bench.
+func TestBatcherUnbatched(t *testing.T) {
+	w := &recordingWriter{}
+	b := NewBatcher(w, 0, -1)
+	defer b.Close()
+	for i := 0; i < 10; i++ {
+		if err := b.Append([]byte("frame")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := b.Stats(); st.Batches != 10 {
+		t.Fatalf("unbatched mode issued %d writes for 10 frames", st.Batches)
+	}
+}

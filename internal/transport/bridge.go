@@ -1,0 +1,815 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/san"
+)
+
+// Config assembles a Bridge.
+type Config struct {
+	// Net is the local SAN the bridge splices into the cluster. It
+	// must be in wire mode (san.WithCodec) — bodies cross process
+	// boundaries as bytes.
+	Net *san.Network
+
+	// Listen is the socket to accept peers on: "tcp:host:port" or
+	// "unix:/path" (a bare "host:port" implies tcp). Port 0 picks a
+	// free port; Advertise()/Addr() report the resolved address.
+	Listen string
+
+	// Advertise overrides the address gossiped to peers. Required
+	// when Listen binds a wildcard ("tcp:0.0.0.0:7401") — the
+	// resolved listener address is not dialable from other hosts.
+	// Defaults to the resolved Listen address.
+	Advertise string
+
+	// Join lists seed addresses to dial. One live seed suffices: its
+	// hello gossips the rest of the mesh.
+	Join []string
+
+	// ID names this bridge uniquely across the cluster. Empty
+	// defaults to the advertised listen address, which is unique by
+	// construction.
+	ID string
+
+	// FlushBytes / FlushDelay tune the per-peer batching writer
+	// (DefaultFlushBytes / DefaultFlushDelay when zero; negative
+	// FlushDelay disables batching).
+	FlushBytes int
+	FlushDelay time.Duration
+
+	// RedialMin/RedialMax bound the reconnect backoff (defaults
+	// 20 ms / 1 s).
+	RedialMin, RedialMax time.Duration
+
+	// HandshakeTimeout bounds the hello exchange (default 5 s).
+	HandshakeTimeout time.Duration
+
+	// WriteTimeout bounds one flush to a peer; a stall longer than
+	// this kills the connection rather than wedging every sender
+	// behind one sick peer (default 10 s).
+	WriteTimeout time.Duration
+
+	// Logf, when set, receives connection lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.RedialMin <= 0 {
+		c.RedialMin = 20 * time.Millisecond
+	}
+	if c.RedialMax <= 0 {
+		c.RedialMax = time.Second
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 5 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Stats counts bridge activity.
+type Stats struct {
+	Peers       int    // live peer connections
+	FramesOut   uint64 // frames handed to peer batchers
+	FramesIn    uint64 // frames decoded from peers
+	BytesIn     uint64 // raw bytes read
+	Batches     uint64 // write syscalls issued (all peers, lifetime)
+	BytesOut    uint64 // bytes written (all peers, lifetime)
+	Floods      uint64 // unicasts sent to every peer for lack of a route
+	FrameErrors uint64 // connections dropped for stream corruption
+	Injected    uint64 // frames delivered into the local SAN
+	Reconnects  uint64 // successful dials after the first
+	HellosIn    uint64 // handshakes accepted
+}
+
+// peer is one live connection to another bridge.
+type peer struct {
+	id        string
+	advertise string
+	conn      net.Conn
+	batch     *Batcher
+	dialed    bool // this side initiated the connection
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func (p *peer) close() {
+	p.closeOnce.Do(func() {
+		_ = p.batch.Close()
+		_ = p.conn.Close()
+		close(p.done)
+	})
+}
+
+// canonical reports whether this connection is the one both sides
+// agree to keep when a pair accidentally holds two (each dialed the
+// other simultaneously): the connection initiated by the
+// lexicographically smaller bridge id wins. Both ends compute the
+// same answer from the same two ids.
+func (p *peer) canonical(selfID string) bool {
+	if p.dialed {
+		return selfID < p.id
+	}
+	return p.id < selfID
+}
+
+// Bridge splices a san.Network into a multi-process SAN. It implements
+// san.Fabric: the network hands it messages for non-local endpoints;
+// frames arriving from peers re-enter through the network's inject
+// APIs. Routing is learned, switch-style, from the source address of
+// received frames; unicasts with no learned route flood to all peers
+// (the wrong recipients drop them silently — datagram semantics).
+type Bridge struct {
+	cfg       Config
+	net       *san.Network
+	ln        net.Listener
+	advertise string
+
+	mu      sync.RWMutex
+	peers   map[string]*peer
+	routes  map[san.Addr]*peer
+	dialing map[string]bool // canonical addrs with a live dial loop
+	closed  bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	framesOut   atomic.Uint64
+	framesIn    atomic.Uint64
+	bytesIn     atomic.Uint64
+	floods      atomic.Uint64
+	frameErrors atomic.Uint64
+	injected    atomic.Uint64
+	reconnects  atomic.Uint64
+	hellosIn    atomic.Uint64
+	// Batch counters accumulated from connections that have closed;
+	// Stats() adds the live batchers on top.
+	deadBatches  atomic.Uint64
+	deadBytesOut atomic.Uint64
+
+	framePool sync.Pool
+}
+
+// New opens the listener, installs the bridge as the network's fabric,
+// and begins dialing the seed addresses. The bridge owns its listener
+// and all peer connections until Close.
+func New(cfg Config) (*Bridge, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Net == nil {
+		return nil, errors.New("transport: Config.Net is required")
+	}
+	if !cfg.Net.WireMode() {
+		return nil, errors.New("transport: bridge requires a wire-mode network (san.WithCodec)")
+	}
+	network, address, err := splitListen(cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen(network, address)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
+	}
+	advertise := network + ":" + ln.Addr().String()
+	if cfg.Advertise != "" {
+		advertise, err = canonicalAddr(cfg.Advertise)
+		if err != nil {
+			_ = ln.Close()
+			return nil, fmt.Errorf("transport: bad advertise address: %w", err)
+		}
+	}
+	b := &Bridge{
+		cfg:       cfg,
+		net:       cfg.Net,
+		ln:        ln,
+		advertise: advertise,
+		peers:     make(map[string]*peer),
+		routes:    make(map[san.Addr]*peer),
+		dialing:   make(map[string]bool),
+		done:      make(chan struct{}),
+	}
+	b.framePool.New = func() any {
+		buf := make([]byte, 0, 2048)
+		return &buf
+	}
+	if b.cfg.ID == "" {
+		b.cfg.ID = b.advertise
+	}
+	cfg.Net.SetFabric(b)
+	b.wg.Add(1)
+	go b.acceptLoop()
+	for _, addr := range cfg.Join {
+		b.ensureDial(addr)
+	}
+	return b, nil
+}
+
+// splitListen parses "tcp:host:port" / "unix:/path" / bare "host:port"
+// into a net.Listen network+address pair.
+func splitListen(s string) (network, address string, err error) {
+	switch {
+	case strings.HasPrefix(s, "tcp:"):
+		return "tcp", s[len("tcp:"):], nil
+	case strings.HasPrefix(s, "unix:"):
+		return "unix", s[len("unix:"):], nil
+	case s == "":
+		return "", "", errors.New("transport: empty listen address")
+	default:
+		return "tcp", s, nil
+	}
+}
+
+// canonicalAddr normalizes a dialable address to the advertised form.
+func canonicalAddr(s string) (string, error) {
+	network, address, err := splitListen(s)
+	if err != nil {
+		return "", err
+	}
+	return network + ":" + address, nil
+}
+
+// ID returns the bridge's cluster-unique id.
+func (b *Bridge) ID() string { return b.cfg.ID }
+
+// Advertise returns the canonical dialable listen address
+// (scheme-prefixed), resolved — useful with ":0" listens.
+func (b *Bridge) Advertise() string { return b.advertise }
+
+// Peers returns the ids of currently connected peers.
+func (b *Bridge) Peers() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.peers))
+	for id := range b.peers {
+		out = append(out, id)
+	}
+	return out
+}
+
+// WaitPeers blocks until at least n peers are connected (true) or the
+// timeout expires (false).
+func (b *Bridge) WaitPeers(n int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		b.mu.RLock()
+		got := len(b.peers)
+		b.mu.RUnlock()
+		if got >= n {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (b *Bridge) Stats() Stats {
+	st := Stats{
+		FramesOut:   b.framesOut.Load(),
+		FramesIn:    b.framesIn.Load(),
+		BytesIn:     b.bytesIn.Load(),
+		Floods:      b.floods.Load(),
+		FrameErrors: b.frameErrors.Load(),
+		Injected:    b.injected.Load(),
+		Reconnects:  b.reconnects.Load(),
+		HellosIn:    b.hellosIn.Load(),
+		Batches:     b.deadBatches.Load(),
+		BytesOut:    b.deadBytesOut.Load(),
+	}
+	b.mu.RLock()
+	st.Peers = len(b.peers)
+	live := make([]*Batcher, 0, len(b.peers))
+	for _, p := range b.peers {
+		live = append(live, p.batch)
+	}
+	b.mu.RUnlock()
+	for _, batch := range live {
+		bs := batch.Stats()
+		st.Batches += bs.Batches
+		st.BytesOut += bs.Bytes
+	}
+	return st
+}
+
+// Close tears the bridge down: fabric detached, listener closed, all
+// peer connections flushed and closed, every goroutine joined.
+func (b *Bridge) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	peers := make([]*peer, 0, len(b.peers))
+	for _, p := range b.peers {
+		peers = append(peers, p)
+	}
+	b.mu.Unlock()
+
+	if !b.net.Closed() {
+		b.net.SetFabric(nil)
+	}
+	close(b.done)
+	_ = b.ln.Close()
+	for _, p := range peers {
+		p.close()
+	}
+	b.wg.Wait()
+	return nil
+}
+
+func (b *Bridge) isClosed() bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.closed
+}
+
+func (b *Bridge) logf(format string, args ...any) {
+	if b.cfg.Logf != nil {
+		b.cfg.Logf(format, args...)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Fabric (outbound).
+
+// Unicast implements san.Fabric: route if learned, flood otherwise.
+func (b *Bridge) Unicast(from, to san.Addr, kind string, callID uint64, reply bool, wire []byte) bool {
+	bufp := b.framePool.Get().(*[]byte)
+	frame := AppendData((*bufp)[:0], from, to, kind, callID, reply, wire)
+
+	var stack [1]*peer
+	targets := stack[:0]
+	b.mu.RLock()
+	if p, ok := b.routes[to]; ok {
+		targets = append(targets, p)
+	} else {
+		// No learned route: flood. The wrong recipients drop the frame
+		// silently (datagram semantics); the reply teaches the route.
+		for _, p := range b.peers {
+			targets = append(targets, p)
+		}
+		if len(targets) > 1 {
+			b.floods.Add(1)
+		}
+	}
+	b.mu.RUnlock()
+
+	sent := 0
+	for _, p := range targets {
+		if b.appendToPeer(p, frame) {
+			sent++
+		}
+	}
+	b.framesOut.Add(uint64(sent))
+	*bufp = frame[:0]
+	b.framePool.Put(bufp)
+	return sent > 0
+}
+
+// appendToPeer queues a frame on one peer's batcher. A write error
+// (e.g. a WriteTimeout on a stalled peer) is fatal to the connection:
+// the conn is closed so the read loop unblocks, the peer is removed,
+// and the dial loop redials — a wedged connection must never keep
+// counting as a live peer.
+func (b *Bridge) appendToPeer(p *peer, frame []byte) bool {
+	err := p.batch.Append(frame)
+	if err == nil {
+		return true
+	}
+	if !errors.Is(err, ErrBatcherClosed) {
+		b.logf("transport: %s: write to peer %s failed, dropping connection: %v", b.cfg.ID, p.id, err)
+		p.close()
+	}
+	return false
+}
+
+// Multicast implements san.Fabric: the frame is built once and the
+// same bytes are appended to every peer's batch — the encode-once
+// fan-out extended across the wire.
+func (b *Bridge) Multicast(from san.Addr, group, kind string, wire []byte) {
+	b.mu.RLock()
+	if len(b.peers) == 0 {
+		b.mu.RUnlock()
+		return
+	}
+	peers := make([]*peer, 0, len(b.peers))
+	for _, p := range b.peers {
+		peers = append(peers, p)
+	}
+	b.mu.RUnlock()
+
+	bufp := b.framePool.Get().(*[]byte)
+	frame := AppendMcast((*bufp)[:0], from, group, kind, wire)
+	sent := 0
+	for _, p := range peers {
+		if b.appendToPeer(p, frame) {
+			sent++
+		}
+	}
+	b.framesOut.Add(uint64(sent))
+	*bufp = frame[:0]
+	b.framePool.Put(bufp)
+}
+
+// ---------------------------------------------------------------------------
+// Connection lifecycle.
+
+func (b *Bridge) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			_, _ = b.runConn(conn, false)
+		}()
+	}
+}
+
+// ensureDial starts (at most) one persistent dial loop for addr.
+func (b *Bridge) ensureDial(addr string) {
+	canon, err := canonicalAddr(addr)
+	if err != nil {
+		b.logf("transport: bad peer address %q: %v", addr, err)
+		return
+	}
+	b.mu.Lock()
+	if b.closed || canon == b.advertise || b.dialing[canon] {
+		b.mu.Unlock()
+		return
+	}
+	b.dialing[canon] = true
+	// Add under the lock: Close sets closed under the same lock before
+	// it waits, so the waitgroup can never be grown after Wait begins.
+	b.wg.Add(1)
+	b.mu.Unlock()
+	go b.dialLoop(canon)
+}
+
+// dialRetireAfter bounds how long a dial loop keeps retrying a
+// gossiped address that never answers before retiring. Configured
+// seed addresses are never retired — the operator asserted they
+// exist.
+const dialRetireAfter = 2 * time.Minute
+
+// dialLoop keeps a connection to addr alive: dial, hand off to
+// runConn, wait for the peer to die, redial with backoff. It stands
+// down while another connection covers the same peer — matched by the
+// peer id the address last answered with, so an aliased address
+// ("localhost" vs "127.0.0.1") or a duplicate-rejected dial waits on
+// the surviving connection instead of churning. Gossiped addresses
+// that stay dead past dialRetireAfter are retired (a future hello
+// re-announces them); configured seeds retry forever.
+func (b *Bridge) dialLoop(canon string) {
+	defer b.wg.Done()
+	defer func() {
+		b.mu.Lock()
+		delete(b.dialing, canon)
+		b.mu.Unlock()
+	}()
+	network, address, _ := splitListen(canon)
+	backoff := b.cfg.RedialMin
+	connected := false
+	peerID := "" // who this address last identified as
+	deadSince := time.Now()
+	for {
+		if b.isClosed() {
+			return
+		}
+		if p := b.peerByAdvertiseOrID(canon, peerID); p != nil {
+			select {
+			case <-p.done:
+				backoff = b.cfg.RedialMin
+				deadSince = time.Now()
+			case <-b.done:
+				return
+			}
+			continue
+		}
+		conn, err := net.DialTimeout(network, address, b.cfg.HandshakeTimeout)
+		if err == nil {
+			id, kept := b.runConn(conn, true) // returns when the conn dies or is rejected
+			if id != "" {
+				peerID = id
+			}
+			if kept {
+				if connected {
+					b.reconnects.Add(1)
+				}
+				connected = true
+				backoff = b.cfg.RedialMin
+				deadSince = time.Now()
+				continue
+			}
+			// Rejected (duplicate, self, or bad handshake): fall
+			// through to the backoff — instant redial would churn.
+		}
+		if !b.isSeed(canon) && time.Since(deadSince) > dialRetireAfter {
+			b.logf("transport: %s: retiring dead gossiped address %s", b.cfg.ID, canon)
+			return
+		}
+		select {
+		case <-time.After(backoff):
+		case <-b.done:
+			return
+		}
+		backoff *= 2
+		if backoff > b.cfg.RedialMax {
+			backoff = b.cfg.RedialMax
+		}
+	}
+}
+
+func (b *Bridge) isSeed(canon string) bool {
+	for _, s := range b.cfg.Join {
+		if c, err := canonicalAddr(s); err == nil && c == canon {
+			return true
+		}
+	}
+	return false
+}
+
+// peerByAdvertiseOrID finds a live peer covering the dialed address:
+// by its advertised address, or by the identity the address answered
+// with last time (covers aliased addresses and duplicate-conn
+// rejections).
+func (b *Bridge) peerByAdvertiseOrID(canon, id string) *peer {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if id != "" {
+		if p, ok := b.peers[id]; ok {
+			return p
+		}
+	}
+	for _, p := range b.peers {
+		if p.advertise == canon {
+			return p
+		}
+	}
+	return nil
+}
+
+// helloFor snapshots the gossip payload: who we are plus every peer
+// address we can vouch for.
+func (b *Bridge) helloFor() Hello {
+	h := Hello{ID: b.cfg.ID, Advertise: b.advertise}
+	b.mu.RLock()
+	for _, p := range b.peers {
+		if p.advertise != "" {
+			h.Peers = append(h.Peers, p.advertise)
+		}
+	}
+	b.mu.RUnlock()
+	return h
+}
+
+// runConn performs the handshake, registers the peer, and runs the
+// read loop until the connection dies. It blocks; dialers call it
+// inline, the acceptor spawns a goroutine per conn. It returns the
+// peer id the handshake produced ("" if none) and whether the
+// connection was kept (registered and run, vs rejected).
+func (b *Bridge) runConn(conn net.Conn, dialed bool) (peerID string, kept bool) {
+	// Handshake: send our hello, read theirs, both under a deadline.
+	deadline := time.Now().Add(b.cfg.HandshakeTimeout)
+	_ = conn.SetDeadline(deadline)
+	if _, err := conn.Write(AppendHello(nil, b.helloFor())); err != nil {
+		_ = conn.Close()
+		return "", false
+	}
+	dec := &Decoder{}
+	hello, err := b.readHello(conn, dec)
+	if err != nil {
+		b.logf("transport: handshake with %s failed: %v", conn.RemoteAddr(), err)
+		_ = conn.Close()
+		return "", false
+	}
+	_ = conn.SetDeadline(time.Time{})
+	b.hellosIn.Add(1)
+
+	p := &peer{
+		id:        hello.ID,
+		advertise: hello.Advertise,
+		conn:      conn,
+		batch:     NewBatcher(&deadlineWriter{conn: conn, timeout: b.cfg.WriteTimeout}, b.cfg.FlushBytes, b.cfg.FlushDelay),
+		dialed:    dialed,
+		done:      make(chan struct{}),
+	}
+	if !b.registerPeer(p) {
+		_ = conn.Close()
+		return hello.ID, false
+	}
+	b.logf("transport: %s connected to peer %s (%s, dialed=%v)", b.cfg.ID, p.id, p.advertise, dialed)
+
+	// Gossip: dial anyone the peer knows that we don't.
+	b.ensureDial(hello.Advertise)
+	for _, addr := range hello.Peers {
+		b.ensureDial(addr)
+	}
+
+	b.readLoop(p, dec)
+	b.removePeer(p)
+	return hello.ID, true
+}
+
+// readHello pulls the first frame off the conn; it must be a hello.
+func (b *Bridge) readHello(conn net.Conn, dec *Decoder) (Hello, error) {
+	buf := make([]byte, 4096)
+	for {
+		if f, ok, err := dec.Next(); err != nil {
+			return Hello{}, err
+		} else if ok {
+			if f.Type != FrameHello {
+				return Hello{}, fmt.Errorf("%w: first frame type %d, want hello", ErrFrameFormat, f.Type)
+			}
+			return f.DecodeHello()
+		}
+		n, err := conn.Read(buf)
+		if n > 0 {
+			b.bytesIn.Add(uint64(n))
+			_, _ = dec.Write(buf[:n])
+		}
+		if err != nil {
+			return Hello{}, err
+		}
+	}
+}
+
+// registerPeer installs p, resolving duplicate connections to the same
+// peer with the canonical-initiator rule so both ends keep the same
+// one. Returns false if p should be discarded.
+func (b *Bridge) registerPeer(p *peer) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed || p.id == b.cfg.ID {
+		return false
+	}
+	if old, ok := b.peers[p.id]; ok {
+		if !p.canonical(b.cfg.ID) {
+			return false // keep the existing (canonical or first) conn
+		}
+		if old.canonical(b.cfg.ID) {
+			return false // existing conn already canonical; keep it
+		}
+		// The new conn is the canonical one: evict the old.
+		delete(b.peers, p.id)
+		for addr, rp := range b.routes {
+			if rp == old {
+				delete(b.routes, addr)
+			}
+		}
+		go old.close()
+	}
+	b.peers[p.id] = p
+	return true
+}
+
+func (b *Bridge) removePeer(p *peer) {
+	p.close()
+	bs := p.batch.Stats()
+	b.deadBatches.Add(bs.Batches)
+	b.deadBytesOut.Add(bs.Bytes)
+	b.mu.Lock()
+	if b.peers[p.id] == p {
+		delete(b.peers, p.id)
+	}
+	for addr, rp := range b.routes {
+		if rp == p {
+			delete(b.routes, addr)
+		}
+	}
+	b.mu.Unlock()
+	b.logf("transport: %s lost peer %s", b.cfg.ID, p.id)
+}
+
+// readLoop decodes frames off the connection and injects them into the
+// local SAN until the stream ends or corrupts.
+func (b *Bridge) readLoop(p *peer, dec *Decoder) {
+	buf := make([]byte, 64<<10)
+	intern := newInterner()
+	for {
+		for {
+			f, ok, err := dec.Next()
+			if err != nil {
+				b.frameErrors.Add(1)
+				b.logf("transport: %s: corrupt stream from %s: %v", b.cfg.ID, p.id, err)
+				return
+			}
+			if !ok {
+				break
+			}
+			b.framesIn.Add(1)
+			b.handleFrame(p, f, intern)
+		}
+		n, err := p.conn.Read(buf)
+		if n > 0 {
+			b.bytesIn.Add(uint64(n))
+			_, _ = dec.Write(buf[:n])
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (b *Bridge) handleFrame(p *peer, f Frame, intern *interner) {
+	switch f.Type {
+	case FrameData:
+		from := san.Addr{Node: intern.str(f.SrcNode), Proc: intern.str(f.SrcProc)}
+		to := san.Addr{Node: intern.str(f.DstNode), Proc: intern.str(f.DstProc)}
+		b.learn(from, p)
+		if b.net.InjectUnicast(from, to, intern.str(f.Kind), f.CallID, f.Flags&FlagReply != 0, f.Body) {
+			b.injected.Add(1)
+		}
+	case FrameMcast:
+		from := san.Addr{Node: intern.str(f.SrcNode), Proc: intern.str(f.SrcProc)}
+		b.learn(from, p)
+		if b.net.InjectMulticast(from, intern.str(f.Group), intern.str(f.Kind), f.Body) > 0 {
+			b.injected.Add(1)
+		}
+	case FrameHello:
+		if h, err := f.DecodeHello(); err == nil {
+			b.ensureDial(h.Advertise)
+			for _, addr := range h.Peers {
+				b.ensureDial(addr)
+			}
+		}
+	}
+}
+
+// learn records that addr is reachable via p (switch-style MAC
+// learning: the source of an observed frame is a valid route). Entries
+// move if the address shows up behind a different peer — a component
+// restarted in another process.
+func (b *Bridge) learn(addr san.Addr, p *peer) {
+	b.mu.RLock()
+	cur, ok := b.routes[addr]
+	b.mu.RUnlock()
+	if ok && cur == p {
+		return
+	}
+	b.mu.Lock()
+	b.routes[addr] = p
+	b.mu.Unlock()
+}
+
+// deadlineWriter applies a per-write deadline so one stalled peer
+// cannot wedge every sender behind the batcher's lock forever.
+type deadlineWriter struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+func (w *deadlineWriter) Write(p []byte) (int, error) {
+	if w.timeout > 0 {
+		_ = w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
+	}
+	return w.conn.Write(p)
+}
+
+// interner deduplicates the small, hot string set a connection sees
+// (node names, process names, message kinds) so the steady-state
+// receive path stops allocating for them. Map lookups keyed by
+// string(bytes) do not allocate; only first sightings do. Each read
+// loop owns one, so no locking. Retention is bounded in both
+// dimensions — entry count and per-string length — so a hostile peer
+// flooding distinct or huge identifiers cannot pin memory beyond the
+// caps (the frame layer's never-over-allocate rule extends here).
+type interner struct {
+	m map[string]string
+}
+
+const (
+	internMaxEntries = 4096
+	internMaxStrLen  = 256 // identifiers are short; anything bigger is not worth pinning
+)
+
+func newInterner() *interner { return &interner{m: make(map[string]string, 64)} }
+
+func (in *interner) str(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := in.m[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(in.m) < internMaxEntries && len(s) <= internMaxStrLen {
+		in.m[s] = s
+	}
+	return s
+}

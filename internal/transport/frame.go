@@ -1,0 +1,384 @@
+// Package transport carries SAN traffic over real sockets, letting an
+// SNS cluster span OS processes (the paper's §3.1 system-area network
+// made literal). It has three layers:
+//
+//   - a versioned frame format — magic, version, frame type, flags,
+//     call id, source/destination endpoint ids, message kind, body
+//     length, CRC32 — with alloc-free encoders that append onto the
+//     SAN's pooled wire-encode path, and a streaming Decoder that
+//     tolerates torn reads and never trusts a length it has not
+//     bounded;
+//   - a batching writer (Batcher) that coalesces multiple frames into
+//     one Write syscall under load, flushing on size or a microsecond
+//     deadline, so per-message syscall cost amortizes away at high
+//     rates;
+//   - a Bridge that implements san.Fabric over TCP or Unix sockets:
+//     per-peer connections with a handshake, peer-list gossip for mesh
+//     formation, automatic reconnect, and a learning route table that
+//     maps endpoint addresses to peers from observed traffic.
+//
+// Frame layout (all integers little-endian unless uvarint):
+//
+//	offset size  field
+//	0      2     magic 0x5341 ("AS")
+//	2      1     version (1)
+//	3      1     frame type (hello/data/mcast)
+//	4      4     length of everything after this prelude, CRC included
+//	8      ...   payload (per-type, strings uvarint-length-prefixed)
+//	8+n    4     CRC32 (IEEE) over prelude+payload
+//
+// Data payload: flags(1) callID(uvarint) srcNode srcProc dstNode
+// dstProc kind body. Mcast payload: srcNode srcProc group kind body.
+// Hello payload: id advertise peerCount peers....
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/san"
+)
+
+// Wire constants. A frame's prelude is fixed-size so a streaming
+// decoder can learn the full frame length from the first 8 bytes and
+// bound every allocation before trusting anything else.
+const (
+	Magic   uint16 = 0x5341 // "AS" on the wire
+	Version byte   = 1
+
+	preludeLen = 8
+	crcLen     = 4
+
+	// MaxFramePayload bounds the post-prelude bytes of one frame
+	// (CRC included). A peer claiming more is lying or corrupt; the
+	// decoder rejects the frame before buffering or allocating for it.
+	MaxFramePayload = 8 << 20
+)
+
+// Frame types.
+const (
+	FrameHello byte = 1 // handshake: bridge id, listen addr, known peers
+	FrameData  byte = 2 // point-to-point SAN message
+	FrameMcast byte = 3 // multicast SAN message
+)
+
+// Data-frame flags.
+const (
+	FlagReply byte = 1 << 0 // body answers a san Call (CallID echoes)
+)
+
+// Decode errors. A stream that produces any of these has lost frame
+// sync and the connection carrying it should be dropped.
+var (
+	ErrFrameFormat   = errors.New("transport: malformed frame")
+	ErrFrameMagic    = errors.New("transport: bad frame magic")
+	ErrFrameVersion  = errors.New("transport: unsupported frame version")
+	ErrFrameCRC      = errors.New("transport: frame CRC mismatch")
+	ErrFrameTooLarge = errors.New("transport: frame exceeds size bound")
+)
+
+// Frame is one decoded frame. The byte-slice fields alias the
+// Decoder's internal buffer and are valid only until the next call to
+// Next or Write; copy anything that must outlive the handling of this
+// frame. (san's codec already copies on DecodeBody, so handing Body
+// straight to InjectUnicast/InjectMulticast is safe.)
+type Frame struct {
+	Type   byte
+	Flags  byte
+	CallID uint64
+
+	SrcNode, SrcProc []byte
+	DstNode, DstProc []byte // FrameData only
+	Group            []byte // FrameMcast only
+	Kind             []byte
+	Body             []byte
+}
+
+// appendPrelude reserves the fixed prelude; finishFrame back-patches
+// the length and seals the CRC. Between the two, callers append the
+// payload with the uvarint/string helpers below.
+func appendPrelude(dst []byte, ftype byte) ([]byte, int) {
+	off := len(dst)
+	dst = binary.LittleEndian.AppendUint16(dst, Magic)
+	dst = append(dst, Version, ftype, 0, 0, 0, 0)
+	return dst, off
+}
+
+func finishFrame(dst []byte, off int) []byte {
+	payload := len(dst) - off - preludeLen
+	binary.LittleEndian.PutUint32(dst[off+4:], uint32(payload+crcLen))
+	sum := crc32.ChecksumIEEE(dst[off:])
+	return binary.LittleEndian.AppendUint32(dst, sum)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// AppendData appends one point-to-point frame carrying an
+// already-encoded message body (the SAN's pooled EncodeBodyAppend
+// output) and returns the extended slice. It allocates nothing when
+// dst has capacity.
+func AppendData(dst []byte, from, to san.Addr, kind string, callID uint64, reply bool, body []byte) []byte {
+	dst, off := appendPrelude(dst, FrameData)
+	flags := byte(0)
+	if reply {
+		flags |= FlagReply
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, callID)
+	dst = appendString(dst, from.Node)
+	dst = appendString(dst, from.Proc)
+	dst = appendString(dst, to.Node)
+	dst = appendString(dst, to.Proc)
+	dst = appendString(dst, kind)
+	dst = appendBytes(dst, body)
+	return finishFrame(dst, off)
+}
+
+// AppendMcast appends one multicast frame (group-addressed, no flags
+// or call id — multicasts are never replies).
+func AppendMcast(dst []byte, from san.Addr, group, kind string, body []byte) []byte {
+	dst, off := appendPrelude(dst, FrameMcast)
+	dst = appendString(dst, from.Node)
+	dst = appendString(dst, from.Proc)
+	dst = appendString(dst, group)
+	dst = appendString(dst, kind)
+	dst = appendBytes(dst, body)
+	return finishFrame(dst, off)
+}
+
+// Hello is the handshake payload each side sends immediately after a
+// connection opens: who it is, where it can be dialed, and which other
+// peers it knows — the gossip that lets a joining process complete the
+// mesh from one seed address.
+type Hello struct {
+	ID        string
+	Advertise string   // canonical dialable listen address
+	Peers     []string // advertised addresses of other known peers
+}
+
+// AppendHello appends one handshake frame.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst, off := appendPrelude(dst, FrameHello)
+	dst = appendString(dst, h.ID)
+	dst = appendString(dst, h.Advertise)
+	dst = binary.AppendUvarint(dst, uint64(len(h.Peers)))
+	for _, p := range h.Peers {
+		dst = appendString(dst, p)
+	}
+	return finishFrame(dst, off)
+}
+
+// DecodeHello materializes a Hello from a decoded FrameHello (the
+// hello fields ride in the payload reader's slots: ID in SrcNode,
+// Advertise in SrcProc, peers packed in Body). Callers get copies —
+// hellos are rare and long-lived, unlike data frames.
+func (f *Frame) DecodeHello() (Hello, error) {
+	if f.Type != FrameHello {
+		return Hello{}, fmt.Errorf("%w: not a hello frame", ErrFrameFormat)
+	}
+	h := Hello{ID: string(f.SrcNode), Advertise: string(f.SrcProc)}
+	r := payloadReader{buf: f.Body}
+	n := r.sliceLen(1)
+	for i := 0; i < n && r.err == nil; i++ {
+		h.Peers = append(h.Peers, string(r.bytes()))
+	}
+	if r.err != nil || r.pos != len(r.buf) {
+		return Hello{}, fmt.Errorf("%w: hello peer list", ErrFrameFormat)
+	}
+	return h, nil
+}
+
+// Decoder incrementally parses a byte stream into frames. Feed raw
+// reads with Write, then drain complete frames with Next; a torn read
+// simply leaves Next reporting "no frame yet" until the remainder
+// arrives. The internal buffer is bounded: a frame's claimed length is
+// validated against MaxFramePayload as soon as the prelude is visible,
+// before any of the payload is awaited.
+type Decoder struct {
+	buf []byte
+	r   int // consumed prefix
+
+	frames uint64
+}
+
+// Write feeds stream bytes into the decoder. It never fails; the
+// error return exists to satisfy io.Writer so a decoder can sit
+// directly under an io.Copy or TeeReader in tests.
+func (d *Decoder) Write(p []byte) (int, error) {
+	// Compact lazily: only when the dead prefix dominates the buffer.
+	if d.r > 0 && (d.r >= len(d.buf) || d.r > 4096) {
+		d.buf = append(d.buf[:0], d.buf[d.r:]...)
+		d.r = 0
+	}
+	d.buf = append(d.buf, p...)
+	return len(p), nil
+}
+
+// Buffered returns the number of unconsumed bytes held.
+func (d *Decoder) Buffered() int { return len(d.buf) - d.r }
+
+// Frames returns the count of frames decoded so far.
+func (d *Decoder) Frames() uint64 { return d.frames }
+
+// Next parses the next complete frame. ok=false with a nil error
+// means more bytes are needed; a non-nil error means the stream lost
+// frame sync (bad magic, corrupt CRC, oversized claim) and must be
+// abandoned — there is no resynchronization in a TCP-carried stream.
+func (d *Decoder) Next() (Frame, bool, error) {
+	avail := d.buf[d.r:]
+	if len(avail) < preludeLen {
+		return Frame{}, false, nil
+	}
+	if binary.LittleEndian.Uint16(avail) != Magic {
+		return Frame{}, false, ErrFrameMagic
+	}
+	if avail[2] != Version {
+		return Frame{}, false, ErrFrameVersion
+	}
+	ftype := avail[3]
+	length := binary.LittleEndian.Uint32(avail[4:])
+	if length > MaxFramePayload {
+		return Frame{}, false, ErrFrameTooLarge
+	}
+	if length < crcLen {
+		return Frame{}, false, fmt.Errorf("%w: frame length %d below CRC size", ErrFrameFormat, length)
+	}
+	total := preludeLen + int(length)
+	if len(avail) < total {
+		return Frame{}, false, nil
+	}
+	raw := avail[:total]
+	want := binary.LittleEndian.Uint32(raw[total-crcLen:])
+	if crc32.ChecksumIEEE(raw[:total-crcLen]) != want {
+		return Frame{}, false, ErrFrameCRC
+	}
+	f, err := parsePayload(ftype, raw[preludeLen:total-crcLen])
+	if err != nil {
+		return Frame{}, false, err
+	}
+	d.r += total
+	d.frames++
+	return f, true, nil
+}
+
+// parsePayload decodes the per-type payload. All returned slices alias
+// payload.
+func parsePayload(ftype byte, payload []byte) (Frame, error) {
+	f := Frame{Type: ftype}
+	r := payloadReader{buf: payload}
+	switch ftype {
+	case FrameData:
+		f.Flags = r.byte()
+		f.CallID = r.uvarint()
+		f.SrcNode = r.bytes()
+		f.SrcProc = r.bytes()
+		f.DstNode = r.bytes()
+		f.DstProc = r.bytes()
+		f.Kind = r.bytes()
+		f.Body = r.bytes()
+	case FrameMcast:
+		f.SrcNode = r.bytes()
+		f.SrcProc = r.bytes()
+		f.Group = r.bytes()
+		f.Kind = r.bytes()
+		f.Body = r.bytes()
+	case FrameHello:
+		f.SrcNode = r.bytes() // hello ID
+		f.SrcProc = r.bytes() // hello advertise addr
+		f.Body = r.rest()     // packed peer list, parsed by DecodeHello
+	default:
+		return Frame{}, fmt.Errorf("%w: unknown frame type %d", ErrFrameFormat, ftype)
+	}
+	if r.err != nil {
+		return Frame{}, r.err
+	}
+	if ftype != FrameHello && r.pos != len(r.buf) {
+		return Frame{}, fmt.Errorf("%w: %d trailing payload bytes", ErrFrameFormat, len(r.buf)-r.pos)
+	}
+	return f, nil
+}
+
+// payloadReader parses with sticky errors and zero copies: bytes()
+// returns subslices of the input.
+type payloadReader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *payloadReader) fail() {
+	if r.err == nil {
+		r.err = ErrFrameFormat
+	}
+}
+
+func (r *payloadReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.buf) {
+		r.fail()
+		return 0
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *payloadReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *payloadReader) bytes() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.pos) {
+		r.fail()
+		return nil
+	}
+	out := r.buf[r.pos : r.pos+int(n) : r.pos+int(n)]
+	r.pos += int(n)
+	return out
+}
+
+func (r *payloadReader) rest() []byte {
+	out := r.buf[r.pos:]
+	r.pos = len(r.buf)
+	return out
+}
+
+// sliceLen reads an element count bounded by the bytes remaining (each
+// element needs at least min bytes), so a hostile count cannot force
+// an allocation the input could never back.
+func (r *payloadReader) sliceLen(min int) int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64((len(r.buf)-r.pos)/min)+1 {
+		r.fail()
+		return 0
+	}
+	return int(n)
+}

@@ -20,7 +20,20 @@ const (
 	MsgOK     = "cache.ok"
 	MsgStats  = "cache.stats"
 	MsgStatsR = "cache.stats.reply"
+	// MsgHello is the cache service's periodic liveness heartbeat,
+	// multicast on the control group so the manager can carry the
+	// process-peer duty for cache nodes: silence longer than the TTL
+	// means the service crashed and must be restarted (§3.1.3 timeout
+	// inference, same as for front ends).
+	MsgHello = "cache.hello"
 )
+
+// HelloMsg is the MsgHello body.
+type HelloMsg struct {
+	Name string
+	Addr san.Addr
+	Node string
+}
 
 // GetReq asks for a key.
 type GetReq struct {
@@ -56,6 +69,13 @@ type Service struct {
 	// per-request service cost (the paper's 27 ms average hit).
 	ServiceTime func() time.Duration
 
+	// HeartbeatGroup/HeartbeatInterval, when both set, make Run
+	// multicast a HelloMsg on the group every interval so a process
+	// peer (the manager) can supervise this service. The platform
+	// layer wires these; bare services in unit tests stay silent.
+	HeartbeatGroup    string
+	HeartbeatInterval time.Duration
+
 	ep *san.Endpoint
 }
 
@@ -86,10 +106,20 @@ func (s *Service) Run(ctx context.Context) error {
 	}
 	ep := s.ep
 	defer ep.Close()
+
+	var hb <-chan time.Time
+	if s.HeartbeatGroup != "" && s.HeartbeatInterval > 0 {
+		t := time.NewTicker(s.HeartbeatInterval)
+		defer t.Stop()
+		hb = t.C
+		s.heartbeat(ep) // announce immediately so supervision starts now
+	}
 	for {
 		select {
 		case <-ctx.Done():
 			return nil
+		case <-hb:
+			s.heartbeat(ep)
 		case msg, ok := <-ep.Inbox():
 			if !ok {
 				return fmt.Errorf("vcache: %s endpoint closed", s.Name)
@@ -97,6 +127,14 @@ func (s *Service) Run(ctx context.Context) error {
 			s.handle(ep, msg)
 		}
 	}
+}
+
+func (s *Service) heartbeat(ep *san.Endpoint) {
+	ep.Multicast(s.HeartbeatGroup, MsgHello, HelloMsg{
+		Name: s.Name,
+		Addr: s.addr(),
+		Node: s.Node,
+	}, 48)
 }
 
 func (s *Service) handle(ep *san.Endpoint, msg san.Message) {

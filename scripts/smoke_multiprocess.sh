@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Two-process loopback smoke test (CI gate for internal/transport):
+# spawn a control-plane node process (manager + workers + caches) and
+# a serving-plane node process (front ends + monitor) joined over
+# 127.0.0.1, run a short TranSend workload from the serving side, and
+# assert zero failed requests and zero wire/frame errors. The serving
+# process's -selftest mode performs the assertions and exits non-zero
+# on any violation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REQUESTS="${1:-150}"
+PORT="${SMOKE_PORT:-7461}"
+
+bin=$(mktemp -t sns-node.XXXXXX)
+ctl_log=$(mktemp -t sns-ctl.XXXXXX.log)
+cleanup() {
+    [[ -n "${ctl_pid:-}" ]] && kill "${ctl_pid}" 2>/dev/null || true
+    [[ -n "${ctl_pid:-}" ]] && wait "${ctl_pid}" 2>/dev/null || true
+    rm -f "${bin}" "${ctl_log}"
+}
+trap cleanup EXIT
+
+echo "smoke: building cmd/node..."
+go build -o "${bin}" ./cmd/node
+
+echo "smoke: starting control-plane process (manager,worker,cache) on :${PORT}..."
+"${bin}" -listen "tcp:127.0.0.1:${PORT}" -prefix ctl -roles manager,worker,cache \
+    -seed 1 >"${ctl_log}" 2>&1 &
+ctl_pid=$!
+
+echo "smoke: starting serving process (frontend,monitor) with -selftest ${REQUESTS}..."
+if ! "${bin}" -listen tcp:127.0.0.1:0 -join "tcp:127.0.0.1:${PORT}" \
+    -prefix srv -roles frontend,monitor -cache-host ctl -seed 2 \
+    -selftest "${REQUESTS}"; then
+    echo "smoke: FAILED — control-plane log:" >&2
+    cat "${ctl_log}" >&2
+    exit 1
+fi
+
+echo "smoke: OK — ${REQUESTS} requests across two OS processes, zero failures, zero wire errors"
