@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/core"
 	"repro/internal/distiller"
 	"repro/internal/media"
 	"repro/internal/san"
@@ -97,6 +98,15 @@ func writeSnapshot(path string, seed int64) error {
 		m["fault_recovery_ms"] = ms
 	} else {
 		fmt.Fprintln(os.Stderr, "snapshot: recovery measurement failed:", err)
+	}
+
+	// supervisor restart: kill-to-serving latency of one cross-process
+	// supervised front-end restart over a loopback bridge (ns tracked,
+	// not gated — dominated by heartbeat TTLs and real sockets).
+	if ns, err := measureSupervisorRestart(seed); err == nil {
+		m["supervisor_restart_ns"] = ns
+	} else {
+		fmt.Fprintln(os.Stderr, "snapshot: supervisor restart measurement failed:", err)
 	}
 
 	// Hot-path micro costs: SAN send (passthrough vs wire), partition
@@ -296,4 +306,105 @@ func measureRecovery(seed int64) (float64, error) {
 		time.Sleep(time.Millisecond)
 	}
 	return float64(time.Since(start).Microseconds()) / 1000, nil
+}
+
+// measureSupervisorRestart times one cross-process supervised restart:
+// two bridged systems over loopback TCP (manager + workers + caches in
+// B, front end in A), A's front end killed, the clock stopped when the
+// manager in B has delegated the restart to A's supervisor and the
+// replacement is serving. Wall-clock (heartbeat TTL dominated), so the
+// metric is tracked in the trajectory, never gated.
+func measureSupervisorRestart(seed int64) (float64, error) {
+	reg := tacc.NewRegistry()
+	reg.Register("snap-echo", func() tacc.Worker {
+		return tacc.WorkerFunc{Name: "snap-echo", Fn: func(ctx context.Context, task *tacc.Task) (tacc.Blob, error) {
+			return task.Input, nil
+		}}
+	})
+	rules := func(url, mime string, profile map[string]string) tacc.Pipeline {
+		return tacc.Pipeline{{Class: "snap-echo"}}
+	}
+	workers := map[string]int{"snap-echo": 1}
+	const tick = 10 * time.Millisecond
+
+	dirB, err := os.MkdirTemp("", "snap-sup-b-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dirB)
+	sysB, err := core.Start(core.Config{
+		Seed:           seed,
+		Roles:          core.Roles{Manager: true, Workers: true, Caches: true},
+		NodePrefix:     "b-",
+		Transport:      core.TransportConfig{Listen: "tcp:127.0.0.1:0"},
+		DedicatedNodes: 4,
+		Workers:        workers,
+		Registry:       reg,
+		Rules:          rules,
+		ProfileDir:     dirB,
+		BeaconInterval: tick,
+		ReportInterval: tick,
+		CallTimeout:    time.Second,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer sysB.Stop()
+
+	dirA, err := os.MkdirTemp("", "snap-sup-a-*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.RemoveAll(dirA)
+	sysA, err := core.Start(core.Config{
+		Seed:           seed + 1,
+		Roles:          core.Roles{FrontEnds: true, Monitor: true},
+		NodePrefix:     "a-",
+		Transport:      core.TransportConfig{Listen: "tcp:127.0.0.1:0", Join: []string{sysB.Bridge.Advertise()}},
+		DedicatedNodes: 4,
+		FrontEnds:      1,
+		RemoteCaches:   core.CacheAddrs("b-", 0, 4),
+		Workers:        workers,
+		Registry:       reg,
+		Rules:          rules,
+		ProfileDir:     dirA,
+		BeaconInterval: tick,
+		ReportInterval: tick,
+		CallTimeout:    time.Second,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer sysA.Stop()
+
+	if !sysB.WaitReady(15*time.Second) || !sysA.WaitReady(15*time.Second) {
+		return 0, fmt.Errorf("bridged pair not ready")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, ok := sysB.Manager().SupervisorFor("a-node0"); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("supervisor hello never crossed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	if err := sysA.KillFrontEnd("fe0"); err != nil {
+		return 0, err
+	}
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		st := sysB.Manager().Stats()
+		fes := sysA.FrontEnds()
+		if st.Delegated >= 1 && len(fes) > 0 && fes[0].Running() {
+			return float64(time.Since(start).Nanoseconds()), nil
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("no delegated restart within 15s")
+		}
+		time.Sleep(time.Millisecond)
+	}
 }

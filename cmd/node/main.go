@@ -24,7 +24,12 @@
 // -selftest N runs N requests against the cluster after it reports
 // ready, prints a JSON summary (requests, failures, wire/frame error
 // counters, batching figures), and exits non-zero on any failure —
-// the mode CI's two-process smoke test uses.
+// the mode CI's two-process smoke test uses. -selftest-kill NAME
+// additionally SIGKILLs the named component (a cache partition hosted
+// by a peer process) mid-run through that process's supervisor, then
+// asserts the manager's process-peer duty respawned it by supervisor
+// delegation with zero failed requests — the cross-process
+// self-healing smoke.
 package main
 
 import (
@@ -43,6 +48,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/distiller"
 	"repro/internal/manager"
+	"repro/internal/supervisor"
 	"repro/internal/tacc"
 )
 
@@ -63,6 +69,7 @@ func main() {
 	profileDir := flag.String("profiles", "", "profile DB directory (empty = temp)")
 	httpAddr := flag.String("http", "", "serve the TranSend HTTP API on this address (frontend role)")
 	selftest := flag.Int("selftest", 0, "run N requests after ready, print a JSON summary, and exit")
+	selftestKill := flag.String("selftest-kill", "", "mid-selftest, kill this cache component via its process's supervisor and assert a delegated respawn (requires the manager role here)")
 	readyTimeout := flag.Duration("ready-timeout", 30*time.Second, "how long to wait for the cluster to become serviceable")
 	seed := flag.Int64("seed", 0, "random seed (0 = time-based)")
 	flag.Parse()
@@ -137,7 +144,7 @@ func main() {
 	log.Printf("node: ready — peers %v", sys.Bridge.Peers())
 
 	if *selftest > 0 {
-		if err := runSelftest(sys, *selftest); err != nil {
+		if err := runSelftest(sys, *selftest, *selftestKill); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -167,12 +174,26 @@ type selftestReport struct {
 	Batches        uint64  `json:"batches"`
 	FramesPerBatch float64 `json:"frames_per_batch"`
 	Peers          int     `json:"peers"`
+	Supervisors    int     `json:"supervisors"`
+	Delegated      uint64  `json:"delegated_restarts"`
+	CacheRestarts  uint64  `json:"cache_restarts"`
+	KillInjected   string  `json:"kill_injected,omitempty"`
 }
 
-func runSelftest(sys *core.System, n int) error {
+func runSelftest(sys *core.System, n int, kill string) error {
 	ctx := context.Background()
 	rep := selftestReport{Requests: n}
 	for i := 0; i < n; i++ {
+		if kill != "" && i == n/3 {
+			// Remote fault injection: crash the victim through its own
+			// process's supervisor, then keep the load running — the
+			// cache is an optimization, so nothing may fail meanwhile.
+			if err := selftestKillRemote(ctx, sys, kill); err != nil {
+				return fmt.Errorf("selftest: kill %s: %w", kill, err)
+			}
+			rep.KillInjected = kill
+			log.Printf("selftest: killed %s via its supervisor at request %d", kill, i)
+		}
 		url := fmt.Sprintf("http://origin%d.example/obj%d.sjpg", i%4, i%32)
 		rctx, cancel := context.WithTimeout(ctx, 15*time.Second)
 		_, err := sys.Request(rctx, url, fmt.Sprintf("user%d", i%8))
@@ -180,6 +201,26 @@ func runSelftest(sys *core.System, n int) error {
 		if err != nil {
 			rep.Failures++
 			log.Printf("selftest: request %d (%s) failed: %v", i, url, err)
+		}
+	}
+	if kill != "" {
+		// The manager must infer the death from heartbeat silence and
+		// delegate the restart to the victim's supervisor.
+		if err := awaitDelegatedRestart(sys, 60*time.Second); err != nil {
+			return fmt.Errorf("selftest: %w", err)
+		}
+		log.Printf("selftest: %s respawned by supervisor delegation", kill)
+		// A post-recovery burst proves the respawned partition serves.
+		for i := 0; i < 20; i++ {
+			url := fmt.Sprintf("http://origin%d.example/obj%d.sjpg", i%4, i%16)
+			rctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+			_, err := sys.Request(rctx, url, "post-recovery")
+			cancel()
+			rep.Requests++
+			if err != nil {
+				rep.Failures++
+				log.Printf("selftest: post-recovery request %d failed: %v", i, err)
+			}
 		}
 	}
 	for _, fe := range sys.FrontEnds() {
@@ -197,13 +238,75 @@ func runSelftest(sys *core.System, n int) error {
 		rep.FramesPerBatch = float64(br.FramesOut) / float64(br.Batches)
 	}
 	rep.Peers = br.Peers
+	if mgr := sys.Manager(); mgr != nil {
+		st := mgr.Stats()
+		rep.Supervisors = st.Supervisors
+		rep.Delegated = st.Delegated
+		rep.CacheRestarts = st.CacheRestarts
+	}
 	out, _ := json.Marshal(rep)
 	fmt.Println(string(out))
 	if rep.Failures > 0 || rep.WireErrors > 0 || rep.FrameErrors > 0 {
 		return fmt.Errorf("selftest: %d failures, %d wire errors, %d frame errors",
 			rep.Failures, rep.WireErrors, rep.FrameErrors)
 	}
+	if kill != "" && rep.Delegated == 0 {
+		return fmt.Errorf("selftest: %s was killed but no delegated restart was recorded", kill)
+	}
 	return nil
+}
+
+// selftestKillRemote crashes a cache component hosted by a peer
+// process: resolve its node from the deterministic cache placement,
+// resolve that node's supervisor from the manager's hello table, and
+// issue an OpKill through this process's own supervisor (the client
+// half of the daemon protocol).
+func selftestKillRemote(ctx context.Context, sys *core.System, name string) error {
+	addr, ok := sys.CacheNodes()[name]
+	if !ok {
+		return fmt.Errorf("unknown cache component %q (selftest-kill supports cache partitions)", name)
+	}
+	mgr := sys.Manager()
+	if mgr == nil {
+		return fmt.Errorf("selftest-kill requires the manager role in this process")
+	}
+	var sup supervisor.HelloMsg
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if s, found := mgr.SupervisorFor(addr.Node); found {
+			sup = s
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no supervisor hello for node %s", addr.Node)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	kctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+	defer cancel()
+	ack, err := sys.Supervisor().Invoke(kctx, sup.Addr, supervisor.Command{
+		Op: supervisor.OpKill, Target: name,
+	})
+	if err != nil {
+		return err
+	}
+	if !ack.OK {
+		return fmt.Errorf("supervisor refused: %s", ack.Err)
+	}
+	return nil
+}
+
+// awaitDelegatedRestart blocks until the manager has completed at
+// least one supervisor-delegated restart.
+func awaitDelegatedRestart(sys *core.System, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if st := sys.Manager().Stats(); st.Delegated >= 1 {
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("no supervisor-delegated restart within %s (stats %+v)", timeout, sys.Manager().Stats())
 }
 
 // serveHTTP exposes the same /fetch and /status endpoints as
@@ -233,8 +336,30 @@ func serveHTTP(sys *core.System, addr string) {
 		for _, fe := range sys.FrontEnds() {
 			fmt.Fprintf(w, "%s: %+v\n", fe.ID(), fe.Stats())
 		}
+		if mgr := sys.Manager(); mgr != nil {
+			fmt.Fprintf(w, "manager: %+v\n", mgr.Stats())
+			for _, sup := range mgr.Supervisors() {
+				fmt.Fprintf(w, "supervisor: %s (prefix %q)\n", sup.Addr, sup.Prefix)
+			}
+		}
+		fmt.Fprintf(w, "supervisor(local): %s %+v\n", sys.Supervisor().Addr(), sys.Supervisor().Stats())
 		fmt.Fprintf(w, "san: wire=%v %+v\n", sys.Net.WireMode(), sys.Net.Stats())
 		fmt.Fprintf(w, "bridge: %+v\n", sys.Bridge.Stats())
+	})
+	// Local fault injection for multi-process chaos scripts: crash a
+	// component this process hosts; whoever carries its process-peer
+	// duty (possibly a manager in another process) must respawn it.
+	mux.HandleFunc("/kill", func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("component")
+		if name == "" {
+			http.Error(w, "missing component parameter", http.StatusBadRequest)
+			return
+		}
+		if err := sys.KillComponent(name); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		fmt.Fprintf(w, "killed %s\n", name)
 	})
 	log.Printf("node: http on %s", addr)
 	log.Fatal(http.ListenAndServe(addr, mux))

@@ -7,8 +7,11 @@
 //
 // Start with README.md for the tour and the package map (including
 // the SAN's wire mode — the production serialization path, default-on
-// in chaos runs — and internal/transport, the framed, batched socket
-// layer that lets one cluster span real OS processes via cmd/node).
+// in chaos runs — internal/transport, the framed, batched socket
+// layer that lets one cluster span real OS processes via cmd/node,
+// and internal/supervisor, the per-process daemon that makes
+// process-peer restarts and rolling upgrades location-transparent
+// across those processes).
 // The benchmarks in bench_test.go (one per reproduced artifact, plus
 // matched passthrough/wire SAN pairs and the batched/unbatched bridge
 // pair) and cmd/experiments regenerate the results; make

@@ -1,0 +1,178 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/manager"
+	"repro/internal/tacc"
+)
+
+// startBridgedPair boots a two-OS-process-shaped cluster inside the
+// test binary: process B hosts the manager, workers, and caches;
+// process A hosts the front ends and monitor. Loopback TCP is all
+// they share — the same split cmd/node runs.
+func startBridgedPair(t *testing.T, seedA, seedB int64) (sysA, sysB *core.System) {
+	t.Helper()
+	reg := tacc.NewRegistry()
+	reg.Register(EchoClass, func() tacc.Worker {
+		return tacc.WorkerFunc{Name: EchoClass, Fn: func(ctx context.Context, task *tacc.Task) (tacc.Blob, error) {
+			return task.Input, nil
+		}}
+	})
+	rules := func(url, mime string, profile map[string]string) tacc.Pipeline {
+		return tacc.Pipeline{{Class: EchoClass}}
+	}
+	workers := map[string]int{EchoClass: 2}
+	policy := manager.Policy{SpawnThreshold: 1e9, Damping: time.Hour, ReapThreshold: -1}
+	const tick = 10 * time.Millisecond
+
+	sysB, err := core.Start(core.Config{
+		Seed:           seedB,
+		Roles:          core.Roles{Manager: true, Workers: true, Caches: true},
+		NodePrefix:     "b-",
+		Transport:      core.TransportConfig{Listen: "tcp:127.0.0.1:0"},
+		DedicatedNodes: 6,
+		CacheParts:     2,
+		Workers:        workers,
+		Registry:       reg,
+		Rules:          rules,
+		ProfileDir:     t.TempDir(),
+		BeaconInterval: tick,
+		ReportInterval: tick,
+		CallTimeout:    time.Second,
+		MinDistillSize: 1,
+		Policy:         policy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sysB.Stop)
+
+	sysA, err = core.Start(core.Config{
+		Seed:           seedA,
+		Roles:          core.Roles{FrontEnds: true, Monitor: true},
+		NodePrefix:     "a-",
+		Transport:      core.TransportConfig{Listen: "tcp:127.0.0.1:0", Join: []string{sysB.Bridge.Advertise()}},
+		DedicatedNodes: 4,
+		FrontEnds:      1,
+		RemoteCaches:   core.CacheAddrs("b-", 2, 6),
+		Workers:        workers,
+		Registry:       reg,
+		Rules:          rules,
+		ProfileDir:     t.TempDir(),
+		BeaconInterval: tick,
+		ReportInterval: tick,
+		CallTimeout:    time.Second,
+		MinDistillSize: 1,
+		Policy:         policy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(sysA.Stop)
+
+	if !sysA.Bridge.WaitPeers(1, 10*time.Second) {
+		t.Fatal("bridges never met")
+	}
+	if !sysB.WaitReady(15*time.Second) || !sysA.WaitReady(15*time.Second) {
+		t.Fatal("bridged pair not ready")
+	}
+	return sysA, sysB
+}
+
+// crossProcessRespawnTimeline runs the scripted cross-process fault
+// scenario once and returns its event timeline: two kill cycles of
+// process A's front end, each recovered by the manager in process B
+// through A's supervisor. Only fe0's lifecycle belongs on the
+// timeline; any other process exit in either system is cross-talk and
+// recorded so the diff flags it.
+func crossProcessRespawnTimeline(t *testing.T) []string {
+	t.Helper()
+	sysA, sysB := startBridgedPair(t, 1, 2)
+
+	var mu sync.Mutex
+	var events []string
+	record := func(ev string) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}
+	stopped := make(chan struct{})
+	observe := func(side string, sys *core.System) {
+		sys.Cluster.OnExit(func(info cluster.ExitInfo) {
+			select {
+			case <-stopped:
+				return // teardown exits are not scenario events
+			default:
+			}
+			if info.Proc == "fe0" {
+				record("exit:" + side + "/" + info.Proc)
+			} else if info.Proc != "sup" {
+				// Anything else dying mid-scenario (spurious restarts,
+				// double respawns) must show up in the diff.
+				record("stray-exit:" + side + "/" + info.Proc)
+			}
+		})
+	}
+	observe("A", sysA)
+	observe("B", sysB)
+
+	waitFor(t, "cross-process supervisor hello", func() bool {
+		_, ok := sysB.Manager().SupervisorFor("a-node0")
+		return ok
+	})
+
+	for cycle := 1; cycle <= 2; cycle++ {
+		record(fmt.Sprintf("kill:fe0#%d", cycle))
+		if err := sysA.KillFrontEnd("fe0"); err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, fmt.Sprintf("respawn cycle %d", cycle), func() bool {
+			st := sysB.Manager().Stats()
+			if int(st.FERestarts) < cycle || int(st.Delegated) < cycle {
+				return false
+			}
+			fes := sysA.FrontEnds()
+			return len(fes) > 0 && fes[0].Running()
+		})
+		record(fmt.Sprintf("restored:fe0#%d", cycle))
+	}
+	close(stopped)
+
+	if st := sysA.Net.Stats(); st.WireErrors != 0 {
+		t.Fatalf("process A: WireErrors=%d", st.WireErrors)
+	}
+	if st := sysB.Net.Stats(); st.WireErrors != 0 {
+		t.Fatalf("process B: WireErrors=%d", st.WireErrors)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return append([]string(nil), events...)
+}
+
+// TestCrossProcessRespawnTimelineDeterministic is the run-twice-and-
+// diff contract extended across process boundaries: the scripted
+// kill/respawn scenario yields the identical event timeline on two
+// fresh bridged pairs built from the same seeds — same kills, same
+// exits, same recoveries, and no stray process churn on either side.
+func TestCrossProcessRespawnTimelineDeterministic(t *testing.T) {
+	first := crossProcessRespawnTimeline(t)
+	second := crossProcessRespawnTimeline(t)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("cross-process respawn timelines diverged:\nrun 1: %v\nrun 2: %v", first, second)
+	}
+	want := []string{
+		"kill:fe0#1", "exit:A/fe0", "restored:fe0#1",
+		"kill:fe0#2", "exit:A/fe0", "restored:fe0#2",
+	}
+	if !reflect.DeepEqual(first, want) {
+		t.Fatalf("timeline = %v, want %v", first, want)
+	}
+}

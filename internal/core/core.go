@@ -29,6 +29,7 @@ import (
 	"repro/internal/profiledb"
 	"repro/internal/san"
 	"repro/internal/stub"
+	"repro/internal/supervisor"
 	"repro/internal/tacc"
 	"repro/internal/transport"
 	"repro/internal/vcache"
@@ -38,15 +39,18 @@ import (
 // hosts everything (the classic single-process deployment); a
 // multi-process cluster gives each cmd/node process a subset and the
 // components discover each other over the bridged SAN exactly as they
-// would in one process.
+// would in one process. Every process additionally runs a supervisor
+// daemon (internal/supervisor), regardless of its role set, so
+// whichever process hosts the manager can delegate process-peer
+// restarts into any other.
 //
-// Role sets should be disjoint across the processes of one cluster:
-// component process names (fe0, cache0, manager) are not
-// prefix-qualified, so two processes hosting the same role run
-// same-named components whose heartbeats interleave in the manager's
-// soft-state tables (cache entries are address-keyed and safe; front
-// ends and managers are not). Scaling a role out means more
-// components in its one process, not the role in two processes.
+// Replicated roles: front ends, workers, and caches may be hosted by
+// several processes of one cluster — FE and cache heartbeats are
+// keyed by SAN address and worker ids are prefix-qualified, so
+// same-named components in different processes never interleave in
+// the manager's soft-state tables. The manager role itself must still
+// be hosted by exactly one process (beacons carry a single manager
+// address; there is no election yet).
 type Roles struct {
 	FrontEnds bool
 	Manager   bool
@@ -249,6 +253,8 @@ type System struct {
 	mgrHandle   *cluster.Handle
 	mgrEpoch    int
 	lastMgrFix  time.Time
+	sup         *supervisor.Supervisor
+	supNode     string
 	fes         map[string]*frontend.FrontEnd
 	feNodes     map[string]string
 	feOrder     []string
@@ -354,6 +360,21 @@ func Start(cfg Config) (*System, error) {
 	if s.cfg.Origin == nil {
 		s.cfg.Origin = origin.NewSimulated(cfg.Seed)
 	}
+
+	// Per-process supervisor daemon — every role set gets one, so the
+	// manager's process-peer duties reach into this process wherever
+	// the manager itself lives. A local watchdog respawns it if it
+	// dies: the supervisor must not be the one component nobody
+	// supervises.
+	if err := s.spawnSupervisor(); err != nil {
+		s.cleanup()
+		return nil, err
+	}
+	s.Cluster.OnExit(func(info cluster.ExitInfo) {
+		if info.Proc == "sup" && !s.stopped.Load() {
+			go func() { _ = s.spawnSupervisor() }()
+		}
+	})
 
 	// Cache partitions. Placement comes from CacheAddrs — the same
 	// function peer processes call — so the "computed address ==
@@ -486,6 +507,8 @@ func (s *System) spawnManager() error {
 		WorkerTTL:      5 * s.cfg.ReportInterval,
 		FETTL:          6 * s.cfg.BeaconInterval,
 		CacheTTL:       s.cfg.CacheSuperviseTTL,
+		Prefix:         s.cfg.NodePrefix,
+		CmdTimeout:     s.cfg.CallTimeout,
 		Spawner:        &spawner{s: s},
 	})
 	h, err := s.Cluster.Spawn(node, m)
@@ -504,6 +527,57 @@ func (s *System) Manager() *manager.Manager {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.mgr
+}
+
+// Supervisor returns this process's supervisor daemon.
+func (s *System) Supervisor() *supervisor.Supervisor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sup
+}
+
+// spawnSupervisor starts (or restarts) the per-process supervisor. The
+// address is stable across respawns — a restarted daemon reclaims its
+// name, and managers keep delegating to the same place.
+func (s *System) spawnSupervisor() error {
+	if s.stopped.Load() {
+		return fmt.Errorf("core: system stopped")
+	}
+	s.mu.Lock()
+	node := s.supNode
+	s.mu.Unlock()
+	// If the daemon's node died, it moves; the fresh hello re-teaches
+	// every manager the new address (the table is address-keyed).
+	for _, n := range s.Cluster.Nodes() {
+		if n.ID == node && !n.Alive {
+			node = ""
+			break
+		}
+	}
+	if node == "" {
+		node = s.placeOrErr()
+		if node == "" {
+			return fmt.Errorf("core: no node for supervisor")
+		}
+	}
+	sup := supervisor.New(supervisor.Config{
+		Node:              node,
+		Net:               s.Net,
+		Prefix:            s.cfg.NodePrefix,
+		Host:              supHost{s: s},
+		HeartbeatGroup:    stub.GroupControl,
+		HeartbeatInterval: s.cfg.ReportInterval,
+		DisableKind:       stub.MsgDisable,
+		EnableKind:        stub.MsgEnable,
+	})
+	if _, err := s.Cluster.Spawn(node, sup); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.sup = sup
+	s.supNode = node
+	s.mu.Unlock()
+	return nil
 }
 
 // restartManager is the front ends' process-peer action ("the front
@@ -704,7 +778,9 @@ func (sp *spawner) SpawnWorker(class string, overflow bool) (stub.WorkerInfo, er
 	if node == "" {
 		return stub.WorkerInfo{}, fmt.Errorf("core: no capacity for worker class %s", class)
 	}
-	id := fmt.Sprintf("%s.%d", class, s.workerSeq.Add(1))
+	// Prefix-qualified like node names, so replicated worker roles
+	// across processes never collide in the manager's id-keyed table.
+	id := fmt.Sprintf("%s%s.%d", s.cfg.NodePrefix, class, s.workerSeq.Add(1))
 	ws := stub.NewWorkerStub(id, node, w, s.Net, stub.WorkerConfig{
 		ReportInterval: s.cfg.ReportInterval,
 		Overflow:       overflow,
@@ -820,6 +896,110 @@ func (sp *spawner) HasDedicatedCapacity() bool {
 		return len(n.Procs) < s.cfg.ProcsPerNode
 	})
 	return node != ""
+}
+
+// supHost adapts the System into the supervisor's lever on this
+// process (supervisor.Host): the same restart duties the manager's
+// spawner performs, now reachable from a manager in any process.
+type supHost struct{ s *System }
+
+func (h supHost) RestartFrontEnd(name string) error { return (&spawner{s: h.s}).RestartFrontEnd(name) }
+func (h supHost) RestartCache(name string) error    { return (&spawner{s: h.s}).RestartCache(name) }
+func (h supHost) RestartWorker(id string) error     { return h.s.restartWorker(id) }
+
+func (h supHost) SpawnWorker(class string) error {
+	sp := &spawner{s: h.s}
+	_, err := sp.SpawnWorker(class, !sp.HasDedicatedCapacity())
+	return err
+}
+
+func (h supHost) KillComponent(name string) error { return h.s.KillComponent(name) }
+
+func (h supHost) ComponentAddr(name string) (san.Addr, bool) { return h.s.ComponentAddr(name) }
+
+// restartWorker kills and respawns a worker under the same id and
+// class — the supervisor's hot-upgrade restart. The stub's context
+// cancellation deregisters it cleanly (a voluntary departure, so the
+// manager spawns no replacement), and the fresh stub re-registers on
+// the next beacon as the "upgraded binary".
+func (s *System) restartWorker(id string) error {
+	if s.stopped.Load() {
+		return fmt.Errorf("core: system stopped")
+	}
+	s.mu.Lock()
+	ws := s.workerStubs[id]
+	node := s.workerNodes[id]
+	s.mu.Unlock()
+	if ws == nil {
+		return fmt.Errorf("core: unknown worker %s", id)
+	}
+	info := ws.Info()
+	w, err := s.cfg.Registry.New(info.Class)
+	if err != nil {
+		return err
+	}
+	_ = s.Cluster.KillProcess(node, id) // graceful: the stub deregisters on its way out
+	for _, n := range s.Cluster.Nodes() {
+		if n.ID == node && !n.Alive {
+			node = s.placeOrErr()
+			break
+		}
+	}
+	if node == "" {
+		return fmt.Errorf("core: no node for worker %s", id)
+	}
+	ws2 := stub.NewWorkerStub(id, node, w, s.Net, stub.WorkerConfig{
+		ReportInterval: s.cfg.ReportInterval,
+		Overflow:       info.Overflow,
+	})
+	if _, err := s.Cluster.Spawn(node, ws2); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.workerNodes[id] = node
+	s.workerStubs[id] = ws2
+	s.mu.Unlock()
+	return nil
+}
+
+// KillComponent crashes any locally hosted component by name — the
+// supervisor's remote fault-injection op for multi-process chaos.
+func (s *System) KillComponent(name string) error {
+	s.mu.Lock()
+	_, isWorker := s.workerStubs[name]
+	_, isFE := s.fes[name]
+	isCache := s.localCaches[name]
+	s.mu.Unlock()
+	switch {
+	case isWorker:
+		return s.KillWorker(name)
+	case isCache:
+		return s.KillCache(name)
+	case isFE:
+		return s.KillFrontEnd(name)
+	}
+	return fmt.Errorf("core: no component %s hosted here", name)
+}
+
+// ComponentAddr resolves a locally hosted component's SAN address.
+func (s *System) ComponentAddr(name string) (san.Addr, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ws, ok := s.workerStubs[name]; ok {
+		return ws.Addr(), true
+	}
+	if _, ok := s.fes[name]; ok {
+		if node := s.feNodes[name]; node != "" {
+			return san.Addr{Node: node, Proc: name}, true
+		}
+	}
+	if s.localCaches[name] {
+		return s.cacheNodes[name], true
+	}
+	if s.mgr != nil && s.mgr.ID() == name {
+		return s.mgr.Addr(), true
+	}
+	return san.Addr{}, false
 }
 
 // KillWorker crashes a worker abruptly (fault injection for tests and

@@ -3,11 +3,13 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/distiller"
 	"repro/internal/manager"
+	"repro/internal/monitor"
 	"repro/internal/tacc"
 )
 
@@ -135,6 +137,139 @@ func TestMultiProcessEndToEnd(t *testing.T) {
 	}
 	t.Logf("A: %d frames out in %d batches; B: %d frames out in %d batches",
 		abr.FramesOut, abr.Batches, bbr.FramesOut, bbr.Batches)
+}
+
+// TestMultiProcessSupervisedRestart is the acceptance test for the
+// supervisor tentpole: a front end in process A is killed; the manager
+// in process B infers the death from heartbeat silence, resolves A's
+// supervisor from its hello table, and delegates the restart over the
+// SAN — the process-peer duty made location-transparent. Service
+// resumes with zero failed requests and zero wire errors on both
+// sides.
+func TestMultiProcessSupervisedRestart(t *testing.T) {
+	sysA, sysB := startPair(t, nil)
+	ctx := context.Background()
+
+	// The manager must know A's supervisor before the kill, or the
+	// restart would have nowhere to go.
+	waitFor(t, "cross-process supervisor hello", func() bool {
+		sup, ok := sysB.Manager().SupervisorFor("a-node0")
+		return ok && sup.Prefix == "a-"
+	})
+
+	if err := sysA.KillFrontEnd("fe0"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "delegated FE restart", func() bool {
+		st := sysB.Manager().Stats()
+		return st.Delegated >= 1 && st.FERestarts >= 1
+	})
+	waitFor(t, "front end serving again", func() bool {
+		fes := sysA.FrontEnds()
+		return len(fes) > 0 && fes[0].Running()
+	})
+
+	for i := 0; i < 40; i++ {
+		url := fmt.Sprintf("http://origin%d.example/obj%d.sjpg", i%4, i%16)
+		rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		_, err := sysA.Request(rctx, url, "carol")
+		cancel()
+		if err != nil {
+			t.Fatalf("request %d after supervised restart failed: %v", i, err)
+		}
+	}
+	for name, sys := range map[string]*System{"A": sysA, "B": sysB} {
+		if st := sys.Net.Stats(); st.WireErrors != 0 {
+			t.Fatalf("process %s: WireErrors=%d", name, st.WireErrors)
+		}
+	}
+}
+
+// TestMultiProcessRollingUpgradeWave: the ROADMAP's "upgrade waves"
+// scenario made real across OS process boundaries. Both processes
+// host SJPG workers (ids prefix-qualified, so the replicated role is
+// safe); the monitor in process A rolls a disable -> supervisor
+// restart -> enable wave over all of them — one at a time, each via
+// its own process's supervisor — while a foreground load keeps
+// hitting the SJPG pipeline. Zero failed requests, zero wire errors.
+func TestMultiProcessRollingUpgradeWave(t *testing.T) {
+	sysA, sysB := startPair(t, func(a, b *Config) {
+		a.Roles = Roles{FrontEnds: true, Monitor: true, Workers: true}
+	})
+	ctx := context.Background()
+
+	// The wave driver needs the full inventory: one SJPG worker per
+	// process, plus both supervisors.
+	waitFor(t, "beacon inventory spans both processes", func() bool {
+		ws := sysA.Mon.WorkersOf(distiller.ClassSJPG)
+		if len(ws) != 2 {
+			return false
+		}
+		for _, w := range ws {
+			if _, ok := sysA.Mon.SupervisorFor(w.Node); !ok {
+				return false
+			}
+		}
+		return true
+	})
+	before := sysA.Mon.WorkersOf(distiller.ClassSJPG)
+
+	// Foreground load across the wave: every request exercises the
+	// SJPG worker pipeline being upgraded under it.
+	stopLoad := make(chan struct{})
+	done := make(chan struct{})
+	var failures atomic.Int64
+	var issued atomic.Int64
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stopLoad:
+				return
+			default:
+			}
+			url := fmt.Sprintf("http://origin%d.example/wave%d.sjpg", i%4, i%32)
+			rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+			_, err := sysA.Request(rctx, url, "dave")
+			cancel()
+			issued.Add(1)
+			if err != nil {
+				failures.Add(1)
+			}
+		}
+	}()
+
+	wctx, wcancel := context.WithTimeout(ctx, 60*time.Second)
+	rep, err := sysA.Mon.UpgradeWave(wctx, distiller.ClassSJPG, monitor.WaveOptions{
+		Drain:          5 * tick,
+		CommandTimeout: 5 * time.Second,
+	})
+	wcancel()
+	close(stopLoad)
+	<-done
+	if err != nil {
+		t.Fatalf("upgrade wave: %v (report %+v)", err, rep)
+	}
+	if len(rep.Upgraded) != 2 || len(rep.Failed) != 0 {
+		t.Fatalf("wave report %+v, want both workers upgraded", rep)
+	}
+	for i, id := range rep.Upgraded {
+		if id != before[i].ID {
+			t.Fatalf("wave order %v != inventory %v", rep.Upgraded, before)
+		}
+	}
+	if issued.Load() == 0 {
+		t.Fatal("load generator issued nothing")
+	}
+	if f := failures.Load(); f != 0 {
+		t.Fatalf("%d of %d requests failed during the rolling upgrade", f, issued.Load())
+	}
+	for name, sys := range map[string]*System{"A": sysA, "B": sysB} {
+		if st := sys.Net.Stats(); st.WireErrors != 0 {
+			t.Fatalf("process %s: WireErrors=%d", name, st.WireErrors)
+		}
+	}
+	t.Logf("wave upgraded %v under %d requests, 0 failures", rep.Upgraded, issued.Load())
 }
 
 // TestMultiProcessCacheHit: an object distilled once is served from

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/supervisor"
+)
+
+// TestSupervisorWiredIntoEveryRoleSet: a plain single-process system
+// runs a supervisor daemon, the manager tracks its hello, and the
+// Host adapter resolves every locally hosted component kind.
+func TestSupervisorWiredIntoEveryRoleSet(t *testing.T) {
+	s := startTranSend(t, nil)
+
+	sup := s.Supervisor()
+	if sup == nil {
+		t.Fatal("no supervisor daemon")
+	}
+	if sup.Prefix() != "" {
+		t.Fatalf("single-process supervisor prefix %q", sup.Prefix())
+	}
+	waitFor(t, "manager tracks the supervisor", func() bool {
+		return s.Manager().Stats().Supervisors >= 1
+	})
+	hb, ok := s.Manager().SupervisorFor("node0")
+	if !ok || hb.Addr != sup.Addr() {
+		t.Fatalf("SupervisorFor(node0) = %+v ok=%v, want %v", hb, ok, sup.Addr())
+	}
+	if sups := s.Manager().Supervisors(); len(sups) != 1 || sups[0].Addr != sup.Addr() {
+		t.Fatalf("Supervisors() = %v", sups)
+	}
+
+	// ComponentAddr covers workers, front ends, caches, the manager.
+	workers := s.Workers()
+	if len(workers) == 0 {
+		t.Fatal("no workers")
+	}
+	if addr, ok := s.ComponentAddr(workers[0]); !ok || addr.Proc != workers[0] {
+		t.Fatalf("worker ComponentAddr = %v ok=%v", addr, ok)
+	}
+	if addr, ok := s.ComponentAddr("fe0"); !ok || addr.Proc != "fe0" {
+		t.Fatalf("fe ComponentAddr = %v ok=%v", addr, ok)
+	}
+	if addr, ok := s.ComponentAddr("cache0"); !ok || addr.Proc != "cache0" {
+		t.Fatalf("cache ComponentAddr = %v ok=%v", addr, ok)
+	}
+	if _, ok := s.ComponentAddr("manager"); !ok {
+		t.Fatal("manager ComponentAddr missing")
+	}
+	if _, ok := s.ComponentAddr("nonesuch"); ok {
+		t.Fatal("unknown component resolved")
+	}
+}
+
+// TestKillComponentByName: the supervisor's kill op crashes any local
+// component kind; unknown names refuse.
+func TestKillComponentByName(t *testing.T) {
+	s := startTranSend(t, func(c *Config) { c.Seed = 2 })
+	waitForWorkers(t, s, 3)
+	// Supervision must be live before the kill: the manager can only
+	// infer the death of a component it has heard from.
+	waitFor(t, "cache supervision live", func() bool {
+		return s.Manager().Stats().Caches >= 2
+	})
+
+	victim := s.Workers()[0]
+	if err := s.KillComponent(victim); err != nil {
+		t.Fatalf("kill worker: %v", err)
+	}
+	if err := s.KillComponent("cache0"); err != nil {
+		t.Fatalf("kill cache: %v", err)
+	}
+	if err := s.KillComponent("nonesuch"); err == nil {
+		t.Fatal("killed a component that does not exist")
+	}
+	// The manager's process-peer duty brings the cache back (local
+	// path — no delegation in one process).
+	waitFor(t, "cache respawned", func() bool {
+		return s.Manager().Stats().CacheRestarts >= 1
+	})
+}
+
+// TestSupervisorRespawnedByWatchdog: the supervisor is not the one
+// component nobody supervises — killing it brings a replacement at
+// the same address.
+func TestSupervisorRespawnedByWatchdog(t *testing.T) {
+	s := startTranSend(t, func(c *Config) { c.Seed = 3 })
+	// The daemon must be live (heartbeating) before the crash, or the
+	// drop races its startup re-registration.
+	waitFor(t, "supervisor heartbeating", func() bool {
+		return s.Manager().Stats().Supervisors >= 1 && s.Supervisor().Stats().Hellos >= 1
+	})
+	sup := s.Supervisor()
+	addr := sup.Addr()
+	s.Net.Drop(addr) // crash: endpoint gone, Run exits on closed inbox
+	waitFor(t, "supervisor respawned", func() bool {
+		cur := s.Supervisor()
+		return cur != sup && s.Net.Lookup(addr)
+	})
+	if got := s.Supervisor().Addr(); got != addr {
+		t.Fatalf("respawned supervisor moved: %v != %v", got, addr)
+	}
+	// The replacement serves commands: the full circle.
+	waitFor(t, "replacement heartbeating", func() bool {
+		return s.Supervisor().Stats().Hellos >= 1
+	})
+}
+
+// TestRestartWorkerKeepsIdentity: the hot-upgrade restart respawns the
+// same worker id (fresh stub, same address) and the worker returns to
+// service — the per-worker step UpgradeWave is built from.
+func TestRestartWorkerKeepsIdentity(t *testing.T) {
+	s := startTranSend(t, func(c *Config) { c.Seed = 4 })
+	sup := s.Supervisor()
+	waitForWorkers(t, s, 3)
+
+	victim := s.Workers()[0]
+	before := s.WorkerStub(victim)
+	hb, _ := s.Manager().SupervisorFor(s.WorkerNode(victim))
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ack, err := sup.Invoke(ctx, hb.Addr, supervisor.Command{
+		Op: supervisor.OpRestartWorker, Target: victim,
+	})
+	if err != nil || !ack.OK {
+		t.Fatalf("restart-worker: ack=%+v err=%v", ack, err)
+	}
+	after := s.WorkerStub(victim)
+	if after == nil || after == before {
+		t.Fatal("worker was not replaced by a fresh stub")
+	}
+	if after.Addr() != before.Addr() {
+		t.Fatalf("restart moved the worker: %v != %v", after.Addr(), before.Addr())
+	}
+	waitForWorkers(t, s, 3) // the upgraded instance re-registers
+}

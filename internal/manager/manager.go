@@ -17,13 +17,13 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/san"
 	"repro/internal/softstate"
 	"repro/internal/stub"
+	"repro/internal/supervisor"
 	"repro/internal/vcache"
 )
 
@@ -115,6 +115,19 @@ type Config struct {
 	// CacheTTL expires cache services that stop heartbeating; expiry
 	// triggers the process-peer restart (defaults to FETTL).
 	CacheTTL time.Duration
+	// SupTTL expires supervisors that stop heartbeating (defaults to
+	// FETTL). An expired supervisor simply drops out of delegation
+	// resolution; its own process respawns it.
+	SupTTL time.Duration
+	// Prefix is the node-name prefix of the process hosting this
+	// manager. A dead component whose owning supervisor advertises a
+	// different prefix lives in another OS process: its restart is
+	// delegated to that supervisor over the SAN instead of attempted
+	// (and failed) locally. Components behind the manager's own prefix
+	// keep the direct local restart path — same process, no SAN hop.
+	Prefix string
+	// CmdTimeout bounds one delegated supervisor command (default 2s).
+	CmdTimeout time.Duration
 	// Spawner performs cluster actions; may be nil (no spawning).
 	Spawner Spawner
 }
@@ -135,6 +148,12 @@ func (c Config) withDefaults() Config {
 	if c.CacheTTL <= 0 {
 		c.CacheTTL = c.FETTL
 	}
+	if c.SupTTL <= 0 {
+		c.SupTTL = c.FETTL
+	}
+	if c.CmdTimeout <= 0 {
+		c.CmdTimeout = 2 * time.Second
+	}
 	if c.Policy == (Policy{}) {
 		c.Policy = DefaultPolicy()
 	}
@@ -146,6 +165,7 @@ type Stats struct {
 	Workers        int
 	FrontEnds      int
 	Caches         int
+	Supervisors    int
 	Spawns         uint64
 	Reaps          uint64
 	FERestarts     uint64
@@ -153,11 +173,26 @@ type Stats struct {
 	ReportsHandled uint64
 	BeaconsSent    uint64
 	Registrations  uint64
+	// Delegated counts process-peer actions executed by a remote
+	// supervisor on this manager's behalf; DelegateFails counts
+	// delegation attempts that timed out or were refused (each is
+	// retried, with fallback to the local spawner).
+	Delegated      uint64
+	DelegateFails  uint64
+	DelegatedSpawn uint64
 }
 
 type workerState struct {
 	info stub.WorkerInfo
 	avg  *softstate.MovingAverage
+}
+
+// peerTarget identifies one dead component awaiting its process-peer
+// restart: the name the restart duty acts on, plus the node whose
+// prefix resolves the owning supervisor.
+type peerTarget struct {
+	name string
+	node string
 }
 
 // Manager is the centralized load balancer. It implements
@@ -168,14 +203,19 @@ type Manager struct {
 
 	mu           sync.Mutex
 	workers      *softstate.Table[*workerState]
-	fes          *softstate.Table[stub.FEHeartbeat]
-	caches       *softstate.Table[vcache.HelloMsg]
+	fes          *softstate.Table[stub.FEHeartbeat] // keyed by SAN address
+	caches       *softstate.Table[vcache.HelloMsg]  // keyed by SAN address
+	sups         *softstate.Table[supervisor.HelloMsg]
 	desired      map[string]int // class -> replica floor (learned)
 	lastSpawn    map[string]time.Time
-	feRetry      []string
+	feRetry      []peerTarget
 	feRetryCount map[string]int
-	cacheRetry   []string
+	cacheRetry   []peerTarget
 	cacheRetryN  map[string]int
+	inflight     map[string]bool   // delegated commands awaiting an ack
+	cmdIDs       map[string]uint64 // incident key -> command id (reused on retry)
+	nextCmdID    uint64
+	inflightSp   map[string]int // class -> delegated respawns in flight
 	seq          uint64
 	stats        Stats
 }
@@ -184,12 +224,16 @@ type Manager struct {
 func New(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	m := &Manager{
-		cfg:       cfg,
-		workers:   softstate.NewTable[*workerState](cfg.WorkerTTL, nil),
-		fes:       softstate.NewTable[stub.FEHeartbeat](cfg.FETTL, nil),
-		caches:    softstate.NewTable[vcache.HelloMsg](cfg.CacheTTL, nil),
-		desired:   make(map[string]int),
-		lastSpawn: make(map[string]time.Time),
+		cfg:        cfg,
+		workers:    softstate.NewTable[*workerState](cfg.WorkerTTL, nil),
+		fes:        softstate.NewTable[stub.FEHeartbeat](cfg.FETTL, nil),
+		caches:     softstate.NewTable[vcache.HelloMsg](cfg.CacheTTL, nil),
+		sups:       softstate.NewTable[supervisor.HelloMsg](cfg.SupTTL, nil),
+		desired:    make(map[string]int),
+		lastSpawn:  make(map[string]time.Time),
+		inflight:   make(map[string]bool),
+		cmdIDs:     make(map[string]uint64),
+		inflightSp: make(map[string]int),
 	}
 	m.ep = cfg.Net.Endpoint(m.addr(), 4096)
 	return m
@@ -211,6 +255,7 @@ func (m *Manager) Stats() Stats {
 	st.Workers = m.workers.Len()
 	st.FrontEnds = m.fes.Len()
 	st.Caches = m.caches.Len()
+	st.Supervisors = m.sups.Len()
 	return st
 }
 
@@ -248,6 +293,12 @@ func (m *Manager) Run(ctx context.Context) error {
 }
 
 func (m *Manager) handle(msg san.Message) {
+	if msg.Reply {
+		// Acks from delegated supervisor commands route back into
+		// their pending Calls.
+		m.ep.DeliverReply(msg)
+		return
+	}
 	switch msg.Kind {
 	case stub.MsgRegister:
 		r, ok := msg.Body.(stub.RegisterMsg)
@@ -309,8 +360,15 @@ func (m *Manager) handle(msg san.Message) {
 		if !ok {
 			return
 		}
+		// Keyed by SAN address, not bare name, so replicated roles
+		// across processes stop interleaving: two processes may each
+		// host an "fe0", and one's heartbeats must not mask the death
+		// of the other's (mirrors the cache table below). The first
+		// heartbeat after a restart also discharges the follow-through
+		// entry planted when the restart was issued.
 		m.mu.Lock()
-		m.fes.Put(hb.Name, hb)
+		m.fes.Delete(provisionalKey(hb.Name))
+		m.fes.Put(hb.Addr.String(), hb)
 		m.mu.Unlock()
 	case stub.MsgSpawnReq:
 		req, ok := msg.Body.(stub.SpawnReq)
@@ -328,7 +386,16 @@ func (m *Manager) handle(msg san.Message) {
 		// the death of another's (the restart call still passes the
 		// name — RestartCache acts on locally hosted partitions only).
 		m.mu.Lock()
+		m.caches.Delete(provisionalKey(hb.Name))
 		m.caches.Put(hb.Addr.String(), hb)
+		m.mu.Unlock()
+	case supervisor.MsgHello:
+		hb, ok := msg.Body.(supervisor.HelloMsg)
+		if !ok {
+			return
+		}
+		m.mu.Lock()
+		m.sups.Put(hb.Addr.String(), hb)
 		m.mu.Unlock()
 	}
 }
@@ -370,9 +437,12 @@ func (m *Manager) sendBeacon(ep *san.Endpoint) {
 func (m *Manager) evaluatePolicy() {
 	now := time.Now()
 
-	// 1. Expire silent workers (timeout failure inference).
+	// 1. Expire silent workers (timeout failure inference). The
+	// expired entries keep their info: a worker whose node belongs to
+	// another OS process is respawned there, through that process's
+	// supervisor, so capacity stays where the operator placed it.
 	m.mu.Lock()
-	m.workers.Expired()
+	expiredWorkers := m.workers.ExpiredEntries()
 
 	// Gather per-class views.
 	type classView struct {
@@ -406,18 +476,47 @@ func (m *Manager) evaluatePolicy() {
 	for c, t := range m.lastSpawn {
 		lastSpawn[c] = t
 	}
+	inflightSp := make(map[string]int, len(m.inflightSp))
+	for c, n := range m.inflightSp {
+		inflightSp[c] = n
+	}
 	m.mu.Unlock()
 
 	if m.cfg.Spawner == nil {
 		return
 	}
 
-	// 2. Replace crashed workers below the replica floor.
+	// 2a. Delegate respawns of workers that died in another process to
+	// that process's supervisor; while a delegation is in flight the
+	// floor loop below leaves its slot alone (no double spawn). A
+	// failed delegation simply clears the slot — the floor deficit is
+	// then made up locally on the next tick.
+	for id, ws := range expiredWorkers {
+		sup, remote := m.remoteSupervisorFor(ws.info.Node)
+		if !remote {
+			continue
+		}
+		key := "respawn:" + id
+		class := ws.info.Class
+		m.mu.Lock()
+		if m.inflight[key] {
+			m.mu.Unlock()
+			continue
+		}
+		m.inflight[key] = true
+		m.inflightSp[class]++
+		inflightSp[class]++
+		cmdID := m.commandIDLocked(key)
+		m.mu.Unlock()
+		go m.delegateSpawn(key, class, cmdID, sup)
+	}
+
+	// 2b. Replace crashed workers below the replica floor.
 	for class, want := range desired {
 		cv := classes[class]
-		have := 0
+		have := inflightSp[class]
 		if cv != nil {
-			have = cv.count
+			have += cv.count
 		}
 		for have < want {
 			if _, err := m.spawn(class, "replace crashed worker"); err != nil {
@@ -458,56 +557,248 @@ func (m *Manager) evaluatePolicy() {
 	// restarts are retried on subsequent ticks — a watcher keeps
 	// watching until the peer is back.
 	m.mu.Lock()
-	goneFEs := append(m.fes.Expired(), m.feRetry...)
+	goneFEs := append(feTargets(m.fes.ExpiredEntries()), m.feRetry...)
 	m.feRetry = nil
 	m.mu.Unlock()
-	m.restartSweep(goneFEs, &m.feRetry, &m.feRetryCount,
-		m.cfg.Spawner.RestartFrontEnd, &m.stats.FERestarts)
+	m.restartSweep(goneFEs, supervisor.OpRestartFrontEnd, &m.feRetry, &m.feRetryCount,
+		m.cfg.Spawner.RestartFrontEnd, &m.stats.FERestarts, m.followFE)
 
 	// 6. Cache process peer: same watch-until-back discipline for
 	// silent cache services. Cache state is soft twice over — the
 	// content was always discardable, and the inventory rebuilds from
-	// heartbeats alone. Expired keys are "node/proc" addresses; the
-	// restart duty wants the service name (the proc half).
+	// heartbeats alone.
 	m.mu.Lock()
-	goneCaches := m.caches.Expired()
-	for i, key := range goneCaches {
-		if slash := strings.LastIndex(key, "/"); slash >= 0 {
-			goneCaches[i] = key[slash+1:]
-		}
-	}
-	goneCaches = append(goneCaches, m.cacheRetry...)
+	goneCaches := append(cacheTargets(m.caches.ExpiredEntries()), m.cacheRetry...)
 	m.cacheRetry = nil
 	m.mu.Unlock()
-	m.restartSweep(goneCaches, &m.cacheRetry, &m.cacheRetryN,
-		m.cfg.Spawner.RestartCache, &m.stats.CacheRestarts)
+	m.restartSweep(goneCaches, supervisor.OpRestartCache, &m.cacheRetry, &m.cacheRetryN,
+		m.cfg.Spawner.RestartCache, &m.stats.CacheRestarts, m.followCache)
+}
+
+// provisionalKey builds the follow-through table key for a component a
+// restart was just issued for. It can never collide with a heartbeat
+// key — those are "node/proc" SAN addresses.
+func provisionalKey(name string) string { return "pending:" + name }
+
+// followFE/followCache plant the restart follow-through: a successful
+// restart inserts a provisional entry under the component's name that
+// only the restarted instance's first real heartbeat discharges. If
+// the component dies again before it ever heartbeats — or the restart
+// silently produced nothing — the provisional entry expires like any
+// silent peer and the watcher fires again. Without this, a component
+// killed in the gap between restart and first heartbeat vanishes from
+// the soft state entirely and nobody ever restarts it.
+func (m *Manager) followFE(t peerTarget) {
+	m.mu.Lock()
+	m.fes.Put(provisionalKey(t.name), stub.FEHeartbeat{Name: t.name, Node: t.node})
+	m.mu.Unlock()
+}
+
+func (m *Manager) followCache(t peerTarget) {
+	m.mu.Lock()
+	m.caches.Put(provisionalKey(t.name), vcache.HelloMsg{Name: t.name, Node: t.node})
+	m.mu.Unlock()
+}
+
+// feTargets/cacheTargets turn expired heartbeat entries into restart
+// targets: the component name the restart duty acts on, plus the node
+// that resolves the owning supervisor.
+func feTargets(gone map[string]stub.FEHeartbeat) []peerTarget {
+	out := make([]peerTarget, 0, len(gone))
+	for _, hb := range gone {
+		out = append(out, peerTarget{name: hb.Name, node: hb.Node})
+	}
+	return out
+}
+
+func cacheTargets(gone map[string]vcache.HelloMsg) []peerTarget {
+	out := make([]peerTarget, 0, len(gone))
+	for _, hb := range gone {
+		out = append(out, peerTarget{name: hb.Name, node: hb.Node})
+	}
+	return out
 }
 
 // restartSweep runs one process-peer restart pass with the shared
 // retry discipline: a success counts in stat and clears the retry
-// budget; a failure re-queues the name for the next tick, up to 10
-// attempts. retry/counts/stat are fields of m guarded by m.mu.
-func (m *Manager) restartSweep(gone []string, retry *[]string, counts *map[string]int, restart func(string) error, stat *uint64) {
-	for _, name := range gone {
-		if err := restart(name); err == nil {
+// budget; a failure re-queues the target for the next tick, up to 10
+// attempts. Targets owned by a supervisor in another OS process are
+// delegated over the SAN (asynchronously — the ack arrives on the
+// manager's own inbox, so waiting inline would deadlock the receive
+// loop); everything else takes the direct local path.
+// retry/counts/stat are fields of m guarded by m.mu.
+func (m *Manager) restartSweep(gone []peerTarget, op string, retry *[]peerTarget, counts *map[string]int, restart func(string) error, stat *uint64, follow func(peerTarget)) {
+	for _, t := range gone {
+		key := op + ":" + t.name
+		sup, remote := m.remoteSupervisorFor(t.node)
+		if remote {
+			m.mu.Lock()
+			if m.inflight[key] {
+				m.mu.Unlock()
+				continue // command already in flight; the ack decides
+			}
+			m.inflight[key] = true
+			cmdID := m.commandIDLocked(key)
+			m.mu.Unlock()
+			go m.delegateRestart(key, op, t, cmdID, sup, retry, counts, restart, stat, follow)
+			continue
+		}
+		if err := restart(t.name); err == nil {
 			m.mu.Lock()
 			*stat++
-			delete(*counts, name)
+			delete(*counts, t.name)
 			m.mu.Unlock()
+			follow(t)
 		} else {
-			m.mu.Lock()
-			if *counts == nil {
-				*counts = make(map[string]int)
-			}
-			(*counts)[name]++
-			if (*counts)[name] < 10 {
-				*retry = append(*retry, name)
-			} else {
-				delete(*counts, name)
-			}
-			m.mu.Unlock()
+			m.recordRestartFailure(key, t, retry, counts)
 		}
 	}
+}
+
+// recordRestartFailure applies the shared retry budget. When the
+// budget exhausts, the incident's command id dies with it — a later,
+// fresh incident for the same component must mint a new id, not be
+// answered from a supervisor's cache of this one.
+func (m *Manager) recordRestartFailure(key string, t peerTarget, retry *[]peerTarget, counts *map[string]int) {
+	m.mu.Lock()
+	if *counts == nil {
+		*counts = make(map[string]int)
+	}
+	(*counts)[t.name]++
+	if (*counts)[t.name] < 10 {
+		*retry = append(*retry, t)
+	} else {
+		delete(*counts, t.name)
+		delete(m.cmdIDs, key)
+	}
+	m.mu.Unlock()
+}
+
+// commandIDLocked returns the command id for an incident, minting one
+// on first use. Retries of the same incident reuse the id, so a
+// supervisor that executed the command but whose ack was lost answers
+// the retry from its result cache instead of acting twice.
+func (m *Manager) commandIDLocked(key string) uint64 {
+	if id := m.cmdIDs[key]; id != 0 {
+		return id
+	}
+	m.nextCmdID++
+	m.cmdIDs[key] = m.nextCmdID
+	return m.nextCmdID
+}
+
+// delegateRestart sends one restart command to the owning supervisor
+// and applies the result: success counts like a local restart; failure
+// falls back to the local spawner (covering components that are in
+// fact hosted here), then to the shared retry budget.
+func (m *Manager) delegateRestart(key, op string, t peerTarget, cmdID uint64, sup supervisor.HelloMsg, retry *[]peerTarget, counts *map[string]int, restart func(string) error, stat *uint64, follow func(peerTarget)) {
+	ack, err := m.invokeSupervisor(sup, supervisor.Command{
+		ID: cmdID, Origin: m.addr().String(), Op: op, Target: t.name,
+	})
+	delegated := err == nil && ack.OK
+	success := delegated
+	if !success {
+		m.mu.Lock()
+		m.stats.DelegateFails++
+		m.mu.Unlock()
+		// Local fallback: if the component is actually hosted in this
+		// process (stale supervisor table, or a supervisor that died
+		// mid-restart of a local component), the direct path still
+		// works; otherwise it errors instantly and the retry budget
+		// re-delegates on the next tick.
+		success = restart(t.name) == nil
+	}
+	m.mu.Lock()
+	delete(m.inflight, key)
+	m.mu.Unlock()
+	if success {
+		m.mu.Lock()
+		*stat++
+		if delegated {
+			m.stats.Delegated++
+		}
+		delete(*counts, t.name)
+		delete(m.cmdIDs, key)
+		m.mu.Unlock()
+		follow(t)
+		return
+	}
+	m.recordRestartFailure(key, t, retry, counts)
+}
+
+// delegateSpawn asks a remote supervisor to start a replacement worker
+// of class. Failure is absorbed: the replica floor makes the deficit
+// up locally on the next policy tick.
+func (m *Manager) delegateSpawn(key, class string, cmdID uint64, sup supervisor.HelloMsg) {
+	ack, err := m.invokeSupervisor(sup, supervisor.Command{
+		ID: cmdID, Origin: m.addr().String(), Op: supervisor.OpSpawnWorker, Target: class,
+	})
+	ok := err == nil && ack.OK
+	m.mu.Lock()
+	delete(m.inflight, key)
+	if m.inflightSp[class] > 0 {
+		m.inflightSp[class]--
+	}
+	if m.inflightSp[class] == 0 {
+		delete(m.inflightSp, class)
+	}
+	delete(m.cmdIDs, key)
+	if ok {
+		m.lastSpawn[class] = time.Now()
+		m.stats.Spawns++
+		m.stats.DelegatedSpawn++
+	} else {
+		m.stats.DelegateFails++
+	}
+	m.mu.Unlock()
+}
+
+// invokeSupervisor performs one supervisor command Call with the
+// configured timeout. The manager's receive loop routes the ack back
+// into the pending call.
+func (m *Manager) invokeSupervisor(sup supervisor.HelloMsg, cmd supervisor.Command) (supervisor.Ack, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.CmdTimeout)
+	defer cancel()
+	resp, err := m.ep.Call(ctx, sup.Addr, supervisor.MsgCmd, cmd, 64)
+	if err != nil {
+		return supervisor.Ack{}, err
+	}
+	ack, ok := resp.Body.(supervisor.Ack)
+	if !ok {
+		return supervisor.Ack{}, fmt.Errorf("manager: malformed supervisor ack %T", resp.Body)
+	}
+	return ack, nil
+}
+
+// SupervisorFor resolves the supervisor owning a node by longest
+// advertised prefix (supervisor.Owner) — the RACS-style ownership
+// rule: each process's supervisor governs exactly the node names
+// carrying its prefix.
+func (m *Manager) SupervisorFor(node string) (supervisor.HelloMsg, bool) {
+	return supervisor.Owner(node, m.sups.Snapshot())
+}
+
+// remoteSupervisorFor resolves node ownership and reports whether the
+// owner lives in another OS process (its advertised prefix differs
+// from this manager's own). Components in the manager's own process
+// keep the direct in-process restart path: delegating to a supervisor
+// one function call away through a SAN round trip would only add a
+// failure mode.
+func (m *Manager) remoteSupervisorFor(node string) (supervisor.HelloMsg, bool) {
+	sup, ok := m.SupervisorFor(node)
+	return sup, ok && sup.Prefix != m.cfg.Prefix
+}
+
+// Supervisors returns the live supervisor table, sorted by address —
+// operator tooling and selftests resolve delegation targets from it.
+func (m *Manager) Supervisors() []supervisor.HelloMsg {
+	snap := m.sups.Snapshot()
+	out := make([]supervisor.HelloMsg, 0, len(snap))
+	for _, hb := range snap {
+		out = append(out, hb)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr.String() < out[j].Addr.String() })
+	return out
 }
 
 // trySpawn spawns a worker of class if the damping window allows.

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/san"
 	"repro/internal/stub"
+	"repro/internal/supervisor"
 )
 
 // ComponentStatus is the monitor's view of one component.
@@ -69,6 +70,10 @@ type Monitor struct {
 	alerts   []Alert
 	alerted  map[string]bool // component -> alert outstanding
 	disabled map[san.Addr]bool
+	sups       map[string]supervisor.HelloMsg // supervisor table, addr-keyed
+	workers    []stub.WorkerInfo              // inventory from the last beacon
+	workersSeq uint64                         // beacon seq the inventory came from
+	cmdSeq     uint64
 }
 
 // New creates a monitor and registers its endpoint.
@@ -79,6 +84,7 @@ func New(cfg Config) *Monitor {
 		seen:     make(map[string]*ComponentStatus),
 		alerted:  make(map[string]bool),
 		disabled: make(map[san.Addr]bool),
+		sups:     make(map[string]supervisor.HelloMsg),
 	}
 	m.ep = cfg.Net.Endpoint(m.addr(), 4096)
 	return m
@@ -121,6 +127,11 @@ func (m *Monitor) Run(ctx context.Context) error {
 }
 
 func (m *Monitor) handle(msg san.Message) {
+	if msg.Reply {
+		// Acks for supervisor commands issued by an upgrade wave.
+		m.ep.DeliverReply(msg)
+		return
+	}
 	switch msg.Kind {
 	case stub.MsgMonReport:
 		r, ok := msg.Body.(stub.StatusReport)
@@ -153,6 +164,19 @@ func (m *Monitor) handle(msg san.Message) {
 			Metrics:   map[string]float64{"workers": float64(len(b.Workers))},
 			LastSeen:  time.Now(),
 		}
+		// The beacon's worker list is the cluster-wide inventory the
+		// upgrade-wave driver walks; the seq lets a reader insist on
+		// an inventory generated after some action took effect.
+		m.workers = append(m.workers[:0], b.Workers...)
+		m.workersSeq = b.Seq
+		m.mu.Unlock()
+	case supervisor.MsgHello:
+		hb, ok := msg.Body.(supervisor.HelloMsg)
+		if !ok {
+			return
+		}
+		m.mu.Lock()
+		m.sups[hb.Addr.String()] = hb
 		m.mu.Unlock()
 	}
 }
@@ -232,6 +256,203 @@ func (m *Monitor) Disabled() []san.Addr {
 	m.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
 	return out
+}
+
+// WorkersOf returns the workers of a class from the latest manager
+// beacon, sorted by id — the cluster-wide inventory, wherever each
+// worker's process lives.
+func (m *Monitor) WorkersOf(class string) []stub.WorkerInfo {
+	ws, _ := m.workersOfSeq(class)
+	return ws
+}
+
+// workersOfSeq additionally reports the beacon seq the inventory was
+// carried by.
+func (m *Monitor) workersOfSeq(class string) ([]stub.WorkerInfo, uint64) {
+	m.mu.Lock()
+	var out []stub.WorkerInfo
+	for _, w := range m.workers {
+		if w.Class == class {
+			out = append(out, w)
+		}
+	}
+	seq := m.workersSeq
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, seq
+}
+
+// SupervisorFor resolves the supervisor owning a node by longest
+// advertised prefix (supervisor.Owner — the same rule the manager
+// uses, shared so the two watchers can never disagree).
+func (m *Monitor) SupervisorFor(node string) (supervisor.HelloMsg, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return supervisor.Owner(node, m.sups)
+}
+
+// WaveOptions tunes an upgrade wave.
+type WaveOptions struct {
+	// Drain is how long a disabled worker gets to finish its queue
+	// before the restart (default 100ms).
+	Drain time.Duration
+	// CommandTimeout bounds each supervisor command (default 5s).
+	CommandTimeout time.Duration
+	// Retries is the command attempt budget per worker (default 3);
+	// retries reuse the command id, so they are idempotent.
+	Retries int
+	// ReadyTimeout bounds the wait for the restarted worker to
+	// re-register before the wave rolls on (default 10s).
+	ReadyTimeout time.Duration
+}
+
+func (o WaveOptions) withDefaults() WaveOptions {
+	if o.Drain <= 0 {
+		o.Drain = 100 * time.Millisecond
+	}
+	if o.CommandTimeout <= 0 {
+		o.CommandTimeout = 5 * time.Second
+	}
+	if o.Retries <= 0 {
+		o.Retries = 3
+	}
+	if o.ReadyTimeout <= 0 {
+		o.ReadyTimeout = 10 * time.Second
+	}
+	return o
+}
+
+// WaveReport summarizes one upgrade wave.
+type WaveReport struct {
+	Class    string
+	Upgraded []string // worker ids restarted and re-registered
+	Failed   []string // worker ids the wave could not roll
+}
+
+// UpgradeWave performs the paper's hot upgrade (§2.1) as a rolling
+// restart across every worker of a class, wherever each one's OS
+// process lives: disable (the worker drains and deregisters — a
+// voluntary departure, so the manager spawns no replacement), ask the
+// owning process's supervisor to restart it under the same id (the
+// restarted stub is the "upgraded binary"), re-enable, and wait for it
+// to re-register before touching the next one. One worker is down at
+// a time, so a class with two or more replicas serves throughout.
+func (m *Monitor) UpgradeWave(ctx context.Context, class string, opts WaveOptions) (WaveReport, error) {
+	opts = opts.withDefaults()
+	rep := WaveReport{Class: class}
+	workers := m.WorkersOf(class)
+	if len(workers) == 0 {
+		return rep, fmt.Errorf("monitor: no workers of class %q in the beacon inventory", class)
+	}
+	m.mu.Lock()
+	m.emitLocked("upgrade-wave", fmt.Sprintf("rolling %d %s workers", len(workers), class))
+	m.mu.Unlock()
+
+	for _, w := range workers {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		if err := m.rollOne(ctx, class, w, opts); err != nil {
+			rep.Failed = append(rep.Failed, w.ID)
+			m.mu.Lock()
+			m.emitLocked("upgrade-wave", fmt.Sprintf("%s failed: %v", w.ID, err))
+			m.mu.Unlock()
+			continue
+		}
+		rep.Upgraded = append(rep.Upgraded, w.ID)
+	}
+	m.mu.Lock()
+	m.emitLocked("upgrade-wave", fmt.Sprintf("%s complete: %d upgraded, %d failed",
+		class, len(rep.Upgraded), len(rep.Failed)))
+	m.mu.Unlock()
+	if len(rep.Failed) > 0 {
+		return rep, fmt.Errorf("monitor: wave left %d %s workers unupgraded", len(rep.Failed), class)
+	}
+	return rep, nil
+}
+
+// rollOne upgrades a single worker: disable -> drain -> supervisor
+// restart -> enable -> wait for re-registration.
+func (m *Monitor) rollOne(ctx context.Context, class string, w stub.WorkerInfo, opts WaveOptions) error {
+	if err := m.Disable(w.Addr); err != nil {
+		return fmt.Errorf("disable: %w", err)
+	}
+	// Whatever happens below, the component must not stay marked
+	// disabled: the restarted stub is born enabled, and a failed wave
+	// step should leave the old instance serving.
+	defer func() { _ = m.Enable(w.Addr) }()
+
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(opts.Drain):
+	}
+
+	sup, ok := m.SupervisorFor(w.Node)
+	if !ok {
+		return fmt.Errorf("no supervisor owns node %s", w.Node)
+	}
+	m.mu.Lock()
+	m.cmdSeq++
+	cmd := supervisor.Command{
+		ID:     m.cmdSeq,
+		Origin: m.addr().String(),
+		Op:     supervisor.OpRestartWorker,
+		Target: w.ID,
+	}
+	m.mu.Unlock()
+
+	var lastErr error
+	for attempt := 0; attempt < opts.Retries; attempt++ {
+		cctx, cancel := context.WithTimeout(ctx, opts.CommandTimeout)
+		resp, err := m.ep.Call(cctx, sup.Addr, supervisor.MsgCmd, cmd, 64)
+		cancel()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		ack, isAck := resp.Body.(supervisor.Ack)
+		if !isAck {
+			lastErr = fmt.Errorf("malformed ack %T", resp.Body)
+			continue
+		}
+		if !ack.OK {
+			return fmt.Errorf("supervisor refused: %s", ack.Err)
+		}
+		lastErr = nil
+		break
+	}
+	if lastErr != nil {
+		return fmt.Errorf("restart command: %w", lastErr)
+	}
+
+	// Roll on only once the upgraded instance is back in the beacon
+	// inventory — the zero-downtime guarantee for the next step. The
+	// cached inventory can still be the stale pre-disable snapshot
+	// (it is at most one beacon old and would still list w.ID), so
+	// insist on one carried by a beacon at least two seqs past the
+	// restart: re-registration happens on beacon receipt, so the
+	// first beacon that can prove it is the one after the next.
+	m.mu.Lock()
+	seqAtRestart := m.workersSeq
+	m.mu.Unlock()
+	deadline := time.Now().Add(opts.ReadyTimeout)
+	for time.Now().Before(deadline) {
+		cur, seq := m.workersOfSeq(class)
+		if seq >= seqAtRestart+2 {
+			for _, c := range cur {
+				if c.ID == w.ID {
+					return nil
+				}
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	return fmt.Errorf("restarted worker %s never re-registered", w.ID)
 }
 
 // RenderTable renders the system view as text — the visualization

@@ -1,6 +1,7 @@
 package san
 
 import (
+	"errors"
 	"testing"
 	"time"
 )
@@ -11,6 +12,8 @@ type fakeFabric struct {
 	peer     *Network
 	unicasts int
 	mcasts   int
+	ups      []Addr
+	downs    []Addr
 	noRoute  bool // report delivery failure
 }
 
@@ -26,6 +29,9 @@ func (f *fakeFabric) Multicast(from Addr, group, kind string, wire []byte) {
 	f.mcasts++
 	f.peer.InjectMulticast(from, group, kind, wire)
 }
+
+func (f *fakeFabric) EndpointUp(a Addr)   { f.ups = append(f.ups, a) }
+func (f *fakeFabric) EndpointDown(a Addr) { f.downs = append(f.downs, a) }
 
 // TestFabricSeam: with a fabric installed, sends to non-local
 // addresses serialize once and re-enter the peer network through the
@@ -61,12 +67,14 @@ func TestFabricSeam(t *testing.T) {
 		t.Fatalf("remote stats: %+v", st)
 	}
 
-	// A send the fabric cannot place counts as dropped, not an error
-	// (datagram semantics).
+	// A send the fabric cannot place counts as dropped AND surfaces
+	// ErrUnknownAddr to the sender — the same answer a purely local
+	// network gives for an unbound address, now observable across
+	// processes.
 	fab.noRoute = true
 	before := local.Stats().Dropped
-	if err := src.Send(Addr{Node: "nowhere", Proc: "nobody"}, "k", "y", 1); err != nil {
-		t.Fatalf("unroutable send errored: %v", err)
+	if err := src.Send(Addr{Node: "nowhere", Proc: "nobody"}, "k", "y", 1); !errors.Is(err, ErrUnknownAddr) {
+		t.Fatalf("unroutable send: err=%v, want ErrUnknownAddr", err)
 	}
 	if got := local.Stats().Dropped; got != before+1 {
 		t.Fatalf("dropped = %d, want %d", got, before+1)
@@ -109,6 +117,43 @@ func TestFabricSeam(t *testing.T) {
 	local.SetFabric(nil)
 	if err := src.Send(dst.Addr(), "k", "z", 1); err == nil {
 		t.Fatal("send without fabric to remote address succeeded")
+	}
+}
+
+// TestFabricSeesEndpointTable: SetFabric replays already-registered
+// endpoints, later registrations/closures notify EndpointUp/Down, and
+// a replaced endpoint (restart reclaiming its name) never invalidates
+// its successor's route.
+func TestFabricSeesEndpointTable(t *testing.T) {
+	n, _ := wireNet(t)
+	pre := n.Endpoint(Addr{Node: "n0", Proc: "pre"}, 8)
+	fab := &fakeFabric{peer: NewNetwork(9, WithCodec(&countingCodec{}))}
+	n.SetFabric(fab)
+	if len(fab.ups) != 1 || fab.ups[0] != pre.Addr() {
+		t.Fatalf("replay ups = %v, want [%v]", fab.ups, pre.Addr())
+	}
+
+	ep := n.Endpoint(Addr{Node: "n0", Proc: "p"}, 8)
+	if len(fab.ups) != 2 || fab.ups[1] != ep.Addr() {
+		t.Fatalf("ups after registration = %v", fab.ups)
+	}
+
+	// Replacement: the old endpoint's Close must not tear down the
+	// address the new one holds.
+	ep2 := n.Endpoint(ep.Addr(), 8)
+	if len(fab.downs) != 0 {
+		t.Fatalf("replacement produced downs: %v", fab.downs)
+	}
+	if len(fab.ups) != 3 {
+		t.Fatalf("replacement did not re-announce: %v", fab.ups)
+	}
+	ep2.Close()
+	if len(fab.downs) != 1 || fab.downs[0] != ep2.Addr() {
+		t.Fatalf("downs after close = %v", fab.downs)
+	}
+	n.Drop(pre.Addr())
+	if len(fab.downs) != 2 || fab.downs[1] != pre.Addr() {
+		t.Fatalf("downs after drop = %v", fab.downs)
 	}
 }
 

@@ -126,11 +126,19 @@ type Codec interface {
 type Fabric interface {
 	// Unicast forwards a point-to-point message whose destination is
 	// not registered on this network. It reports whether the message
-	// was handed to at least one remote process.
+	// was handed to at least one remote process; false means nobody
+	// reachable holds the address (the network surfaces that to the
+	// sender as ErrUnknownAddr).
 	Unicast(from, to Addr, kind string, callID uint64, reply bool, wire []byte) bool
 	// Multicast forwards a group message to every remote process;
 	// each re-fans it out to its own local group members.
 	Multicast(from Addr, group, kind string, wire []byte)
+	// EndpointUp/EndpointDown observe this network's endpoint table so
+	// the fabric can advertise routes to its peers (and invalidate
+	// them when an endpoint closes) instead of flooding first packets.
+	// Both are idempotent and must not block.
+	EndpointUp(a Addr)
+	EndpointDown(a Addr)
 }
 
 // Option configures a Network at construction.
@@ -261,12 +269,24 @@ func (n *Network) WireMode() bool { return n.codec != nil }
 // fabric. A fabric requires wire mode: message bodies must already be
 // bytes to cross a process boundary, so installing one on a
 // passthrough network panics — that is a deployment bug, not a
-// runtime condition.
+// runtime condition. Endpoints already registered are replayed to the
+// new fabric's EndpointUp so its route advertisements start complete.
 func (n *Network) SetFabric(f Fabric) {
 	if f != nil && n.codec == nil {
 		panic("san: SetFabric requires wire mode (construct the network with WithCodec)")
 	}
-	n.mutate(func(s *netState) { s.fabric = f })
+	var eps []Addr
+	n.mutate(func(s *netState) {
+		s.fabric = f
+		if f != nil {
+			for a := range s.endpoints {
+				eps = append(eps, a)
+			}
+		}
+	})
+	for _, a := range eps {
+		f.EndpointUp(a)
+	}
 }
 
 // Close shuts the network down deterministically: the fabric is
@@ -504,6 +524,7 @@ func (n *Network) Endpoint(addr Addr, inboxCap int) *Endpoint {
 	// instead of resurrecting the address table after Close swept it;
 	// the unchanged clone mutate publishes in that case is harmless.
 	var old *Endpoint
+	var fab Fabric
 	registered := false
 	n.mutate(func(s *netState) {
 		if n.closed.Load() {
@@ -511,6 +532,7 @@ func (n *Network) Endpoint(addr Addr, inboxCap int) *Endpoint {
 		}
 		old = s.endpoints[addr]
 		s.endpoints[addr] = ep
+		fab = s.fabric
 		registered = true
 	})
 	if !registered {
@@ -519,6 +541,9 @@ func (n *Network) Endpoint(addr Addr, inboxCap int) *Endpoint {
 	}
 	if old != nil {
 		old.Close()
+	}
+	if fab != nil {
+		fab.EndpointUp(addr)
 	}
 	return ep
 }
@@ -533,6 +558,7 @@ func (n *Network) Lookup(addr Addr) bool {
 // from the address table and all groups without any goodbye traffic.
 func (n *Network) Drop(addr Addr) {
 	var ep *Endpoint
+	var fab Fabric
 	n.mutate(func(s *netState) {
 		var ok bool
 		ep, ok = s.endpoints[addr]
@@ -543,9 +569,13 @@ func (n *Network) Drop(addr Addr) {
 		for g, members := range s.groups {
 			s.groups[g] = withoutMember(members, ep)
 		}
+		fab = s.fabric
 	})
 	if ep != nil {
 		ep.closeInternal()
+		if fab != nil {
+			fab.EndpointDown(addr)
+		}
 	}
 }
 
@@ -553,6 +583,7 @@ func (n *Network) Drop(addr Addr) {
 // it from all groups, modelling a workstation crash.
 func (n *Network) DropNode(node string) {
 	var victims []*Endpoint
+	var fab Fabric
 	n.mutate(func(s *netState) {
 		for addr, ep := range s.endpoints {
 			if addr.Node == node {
@@ -569,9 +600,13 @@ func (n *Network) DropNode(node string) {
 			}
 			s.groups[g] = kept
 		}
+		fab = s.fabric
 	})
 	for _, ep := range victims {
 		ep.closeInternal()
+		if fab != nil {
+			fab.EndpointDown(ep.addr)
+		}
 	}
 }
 
@@ -668,17 +703,27 @@ func (e *Endpoint) push(msg Message) bool {
 }
 
 // Close detaches the endpoint: it leaves all groups, unregisters the
-// address, fails pending calls, and closes the inbox.
+// address, fails pending calls, and closes the inbox. The fabric is
+// told only when this endpoint actually held the address — a replaced
+// endpoint (restart reclaiming its name) must not invalidate its
+// successor's route.
 func (e *Endpoint) Close() {
+	removed := false
+	var fab Fabric
 	e.net.mutate(func(s *netState) {
 		if s.endpoints[e.addr] == e {
 			delete(s.endpoints, e.addr)
+			removed = true
+			fab = s.fabric
 		}
 		for _, g := range e.groupsSnapshot() {
 			s.groups[g] = withoutMember(s.groups[g], e)
 		}
 	})
 	e.closeInternal()
+	if removed && fab != nil {
+		fab.EndpointDown(e.addr)
+	}
 }
 
 func (e *Endpoint) groupsSnapshot() []string {
@@ -817,7 +862,10 @@ func (e *Endpoint) send(to Addr, kind string, body any, size int, callID uint64,
 // process to the fabric. The sender pays the same costs as a local
 // send — partition check, loss draw, serialization — before the bytes
 // leave; delivery on the far side is the remote network's business
-// (datagram semantics, no acknowledgement).
+// (datagram semantics, no acknowledgement). A fabric that reports the
+// address unplaceable — no peer advertises it and it is not worth a
+// flood — surfaces as ErrUnknownAddr, the same answer a purely local
+// network gives for an unbound address.
 func (e *Endpoint) sendRemote(st *netState, to Addr, kind string, body any, callID uint64, reply bool) error {
 	n := e.net
 	if !st.samePartition(e.addr.Node, to.Node) || e.chance(st.lossP) {
@@ -828,13 +876,17 @@ func (e *Endpoint) sendRemote(st *netState, to Addr, kind string, body any, call
 	if err != nil {
 		return err
 	}
-	if st.fabric.Unicast(e.addr, to, kind, callID, reply, wire) {
+	handed := st.fabric.Unicast(e.addr, to, kind, callID, reply, wire)
+	if handed {
 		n.sent.Add(1)
 		n.bytes.Add(uint64(len(wire)))
 	} else {
 		n.dropped.Add(1)
 	}
 	putEncBuf(bp, wire)
+	if !handed {
+		return fmt.Errorf("%w: %s", ErrUnknownAddr, to)
+	}
 	return nil
 }
 

@@ -143,6 +143,28 @@ func (t *Table[V]) Expired() []string {
 	return gone
 }
 
+// ExpiredEntries removes and returns the entries that just expired,
+// values included — for consumers whose expiry action needs more than
+// the key (e.g. the manager resolving which process's supervisor owns
+// a dead component from the heartbeat's Node field). Like Expired, it
+// is a destructive read and must stay the table's single expiry
+// consumer.
+func (t *Table[V]) ExpiredEntries() map[string]V {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var gone map[string]V
+	for k, e := range t.m {
+		if t.expired(e) {
+			if gone == nil {
+				gone = make(map[string]V)
+			}
+			gone[k] = e.Value
+			delete(t.m, k)
+		}
+	}
+	return gone
+}
+
 func (t *Table[V]) expired(e Entry[V]) bool {
 	return t.clock.now().Sub(e.Refreshed) > t.ttl
 }

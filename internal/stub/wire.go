@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/san"
+	"repro/internal/supervisor"
 	"repro/internal/tacc"
 	"repro/internal/vcache"
 )
@@ -311,6 +312,32 @@ func EncodeBodyAppend(dst []byte, kind string, body any) ([]byte, error) {
 		w.u64(m.Expired)
 		w.varint(m.Used)
 		w.varint(int64(m.Objects))
+	case supervisor.MsgHello:
+		m, ok := body.(supervisor.HelloMsg)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s wants supervisor.HelloMsg, got %T", ErrWireFormat, kind, body)
+		}
+		w.str(m.Name)
+		w.addr(m.Addr)
+		w.str(m.Node)
+		w.str(m.Prefix)
+	case supervisor.MsgCmd:
+		m, ok := body.(supervisor.Command)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s wants supervisor.Command, got %T", ErrWireFormat, kind, body)
+		}
+		w.u64(m.ID)
+		w.str(m.Origin)
+		w.str(m.Op)
+		w.str(m.Target)
+	case supervisor.MsgAck:
+		m, ok := body.(supervisor.Ack)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s wants supervisor.Ack, got %T", ErrWireFormat, kind, body)
+		}
+		w.u64(m.ID)
+		w.bool(m.OK)
+		w.str(m.Err)
 	default:
 		if body != nil {
 			return nil, fmt.Errorf("%w: kind %q carries no body layout", ErrWireFormat, kind)
@@ -393,6 +420,12 @@ func DecodeBody(kind string, data []byte) (any, error) {
 			Used:      r.varint(),
 			Objects:   int(r.varint()),
 		}
+	case supervisor.MsgHello:
+		body = supervisor.HelloMsg{Name: r.str(), Addr: r.addr(), Node: r.str(), Prefix: r.str()}
+	case supervisor.MsgCmd:
+		body = supervisor.Command{ID: r.u64(), Origin: r.str(), Op: r.str(), Target: r.str()}
+	case supervisor.MsgAck:
+		body = supervisor.Ack{ID: r.u64(), OK: r.bool(), Err: r.str()}
 	default:
 		if len(data) != 0 {
 			return nil, fmt.Errorf("%w: kind %q carries no body layout", ErrWireFormat, kind)
@@ -414,6 +447,7 @@ func WireKinds() []string {
 	return []string{
 		MsgBeacon, MsgDeregister, MsgFEHello, MsgLoadReport, MsgMonReport,
 		MsgRegister, MsgResult, MsgSpawnReq, MsgTask,
+		supervisor.MsgAck, supervisor.MsgCmd, supervisor.MsgHello,
 		vcache.MsgGet, vcache.MsgGot, vcache.MsgHello, vcache.MsgInject, vcache.MsgPut, vcache.MsgStatsR,
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/san"
+	"repro/internal/supervisor"
 	"repro/internal/tacc"
 	"repro/internal/vcache"
 )
@@ -74,6 +75,14 @@ func wireSamples() map[string]any {
 			Hits: 101, Misses: 17, Puts: 40, Injects: 12,
 			Evictions: 3, Expired: 1, Used: 1 << 20, Objects: 49,
 		},
+		supervisor.MsgHello: supervisor.HelloMsg{
+			Name: "sup", Addr: san.Addr{Node: "b-node0", Proc: "sup"},
+			Node: "b-node0", Prefix: "b-",
+		},
+		supervisor.MsgCmd: supervisor.Command{
+			ID: 9, Origin: "a-node1/manager", Op: supervisor.OpRestartCache, Target: "cache0",
+		},
+		supervisor.MsgAck: supervisor.Ack{ID: 9, OK: false, Err: "cache0 is not hosted here"},
 	}
 }
 

@@ -1,0 +1,371 @@
+// Package supervisor implements the per-process supervisor daemon that
+// makes the paper's process-peer supervision (§2, §3.2) work across OS
+// process boundaries. Every core.Start process runs one: it announces
+// itself on the SAN control group with periodic hello heartbeats
+// (address-keyed, exactly like cache services) and executes
+// restart/kill/spawn/disable/enable commands sent to it as SAN calls.
+//
+// The manager stays the brain — it watches heartbeats and decides what
+// must be restarted — but the muscle is now location-transparent: when
+// a component's process-peer duty points at another OS process, the
+// manager delegates the restart to that process's supervisor instead
+// of erroring out locally. This is the per-node resource/failover
+// manager of the Microsoft Cluster Service design (Vogels et al.)
+// grafted onto the SNS soft-state discipline: the supervisor keeps no
+// durable state, re-announces itself from the very next heartbeat
+// after a restart, and executes commands idempotently so a retried
+// delivery can never restart a component twice.
+package supervisor
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/san"
+)
+
+// Message kinds. MsgHello is multicast on the configured heartbeat
+// group (the platform wires it to the SNS control group); MsgCmd /
+// MsgAck are the unicast command protocol.
+const (
+	MsgHello = "sup.hello" // supervisor -> group: HelloMsg
+	MsgCmd   = "sup.cmd"   // manager/monitor -> supervisor (Call): Command
+	MsgAck   = "sup.ack"   // supervisor -> caller (reply): Ack
+)
+
+// Command operations.
+const (
+	// OpRestartFrontEnd restarts the named front end hosted by this
+	// supervisor's process (kill any lingering instance, spawn a fresh
+	// one under the same name).
+	OpRestartFrontEnd = "restart-frontend"
+	// OpRestartCache restarts the named cache partition (empty — it is
+	// a cache — but the address and key range come back).
+	OpRestartCache = "restart-cache"
+	// OpRestartWorker kills and respawns the worker with the given id
+	// under the same id and class — the hot-upgrade restart step.
+	OpRestartWorker = "restart-worker"
+	// OpSpawnWorker starts a fresh worker of the target class in this
+	// process (cross-process replacement spawns).
+	OpSpawnWorker = "spawn-worker"
+	// OpKill crashes the named component without respawn — remote
+	// fault injection for multi-process chaos.
+	OpKill = "kill"
+	// OpDisable / OpEnable forward a hot-upgrade disable/enable control
+	// message to the named local component (§2.1).
+	OpDisable = "disable"
+	OpEnable  = "enable"
+)
+
+// HelloMsg is the supervisor's heartbeat body. Prefix is the node-name
+// prefix of the process it governs: a manager resolving which
+// supervisor owns a dead component matches the component's node name
+// against the longest advertised prefix (Owner).
+type HelloMsg struct {
+	Name   string
+	Addr   san.Addr
+	Node   string
+	Prefix string
+}
+
+// Owner resolves which supervisor owns a node by longest advertised
+// prefix — the single ownership rule every resolver (manager restart
+// sweeps, monitor upgrade waves) must share, or two watchers could
+// delegate the same node's duties to different daemons.
+func Owner(node string, sups map[string]HelloMsg) (HelloMsg, bool) {
+	var best HelloMsg
+	bestLen := -1
+	for _, hb := range sups {
+		if strings.HasPrefix(node, hb.Prefix) && len(hb.Prefix) > bestLen {
+			best, bestLen = hb, len(hb.Prefix)
+		}
+	}
+	return best, bestLen >= 0
+}
+
+// Command asks a supervisor to act. ID must be unique per Origin for
+// one incident: retries of the same incident reuse the ID, so a
+// command that executed but whose ack was lost is answered from the
+// supervisor's result cache instead of being executed again.
+type Command struct {
+	ID     uint64
+	Origin string // issuing component's address, for idempotency scoping
+	Op     string
+	Target string // component name / worker id / class (OpSpawnWorker)
+}
+
+// Ack answers a Command.
+type Ack struct {
+	ID  uint64
+	OK  bool
+	Err string // empty when OK
+}
+
+// Host is the supervisor's lever on its own process — the platform
+// layer (core.System) implements it. All methods act locally: a
+// component another process hosts is that process's supervisor's
+// business.
+type Host interface {
+	RestartFrontEnd(name string) error
+	RestartCache(name string) error
+	// RestartWorker kills and respawns the worker with the same id.
+	RestartWorker(id string) error
+	// SpawnWorker starts a fresh worker of class.
+	SpawnWorker(class string) error
+	// KillComponent crashes a hosted component without respawn.
+	KillComponent(name string) error
+	// ComponentAddr resolves a hosted component's SAN address (for
+	// forwarded disable/enable control messages).
+	ComponentAddr(name string) (san.Addr, bool)
+}
+
+// Config assembles a supervisor.
+type Config struct {
+	Name string // process id; default "sup"
+	Node string
+	Net  *san.Network
+	// Prefix is the hosting process's node-name prefix, advertised in
+	// hellos so managers can resolve ownership.
+	Prefix string
+	// Host executes commands. A nil Host acks every command with an
+	// error (useful only in tests).
+	Host Host
+	// HeartbeatGroup/HeartbeatInterval, when both set, make Run
+	// multicast a HelloMsg every interval. The platform wires the
+	// group to stub.GroupControl.
+	HeartbeatGroup    string
+	HeartbeatInterval time.Duration
+	// DisableKind/EnableKind are the control message kinds forwarded
+	// to components for OpDisable/OpEnable (the platform wires
+	// stub.MsgDisable/stub.MsgEnable).
+	DisableKind string
+	EnableKind  string
+}
+
+// Stats counts supervisor activity.
+type Stats struct {
+	Commands uint64 // commands executed (excluding duplicates)
+	Dupes    uint64 // duplicate deliveries answered from the cache
+	Failures uint64 // commands whose execution returned an error
+	Hellos   uint64 // heartbeats sent
+}
+
+// resultCacheCap bounds the idempotency cache; old incidents are
+// evicted FIFO. 512 results cover far more concurrent incidents than a
+// cluster can have in flight.
+const resultCacheCap = 512
+
+// Supervisor is the per-process daemon. It implements cluster.Process.
+type Supervisor struct {
+	cfg Config
+	ep  *san.Endpoint
+
+	nextID atomic.Uint64
+
+	mu    sync.Mutex
+	done  map[string]Ack // origin#id -> result, for idempotent redelivery
+	order []string       // FIFO eviction order for done
+
+	commands atomic.Uint64
+	dupes    atomic.Uint64
+	failures atomic.Uint64
+	hellos   atomic.Uint64
+}
+
+// New creates a supervisor and eagerly registers its SAN endpoint so
+// it is addressable as soon as it is spawned.
+func New(cfg Config) *Supervisor {
+	if cfg.Name == "" {
+		cfg.Name = "sup"
+	}
+	s := &Supervisor{cfg: cfg, done: make(map[string]Ack)}
+	s.ep = cfg.Net.Endpoint(s.addr(), 256)
+	return s
+}
+
+func (s *Supervisor) addr() san.Addr { return san.Addr{Node: s.cfg.Node, Proc: s.cfg.Name} }
+
+// Addr returns the supervisor's SAN address.
+func (s *Supervisor) Addr() san.Addr { return s.addr() }
+
+// Prefix returns the node-name prefix this supervisor governs.
+func (s *Supervisor) Prefix() string { return s.cfg.Prefix }
+
+// ID implements cluster.Process.
+func (s *Supervisor) ID() string { return s.cfg.Name }
+
+// Stats returns a snapshot of counters.
+func (s *Supervisor) Stats() Stats {
+	return Stats{
+		Commands: s.commands.Load(),
+		Dupes:    s.dupes.Load(),
+		Failures: s.failures.Load(),
+		Hellos:   s.hellos.Load(),
+	}
+}
+
+// Hello builds the heartbeat body this supervisor announces.
+func (s *Supervisor) Hello() HelloMsg {
+	return HelloMsg{Name: s.cfg.Name, Addr: s.addr(), Node: s.cfg.Node, Prefix: s.cfg.Prefix}
+}
+
+// Run implements cluster.Process: heartbeat and serve commands until
+// ctx is done.
+func (s *Supervisor) Run(ctx context.Context) error {
+	if s.ep == nil || !s.cfg.Net.Lookup(s.addr()) {
+		s.ep = s.cfg.Net.Endpoint(s.addr(), 256)
+	}
+	ep := s.ep
+	defer ep.Close()
+
+	var hb <-chan time.Time
+	if s.cfg.HeartbeatGroup != "" && s.cfg.HeartbeatInterval > 0 {
+		t := time.NewTicker(s.cfg.HeartbeatInterval)
+		defer t.Stop()
+		hb = t.C
+		s.heartbeat(ep) // announce immediately so delegation works now
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-hb:
+			s.heartbeat(ep)
+		case msg, ok := <-ep.Inbox():
+			if !ok {
+				return fmt.Errorf("supervisor: %s endpoint closed", s.cfg.Name)
+			}
+			if msg.Reply {
+				// Acks for Invoke calls issued through this endpoint.
+				ep.DeliverReply(msg)
+				continue
+			}
+			if msg.Kind != MsgCmd {
+				continue
+			}
+			cmd, ok := msg.Body.(Command)
+			if !ok {
+				continue
+			}
+			ack := s.dispatch(cmd)
+			_ = ep.Respond(msg, MsgAck, ack, 64)
+		}
+	}
+}
+
+func (s *Supervisor) heartbeat(ep *san.Endpoint) {
+	s.hellos.Add(1)
+	ep.Multicast(s.cfg.HeartbeatGroup, MsgHello, s.Hello(), 64)
+}
+
+// dispatch executes one command at most once: a duplicate delivery
+// (same origin and id) of a command that already SUCCEEDED is
+// answered from the result cache without touching the host again —
+// the case idempotency exists for, a success whose ack was lost.
+// Failures are deliberately NOT cached: a failed execution had no
+// effect worth protecting, and pinning a transient refusal (say, a
+// momentary capacity gap) against an id the caller reuses across
+// retries would turn one bad moment into a permanent one.
+func (s *Supervisor) dispatch(cmd Command) Ack {
+	key := cmd.Origin + "#" + fmt.Sprint(cmd.ID)
+	s.mu.Lock()
+	if ack, seen := s.done[key]; seen {
+		s.mu.Unlock()
+		s.dupes.Add(1)
+		return ack
+	}
+	s.mu.Unlock()
+
+	ack := s.execute(cmd)
+	if !ack.OK {
+		return ack
+	}
+
+	s.mu.Lock()
+	if _, seen := s.done[key]; !seen {
+		s.done[key] = ack
+		s.order = append(s.order, key)
+		if len(s.order) > resultCacheCap {
+			delete(s.done, s.order[0])
+			s.order = s.order[1:]
+		}
+	}
+	s.mu.Unlock()
+	return ack
+}
+
+func (s *Supervisor) execute(cmd Command) Ack {
+	s.commands.Add(1)
+	var err error
+	if s.cfg.Host == nil {
+		err = fmt.Errorf("supervisor: no host wired")
+	} else {
+		switch cmd.Op {
+		case OpRestartFrontEnd:
+			err = s.cfg.Host.RestartFrontEnd(cmd.Target)
+		case OpRestartCache:
+			err = s.cfg.Host.RestartCache(cmd.Target)
+		case OpRestartWorker:
+			err = s.cfg.Host.RestartWorker(cmd.Target)
+		case OpSpawnWorker:
+			err = s.cfg.Host.SpawnWorker(cmd.Target)
+		case OpKill:
+			err = s.cfg.Host.KillComponent(cmd.Target)
+		case OpDisable:
+			err = s.forwardControl(cmd.Target, s.cfg.DisableKind)
+		case OpEnable:
+			err = s.forwardControl(cmd.Target, s.cfg.EnableKind)
+		default:
+			err = fmt.Errorf("supervisor: unknown op %q", cmd.Op)
+		}
+	}
+	if err != nil {
+		s.failures.Add(1)
+		return Ack{ID: cmd.ID, Err: err.Error()}
+	}
+	return Ack{ID: cmd.ID, OK: true}
+}
+
+// forwardControl sends a hot-upgrade control message to a hosted
+// component resolved by name.
+func (s *Supervisor) forwardControl(name, kind string) error {
+	if kind == "" {
+		return fmt.Errorf("supervisor: no control kind configured")
+	}
+	addr, ok := s.cfg.Host.ComponentAddr(name)
+	if !ok {
+		return fmt.Errorf("supervisor: unknown component %s", name)
+	}
+	return s.ep.Send(addr, kind, nil, 16)
+}
+
+// NextCommandID mints an id for a new incident issued from this
+// process (retries of the same incident must reuse the id).
+func (s *Supervisor) NextCommandID() uint64 { return s.nextID.Add(1) }
+
+// Invoke sends a command to a peer supervisor and waits for its ack —
+// the client half of the protocol, used by selftests and operator
+// tooling. The supervisor's Run loop must be live (it routes the reply
+// back into the pending call). An ack with OK=false is returned with a
+// nil error: the command was delivered and refused, which is an answer.
+func (s *Supervisor) Invoke(ctx context.Context, to san.Addr, cmd Command) (Ack, error) {
+	if cmd.Origin == "" {
+		cmd.Origin = s.addr().String()
+	}
+	if cmd.ID == 0 {
+		cmd.ID = s.NextCommandID()
+	}
+	resp, err := s.ep.Call(ctx, to, MsgCmd, cmd, 64)
+	if err != nil {
+		return Ack{}, err
+	}
+	ack, ok := resp.Body.(Ack)
+	if !ok {
+		return Ack{}, fmt.Errorf("supervisor: malformed ack %T", resp.Body)
+	}
+	return ack, nil
+}

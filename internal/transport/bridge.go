@@ -85,11 +85,13 @@ type Stats struct {
 	BytesIn     uint64 // raw bytes read
 	Batches     uint64 // write syscalls issued (all peers, lifetime)
 	BytesOut    uint64 // bytes written (all peers, lifetime)
-	Floods      uint64 // unicasts sent to every peer for lack of a route
+	Floods      uint64 // unicasts sent to every peer for lack of any route
 	FrameErrors uint64 // connections dropped for stream corruption
 	Injected    uint64 // frames delivered into the local SAN
 	Reconnects  uint64 // successful dials after the first
 	HellosIn    uint64 // handshakes accepted
+	AdvertsIn   uint64 // endpoint-table advertisement frames received
+	Unroutable  uint64 // unicasts refused: destination advertised dead
 }
 
 // peer is one live connection to another bridge.
@@ -137,9 +139,21 @@ type Bridge struct {
 
 	mu      sync.RWMutex
 	peers   map[string]*peer
-	routes  map[san.Addr]*peer
-	dialing map[string]bool // canonical addrs with a live dial loop
+	routes  map[san.Addr]*peer // learned from observed traffic (freshest)
+	dialing map[string]bool    // canonical addrs with a live dial loop
 	closed  bool
+
+	// Endpoint-table advertisement state: locals is this process's
+	// endpoint set (announced in hellos and incremental adverts);
+	// advertised maps remote endpoints to the peer that vouched for
+	// them; tombs records addresses known to be dead — advertised or
+	// local endpoints that closed and were never re-announced — so a
+	// send to one fails fast (ErrUnknownAddr on the SAN) instead of
+	// flooding the mesh with undeliverable datagrams.
+	locals     map[san.Addr]bool
+	advertised map[san.Addr]*peer
+	tombs      map[san.Addr]bool
+	tombOrder  []san.Addr // FIFO eviction for tombs
 
 	done chan struct{}
 	wg   sync.WaitGroup
@@ -152,6 +166,8 @@ type Bridge struct {
 	injected    atomic.Uint64
 	reconnects  atomic.Uint64
 	hellosIn    atomic.Uint64
+	advertsIn   atomic.Uint64
+	unroutable  atomic.Uint64
 	// Batch counters accumulated from connections that have closed;
 	// Stats() adds the live batchers on top.
 	deadBatches  atomic.Uint64
@@ -188,14 +204,17 @@ func New(cfg Config) (*Bridge, error) {
 		}
 	}
 	b := &Bridge{
-		cfg:       cfg,
-		net:       cfg.Net,
-		ln:        ln,
-		advertise: advertise,
-		peers:     make(map[string]*peer),
-		routes:    make(map[san.Addr]*peer),
-		dialing:   make(map[string]bool),
-		done:      make(chan struct{}),
+		cfg:        cfg,
+		net:        cfg.Net,
+		ln:         ln,
+		advertise:  advertise,
+		peers:      make(map[string]*peer),
+		routes:     make(map[san.Addr]*peer),
+		dialing:    make(map[string]bool),
+		locals:     make(map[san.Addr]bool),
+		advertised: make(map[san.Addr]*peer),
+		tombs:      make(map[san.Addr]bool),
+		done:       make(chan struct{}),
 	}
 	b.framePool.New = func() any {
 		buf := make([]byte, 0, 2048)
@@ -284,6 +303,8 @@ func (b *Bridge) Stats() Stats {
 		Injected:    b.injected.Load(),
 		Reconnects:  b.reconnects.Load(),
 		HellosIn:    b.hellosIn.Load(),
+		AdvertsIn:   b.advertsIn.Load(),
+		Unroutable:  b.unroutable.Load(),
 		Batches:     b.deadBatches.Load(),
 		BytesOut:    b.deadBytesOut.Load(),
 	}
@@ -344,28 +365,41 @@ func (b *Bridge) logf(format string, args ...any) {
 // ---------------------------------------------------------------------------
 // Fabric (outbound).
 
-// Unicast implements san.Fabric: route if learned, flood otherwise.
+// Unicast implements san.Fabric. Routing preference: a route learned
+// from observed traffic (freshest), then the peer that advertised the
+// endpoint in its hello/advert stream. An address that was advertised
+// and then invalidated (the endpoint closed) is refused outright —
+// the SAN surfaces that as ErrUnknownAddr, the cross-process analogue
+// of sending to an unbound local address. Only a genuinely never-seen
+// address still floods, as a last resort for races the advert stream
+// has not covered yet.
 func (b *Bridge) Unicast(from, to san.Addr, kind string, callID uint64, reply bool, wire []byte) bool {
-	bufp := b.framePool.Get().(*[]byte)
-	frame := AppendData((*bufp)[:0], from, to, kind, callID, reply, wire)
-
 	var stack [1]*peer
 	targets := stack[:0]
 	b.mu.RLock()
 	if p, ok := b.routes[to]; ok {
 		targets = append(targets, p)
+	} else if p, ok := b.advertised[to]; ok {
+		targets = append(targets, p)
+	} else if b.tombs[to] {
+		b.mu.RUnlock()
+		b.unroutable.Add(1)
+		return false
 	} else {
-		// No learned route: flood. The wrong recipients drop the frame
-		// silently (datagram semantics); the reply teaches the route.
 		for _, p := range b.peers {
 			targets = append(targets, p)
 		}
-		if len(targets) > 1 {
+		if len(targets) > 0 {
 			b.floods.Add(1)
 		}
 	}
 	b.mu.RUnlock()
+	if len(targets) == 0 {
+		return false
+	}
 
+	bufp := b.framePool.Get().(*[]byte)
+	frame := AppendData((*bufp)[:0], from, to, kind, callID, reply, wire)
 	sent := 0
 	for _, p := range targets {
 		if b.appendToPeer(p, frame) {
@@ -376,6 +410,96 @@ func (b *Bridge) Unicast(from, to san.Addr, kind string, callID uint64, reply bo
 	*bufp = frame[:0]
 	b.framePool.Put(bufp)
 	return sent > 0
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint-table advertisement (san.Fabric observers).
+
+// EndpointUp implements san.Fabric: a local endpoint registered. Peers
+// learn it immediately through an incremental advert so their first
+// packet to it routes instead of flooding.
+func (b *Bridge) EndpointUp(a san.Addr) {
+	b.mu.Lock()
+	if b.closed || b.locals[a] {
+		b.mu.Unlock()
+		return
+	}
+	b.locals[a] = true
+	delete(b.tombs, a)
+	peers := b.peersLocked()
+	b.mu.Unlock()
+	b.broadcastAdvert(AdvertUp, a, peers)
+}
+
+// EndpointDown implements san.Fabric: a local endpoint closed. Peers
+// invalidate their route and tombstone the address, so their next send
+// to it reads as ErrUnknownAddr instead of a silent flood.
+func (b *Bridge) EndpointDown(a san.Addr) {
+	b.mu.Lock()
+	if b.closed || !b.locals[a] {
+		b.mu.Unlock()
+		return
+	}
+	delete(b.locals, a)
+	b.tombstoneLocked(a)
+	peers := b.peersLocked()
+	b.mu.Unlock()
+	b.broadcastAdvert(AdvertDown, a, peers)
+}
+
+func (b *Bridge) peersLocked() []*peer {
+	out := make([]*peer, 0, len(b.peers))
+	for _, p := range b.peers {
+		out = append(out, p)
+	}
+	return out
+}
+
+func (b *Bridge) broadcastAdvert(op byte, a san.Addr, peers []*peer) {
+	if len(peers) == 0 {
+		return
+	}
+	bufp := b.framePool.Get().(*[]byte)
+	var one [1]san.Addr
+	one[0] = a
+	frame := AppendAdvert((*bufp)[:0], op, one[:])
+	for _, p := range peers {
+		b.appendToPeer(p, frame)
+	}
+	*bufp = frame[:0]
+	b.framePool.Put(bufp)
+}
+
+// maxTombs bounds the dead-endpoint set; the oldest tombstones fall
+// off FIFO. Losing a tombstone only downgrades a fast failure to one
+// flood, so the bound is safe.
+const maxTombs = 4096
+
+func (b *Bridge) tombstoneLocked(a san.Addr) {
+	if b.tombs[a] {
+		return
+	}
+	b.tombs[a] = true
+	b.tombOrder = append(b.tombOrder, a)
+	if len(b.tombOrder) > maxTombs {
+		if b.tombs[b.tombOrder[0]] {
+			delete(b.tombs, b.tombOrder[0])
+		}
+		b.tombOrder = b.tombOrder[1:]
+	}
+}
+
+// applyAdvertised records a peer's claim to host the given endpoints.
+func (b *Bridge) applyAdvertised(p *peer, addrs []san.Addr) {
+	if len(addrs) == 0 {
+		return
+	}
+	b.mu.Lock()
+	for _, a := range addrs {
+		b.advertised[a] = p
+		delete(b.tombs, a)
+	}
+	b.mu.Unlock()
 }
 
 // appendToPeer queues a frame on one peer's batcher. A write error
@@ -564,8 +688,9 @@ func (b *Bridge) peerByAdvertiseOrID(canon, id string) *peer {
 	return nil
 }
 
-// helloFor snapshots the gossip payload: who we are plus every peer
-// address we can vouch for.
+// helloFor snapshots the gossip payload: who we are, every peer
+// address we can vouch for, and the endpoint table we host — so the
+// receiver can route its very first packet to us instead of flooding.
 func (b *Bridge) helloFor() Hello {
 	h := Hello{ID: b.cfg.ID, Advertise: b.advertise}
 	b.mu.RLock()
@@ -573,6 +698,9 @@ func (b *Bridge) helloFor() Hello {
 		if p.advertise != "" {
 			h.Peers = append(h.Peers, p.advertise)
 		}
+	}
+	for a := range b.locals {
+		h.Endpoints = append(h.Endpoints, a)
 	}
 	b.mu.RUnlock()
 	return h
@@ -614,6 +742,26 @@ func (b *Bridge) runConn(conn net.Conn, dialed bool) (peerID string, kept bool) 
 		return hello.ID, false
 	}
 	b.logf("transport: %s connected to peer %s (%s, dialed=%v)", b.cfg.ID, p.id, p.advertise, dialed)
+
+	// The peer's hello advertises its endpoint table; seed routes from
+	// it so nothing we send it ever needs the flood path.
+	b.applyAdvertised(p, hello.Endpoints)
+	// Catch-up advert: any endpoint that registered here between our
+	// hello snapshot and the peer becoming visible would otherwise be
+	// missed by both the hello and the incremental broadcast.
+	b.mu.RLock()
+	catchup := make([]san.Addr, 0, len(b.locals))
+	for a := range b.locals {
+		catchup = append(catchup, a)
+	}
+	b.mu.RUnlock()
+	if len(catchup) > 0 {
+		bufp := b.framePool.Get().(*[]byte)
+		frame := AppendAdvert((*bufp)[:0], AdvertUp, catchup)
+		b.appendToPeer(p, frame)
+		*bufp = frame[:0]
+		b.framePool.Put(bufp)
+	}
 
 	// Gossip: dial anyone the peer knows that we don't.
 	b.ensureDial(hello.Advertise)
@@ -692,6 +840,14 @@ func (b *Bridge) removePeer(p *peer) {
 			delete(b.routes, addr)
 		}
 	}
+	// The peer's advertised endpoints are unreachable but NOT dead —
+	// it may reconnect and re-advertise them in its next hello — so
+	// they are forgotten, not tombstoned.
+	for addr, rp := range b.advertised {
+		if rp == p {
+			delete(b.advertised, addr)
+		}
+	}
 	b.mu.Unlock()
 	b.logf("transport: %s lost peer %s", b.cfg.ID, p.id)
 }
@@ -743,10 +899,33 @@ func (b *Bridge) handleFrame(p *peer, f Frame, intern *interner) {
 		}
 	case FrameHello:
 		if h, err := f.DecodeHello(); err == nil {
+			b.applyAdvertised(p, h.Endpoints)
 			b.ensureDial(h.Advertise)
 			for _, addr := range h.Peers {
 				b.ensureDial(addr)
 			}
+		}
+	case FrameAdvert:
+		op, addrs, err := f.DecodeAdvert()
+		if err != nil {
+			return
+		}
+		b.advertsIn.Add(1)
+		switch op {
+		case AdvertUp:
+			b.applyAdvertised(p, addrs)
+		case AdvertDown:
+			b.mu.Lock()
+			for _, a := range addrs {
+				if b.advertised[a] == p {
+					delete(b.advertised, a)
+				}
+				if b.routes[a] == p {
+					delete(b.routes, a)
+				}
+				b.tombstoneLocked(a)
+			}
+			b.mu.Unlock()
 		}
 	}
 }
@@ -754,16 +933,19 @@ func (b *Bridge) handleFrame(p *peer, f Frame, intern *interner) {
 // learn records that addr is reachable via p (switch-style MAC
 // learning: the source of an observed frame is a valid route). Entries
 // move if the address shows up behind a different peer — a component
-// restarted in another process.
+// restarted in another process. Observed traffic is proof of life, so
+// any tombstone for the address dies with the sighting.
 func (b *Bridge) learn(addr san.Addr, p *peer) {
 	b.mu.RLock()
 	cur, ok := b.routes[addr]
+	tomb := b.tombs[addr]
 	b.mu.RUnlock()
-	if ok && cur == p {
+	if ok && cur == p && !tomb {
 		return
 	}
 	b.mu.Lock()
 	b.routes[addr] = p
+	delete(b.tombs, addr)
 	b.mu.Unlock()
 }
 

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"testing"
@@ -202,6 +203,106 @@ func TestBridgeBurstBatches(t *testing.T) {
 			perBatch, st.FramesOut, st.Batches)
 	}
 	t.Logf("burst packing: %d frames in %d batches (%.1f frames/batch)", st.FramesOut, st.Batches, perBatch)
+}
+
+// TestBridgeAdvertRouting: endpoint-table advertisement kills the
+// first-packet flood. In a three-process mesh, a send to a remote
+// endpoint that has produced no traffic yet routes straight to the
+// advertising peer — the bridge never floods.
+func TestBridgeAdvertRouting(t *testing.T) {
+	netA, netB, ba, _ := bridgePair(t)
+	netC := newWireNet(3)
+	bc, err := New(Config{Net: netC, Listen: "tcp:127.0.0.1:0", ID: "c", Join: []string{ba.Advertise()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bc.Close()
+	if !ba.WaitPeers(2, 5*time.Second) || !bc.WaitPeers(2, 5*time.Second) {
+		t.Fatal("mesh never formed")
+	}
+
+	src := netA.Endpoint(san.Addr{Node: "a-n0", Proc: "src"}, 8)
+	dst := netB.Endpoint(san.Addr{Node: "b-n0", Proc: "dst"}, 64)
+
+	// Wait until A has seen B's advert for dst (hello or incremental).
+	waitAdvertised := func() bool {
+		ba.mu.RLock()
+		_, ok := ba.advertised[dst.Addr()]
+		ba.mu.RUnlock()
+		return ok
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !waitAdvertised() && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !waitAdvertised() {
+		t.Fatal("dst was never advertised to A")
+	}
+
+	if err := src.Send(dst.Addr(), stub.MsgSpawnReq, stub.SpawnReq{Class: "routed"}, 16); err != nil {
+		t.Fatalf("advert-routed send: %v", err)
+	}
+	if m := awaitMsg(t, dst, 5*time.Second); m.Body.(stub.SpawnReq).Class != "routed" {
+		t.Fatal("advert-routed message wrong")
+	}
+	if f := ba.Stats().Floods; f != 0 {
+		t.Fatalf("first packet flooded %d times despite the advert", f)
+	}
+	// C, the uninvolved peer, never saw the unicast.
+	if inj := bc.Stats().Injected; inj != 0 {
+		t.Fatalf("bystander process received %d injected frames", inj)
+	}
+}
+
+// TestBridgeInvalidationOnClose: closing a remote endpoint reaches the
+// sender as an advert-down; the next send fails fast with
+// ErrUnknownAddr instead of silently flooding the mesh forever.
+func TestBridgeInvalidationOnClose(t *testing.T) {
+	netA, netB, ba, _ := bridgePair(t)
+	src := netA.Endpoint(san.Addr{Node: "a-n0", Proc: "src"}, 8)
+	dst := netB.Endpoint(san.Addr{Node: "b-n0", Proc: "dst"}, 64)
+
+	// Establish the route (and drain the delivery).
+	deadline := time.Now().Add(5 * time.Second)
+	delivered := false
+	for !delivered && time.Now().Before(deadline) {
+		_ = src.Send(dst.Addr(), stub.MsgSpawnReq, stub.SpawnReq{Class: "pre"}, 16)
+		select {
+		case <-dst.Inbox():
+			delivered = true
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if !delivered {
+		t.Fatal("route never established")
+	}
+
+	// Crash the endpoint (no goodbye traffic): the SAN tells the
+	// bridge, the bridge tells its peers.
+	netB.Drop(dst.Addr())
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		err := src.Send(dst.Addr(), stub.MsgSpawnReq, stub.SpawnReq{Class: "post"}, 16)
+		if errors.Is(err, san.ErrUnknownAddr) {
+			if ba.Stats().Unroutable == 0 {
+				t.Fatal("unroutable send not counted")
+			}
+			// Re-registration revives the address.
+			dst2 := netB.Endpoint(san.Addr{Node: "b-n0", Proc: "dst"}, 64)
+			for time.Now().Before(deadline) {
+				if err := src.Send(dst2.Addr(), stub.MsgSpawnReq, stub.SpawnReq{Class: "back"}, 16); err == nil {
+					select {
+					case <-dst2.Inbox():
+						return
+					case <-time.After(10 * time.Millisecond):
+					}
+				}
+			}
+			t.Fatal("address never revived after re-registration")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("dead endpoint never became unroutable at the sender")
 }
 
 // TestBridgeMeshGossip: a third process joining via one seed learns of

@@ -59,9 +59,16 @@ const (
 
 // Frame types.
 const (
-	FrameHello byte = 1 // handshake: bridge id, listen addr, known peers
-	FrameData  byte = 2 // point-to-point SAN message
-	FrameMcast byte = 3 // multicast SAN message
+	FrameHello  byte = 1 // handshake: bridge id, listen addr, known peers, endpoint table
+	FrameData   byte = 2 // point-to-point SAN message
+	FrameMcast  byte = 3 // multicast SAN message
+	FrameAdvert byte = 4 // incremental endpoint-table advertisement
+)
+
+// Advert operations (carried in the advert frame's op byte).
+const (
+	AdvertUp   byte = 1 // the listed endpoints registered on the sender
+	AdvertDown byte = 2 // the listed endpoints closed on the sender
 )
 
 // Data-frame flags.
@@ -157,13 +164,15 @@ func AppendMcast(dst []byte, from san.Addr, group, kind string, body []byte) []b
 }
 
 // Hello is the handshake payload each side sends immediately after a
-// connection opens: who it is, where it can be dialed, and which other
+// connection opens: who it is, where it can be dialed, which other
 // peers it knows — the gossip that lets a joining process complete the
-// mesh from one seed address.
+// mesh from one seed address — and which SAN endpoints it hosts, so
+// the receiver can route first packets instead of flooding them.
 type Hello struct {
 	ID        string
-	Advertise string   // canonical dialable listen address
-	Peers     []string // advertised addresses of other known peers
+	Advertise string     // canonical dialable listen address
+	Peers     []string   // advertised addresses of other known peers
+	Endpoints []san.Addr // SAN endpoints registered on the sender
 }
 
 // AppendHello appends one handshake frame.
@@ -175,13 +184,20 @@ func AppendHello(dst []byte, h Hello) []byte {
 	for _, p := range h.Peers {
 		dst = appendString(dst, p)
 	}
+	dst = binary.AppendUvarint(dst, uint64(len(h.Endpoints)))
+	for _, a := range h.Endpoints {
+		dst = appendString(dst, a.Node)
+		dst = appendString(dst, a.Proc)
+	}
 	return finishFrame(dst, off)
 }
 
 // DecodeHello materializes a Hello from a decoded FrameHello (the
 // hello fields ride in the payload reader's slots: ID in SrcNode,
-// Advertise in SrcProc, peers packed in Body). Callers get copies —
-// hellos are rare and long-lived, unlike data frames.
+// Advertise in SrcProc, peers and endpoints packed in Body). Callers
+// get copies — hellos are rare and long-lived, unlike data frames. A
+// hello without an endpoint section (an older capture) still parses;
+// the endpoint table then arrives by advert frames alone.
 func (f *Frame) DecodeHello() (Hello, error) {
 	if f.Type != FrameHello {
 		return Hello{}, fmt.Errorf("%w: not a hello frame", ErrFrameFormat)
@@ -192,10 +208,58 @@ func (f *Frame) DecodeHello() (Hello, error) {
 	for i := 0; i < n && r.err == nil; i++ {
 		h.Peers = append(h.Peers, string(r.bytes()))
 	}
+	if r.err == nil && r.pos < len(r.buf) {
+		m := r.sliceLen(2)
+		for i := 0; i < m && r.err == nil; i++ {
+			a := san.Addr{Node: string(r.bytes()), Proc: string(r.bytes())}
+			if r.err == nil {
+				h.Endpoints = append(h.Endpoints, a)
+			}
+		}
+	}
 	if r.err != nil || r.pos != len(r.buf) {
 		return Hello{}, fmt.Errorf("%w: hello peer list", ErrFrameFormat)
 	}
 	return h, nil
+}
+
+// AppendAdvert appends one endpoint-table advertisement frame: op
+// (AdvertUp/AdvertDown) plus the affected addresses. Adverts ride the
+// same ordered stream as data frames, so a peer's view of the sender's
+// endpoint table is never ahead of the traffic that depends on it.
+func AppendAdvert(dst []byte, op byte, addrs []san.Addr) []byte {
+	dst, off := appendPrelude(dst, FrameAdvert)
+	dst = append(dst, op)
+	dst = binary.AppendUvarint(dst, uint64(len(addrs)))
+	for _, a := range addrs {
+		dst = appendString(dst, a.Node)
+		dst = appendString(dst, a.Proc)
+	}
+	return finishFrame(dst, off)
+}
+
+// DecodeAdvert materializes an advert from a decoded FrameAdvert: the
+// op rides in Flags, the packed address list in Body. Addresses are
+// copied (adverts mutate long-lived route tables).
+func (f *Frame) DecodeAdvert() (op byte, addrs []san.Addr, err error) {
+	if f.Type != FrameAdvert {
+		return 0, nil, fmt.Errorf("%w: not an advert frame", ErrFrameFormat)
+	}
+	r := payloadReader{buf: f.Body}
+	n := r.sliceLen(2)
+	for i := 0; i < n && r.err == nil; i++ {
+		a := san.Addr{Node: string(r.bytes()), Proc: string(r.bytes())}
+		if r.err == nil {
+			addrs = append(addrs, a)
+		}
+	}
+	if r.err != nil || r.pos != len(r.buf) {
+		return 0, nil, fmt.Errorf("%w: advert address list", ErrFrameFormat)
+	}
+	if f.Flags != AdvertUp && f.Flags != AdvertDown {
+		return 0, nil, fmt.Errorf("%w: advert op %d", ErrFrameFormat, f.Flags)
+	}
+	return f.Flags, addrs, nil
 }
 
 // Decoder incrementally parses a byte stream into frames. Feed raw
@@ -295,7 +359,10 @@ func parsePayload(ftype byte, payload []byte) (Frame, error) {
 	case FrameHello:
 		f.SrcNode = r.bytes() // hello ID
 		f.SrcProc = r.bytes() // hello advertise addr
-		f.Body = r.rest()     // packed peer list, parsed by DecodeHello
+		f.Body = r.rest()     // packed peer + endpoint lists, parsed by DecodeHello
+	case FrameAdvert:
+		f.Flags = r.byte() // advert op
+		f.Body = r.rest()  // packed address list, parsed by DecodeAdvert
 	default:
 		return Frame{}, fmt.Errorf("%w: unknown frame type %d", ErrFrameFormat, ftype)
 	}

@@ -135,6 +135,12 @@ func reencode(f Frame) []byte {
 			return nil
 		}
 		return AppendHello(nil, h)
+	case FrameAdvert:
+		op, addrs, err := f.DecodeAdvert()
+		if err != nil {
+			return nil
+		}
+		return AppendAdvert(nil, op, addrs)
 	}
 	return nil
 }

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Two-process loopback smoke test (CI gate for internal/transport):
-# spawn a control-plane node process (manager + workers + caches) and
-# a serving-plane node process (front ends + monitor) joined over
-# 127.0.0.1, run a short TranSend workload from the serving side, and
-# assert zero failed requests and zero wire/frame errors. The serving
-# process's -selftest mode performs the assertions and exits non-zero
-# on any violation.
+# Two-process loopback smoke test (CI gate for internal/transport and
+# internal/supervisor): spawn a data-plane node process (workers +
+# caches) and a control/serving process (front ends + manager +
+# monitor) joined over 127.0.0.1, run a short TranSend workload from
+# the serving side, and assert zero failed requests and zero
+# wire/frame errors. Mid-run, the serving side SIGKILLs the peer
+# process's cache0 through that process's supervisor daemon and
+# asserts the manager's process-peer duty respawned it by supervisor
+# delegation — the cross-process self-healing path — still with zero
+# failed requests. The serving process's -selftest mode performs all
+# assertions and exits non-zero on any violation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,18 +28,27 @@ trap cleanup EXIT
 echo "smoke: building cmd/node..."
 go build -o "${bin}" ./cmd/node
 
-echo "smoke: starting control-plane process (manager,worker,cache) on :${PORT}..."
-"${bin}" -listen "tcp:127.0.0.1:${PORT}" -prefix ctl -roles manager,worker,cache \
+echo "smoke: starting data-plane process (worker,cache) on :${PORT}..."
+"${bin}" -listen "tcp:127.0.0.1:${PORT}" -prefix ctl -roles worker,cache \
     -seed 1 >"${ctl_log}" 2>&1 &
 ctl_pid=$!
 
-echo "smoke: starting serving process (frontend,monitor) with -selftest ${REQUESTS}..."
-if ! "${bin}" -listen tcp:127.0.0.1:0 -join "tcp:127.0.0.1:${PORT}" \
-    -prefix srv -roles frontend,monitor -cache-host ctl -seed 2 \
-    -selftest "${REQUESTS}"; then
-    echo "smoke: FAILED — control-plane log:" >&2
+echo "smoke: starting serving process (frontend,manager,monitor) with -selftest ${REQUESTS} -selftest-kill cache0..."
+if ! out=$("${bin}" -listen tcp:127.0.0.1:0 -join "tcp:127.0.0.1:${PORT}" \
+    -prefix srv -roles frontend,manager,monitor -cache-host ctl -seed 2 \
+    -selftest "${REQUESTS}" -selftest-kill cache0 2> >(cat >&2)); then
+    echo "smoke: FAILED — data-plane log:" >&2
+    cat "${ctl_log}" >&2
+    exit 1
+fi
+echo "${out}"
+
+# Belt and braces on top of the selftest's own exit code: the JSON
+# must show the delegated respawn actually happened.
+if ! grep -q '"delegated_restarts":[1-9]' <<<"${out}"; then
+    echo "smoke: FAILED — no delegated restart in selftest report" >&2
     cat "${ctl_log}" >&2
     exit 1
 fi
 
-echo "smoke: OK — ${REQUESTS} requests across two OS processes, zero failures, zero wire errors"
+echo "smoke: OK — ${REQUESTS}+ requests across two OS processes, zero failures, zero wire errors, cache0 respawned by supervisor delegation"
