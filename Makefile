@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short race cover fuzz-smoke fuzz-frames smoke-multiprocess bench-snapshot bench-diff bench-wire bench-transport chaos-soak
+.PHONY: build test test-short race cover fuzz-smoke fuzz-frames smoke-multiprocess bench-snapshot bench-diff bench-wire bench-transport bench-blob chaos-soak
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,11 @@ bench-wire:
 # unbatched socket send comparison.
 bench-transport:
 	$(GO) test -run='^$$' -bench='Frame|Bridge' -benchmem -count=1 .
+
+# The zero-copy blob relay (FE→cache→FE over two bridges) at 4 KB /
+# 64 KB / 512 KB — B/op and allocs/op are the copy count per request.
+bench-blob:
+	$(GO) test -run='^$$' -bench='BlobRelay' -benchmem -count=1 ./internal/transport
 
 # The randomized kill-anything soak plus the full chaos suite.
 chaos-soak:

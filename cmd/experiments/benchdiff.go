@@ -37,6 +37,21 @@ var gatedMetrics = map[string]float64{
 	// alloc-free append or buffer reuse broke).
 	"frame_encode_allocs": 0.20,
 	"frame_decode_allocs": 0.20,
+	// Bridged send: the per-frame cost of the socket data plane. The
+	// remaining allocs are the decoded body's owned strings; anything
+	// above that means frame scratch pooling or the vectored path
+	// regressed.
+	"bridge_send_batched_allocs": 0.20,
+	// Blob relay (FE→cache→FE over two bridges): allocs at every size,
+	// plus allocated bytes at the sizes where B/op is the copy count
+	// ("at most one body copy per hop" = B/op stays far below the body
+	// size). Bytes get a looser tolerance: amortized pool misses and
+	// GC timing put real variance on small absolute values.
+	"blob_relay_4k_allocs":   0.20,
+	"blob_relay_64k_allocs":  0.20,
+	"blob_relay_512k_allocs": 0.20,
+	"blob_relay_64k_bytes":   0.50,
+	"blob_relay_512k_bytes":  0.50,
 }
 
 // zeroSlack is the absolute drift allowed when the baseline value is

@@ -114,6 +114,11 @@ func writeSnapshot(path string, seed int64) error {
 	// gated); allocs/op is deterministic and regression-gated.
 	measureHotPaths(m)
 
+	// Zero-copy data plane: the FE→cache→FE blob relay at the three
+	// characteristic sizes (ns tracked; allocs and B/op gated — they
+	// are what "at most one body copy per hop" means in numbers).
+	measureBlobRelay(m)
+
 	snap := BenchSnapshot{
 		Date:    time.Now().UTC().Format("2006-01-02"),
 		Seed:    seed,
@@ -139,6 +144,15 @@ func record(m map[string]float64, name string, r testing.BenchmarkResult) {
 	m[name+"_ns"] = float64(r.NsPerOp())
 	if r.N > 0 {
 		m[name+"_allocs"] = float64(r.MemAllocs) / float64(r.N)
+	}
+}
+
+// recordMem is record plus allocated bytes per op (<name>_bytes) — for
+// the data-plane metrics where B/op is the copy count made measurable.
+func recordMem(m map[string]float64, name string, r testing.BenchmarkResult) {
+	record(m, name, r)
+	if r.N > 0 {
+		m[name+"_bytes"] = float64(r.MemBytes) / float64(r.N)
 	}
 }
 
@@ -285,6 +299,78 @@ func measureHotPaths(m map[string]float64) {
 			}
 		}
 	}))
+}
+
+// measureBlobRelay benchmarks one cached-object fetch end to end over
+// a real two-bridge SAN (client → wire → cache partition → wire →
+// client) at 4 KB, 64 KB, and 512 KB. The small sizes ride a single
+// vectored frame; 512 KB crosses as chunk fragments. GetView keeps the
+// client zero-copy, so <size>_allocs / <size>_bytes are the data
+// plane's whole per-request footprint.
+func measureBlobRelay(m map[string]float64) {
+	netA := san.NewNetwork(1, san.WithCodec(stub.WireCodec{}))
+	netB := san.NewNetwork(2, san.WithCodec(stub.WireCodec{}))
+	defer netA.Close()
+	defer netB.Close()
+	ba, err := transport.New(transport.Config{Net: netA, Listen: "tcp:127.0.0.1:0", ID: "relay-a"})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snapshot: blob relay bridge:", err)
+		return
+	}
+	defer ba.Close()
+	bb, err := transport.New(transport.Config{Net: netB, Listen: "tcp:127.0.0.1:0", ID: "relay-b", Join: []string{ba.Advertise()}})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snapshot: blob relay bridge:", err)
+		return
+	}
+	defer bb.Close()
+	if !ba.WaitPeers(1, 5*time.Second) {
+		fmt.Fprintln(os.Stderr, "snapshot: blob relay bridges never connected")
+		return
+	}
+
+	svc := vcache.NewService("cache0", netB, "b-cnode", vcache.NewPartition(256<<20, nil))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = svc.Run(ctx) }()
+
+	ep := netA.Endpoint(san.Addr{Node: "a-fe", Proc: "client"}, 256)
+	go func() {
+		for msg := range ep.Inbox() {
+			ep.DeliverReply(msg)
+		}
+	}()
+	client := vcache.NewClient(ep)
+	client.AddNode("cache0", svc.Addr())
+
+	for _, tc := range []struct {
+		name string
+		size int
+	}{
+		{"blob_relay_4k", 4 << 10},
+		{"blob_relay_64k", 64 << 10},
+		{"blob_relay_512k", 512 << 10},
+	} {
+		payload := make([]byte, tc.size)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		client.Put(ctx, tc.name, payload, "image/gif", 0)
+		recordMem(m, tc.name, testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				data, _, release, ok := client.GetView(ctx, tc.name)
+				if !ok || len(data) != tc.size {
+					b.Fatalf("relay get: ok=%v len=%d want %d", ok, len(data), tc.size)
+				}
+				if release != nil {
+					release()
+				}
+			}
+		}))
+	}
+	if we := netA.Stats().WireErrors + netB.Stats().WireErrors; we != 0 {
+		fmt.Fprintf(os.Stderr, "snapshot: blob relay saw %d wire errors\n", we)
+	}
 }
 
 // measureRecovery boots a compact system, kills a worker, and times

@@ -48,8 +48,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/distiller"
 	"repro/internal/manager"
+	"repro/internal/san"
 	"repro/internal/supervisor"
 	"repro/internal/tacc"
+	"repro/internal/vcache"
 )
 
 func main() {
@@ -173,6 +175,9 @@ type selftestReport struct {
 	FramesIn       uint64  `json:"frames_in"`
 	Batches        uint64  `json:"batches"`
 	FramesPerBatch float64 `json:"frames_per_batch"`
+	Chunked        uint64  `json:"chunked"`
+	Reassembled    uint64  `json:"reassembled"`
+	LargeBodyBytes int     `json:"large_body_bytes"`
 	Peers          int     `json:"peers"`
 	Supervisors    int     `json:"supervisors"`
 	Delegated      uint64  `json:"delegated_restarts"`
@@ -223,6 +228,19 @@ func runSelftest(sys *core.System, n int, kill string) error {
 			}
 		}
 	}
+	// Large-body leg: round-trip a body far above the chunking
+	// threshold through a cache partition. When the partition lives in
+	// a peer process (the smoke test's topology) the body crosses the
+	// bridge as chunk fragments both ways, so the zero-wire-error gate
+	// below also covers chunked relay and reassembly under real load.
+	if n > 0 {
+		if bytes, err := selftestLargeBody(ctx, sys); err != nil {
+			rep.Failures++
+			log.Printf("selftest: large-body leg failed: %v", err)
+		} else {
+			rep.LargeBodyBytes = bytes
+		}
+	}
 	for _, fe := range sys.FrontEnds() {
 		st := fe.Stats()
 		rep.Distilled += st.Distilled
@@ -237,6 +255,7 @@ func runSelftest(sys *core.System, n int, kill string) error {
 	if br.Batches > 0 {
 		rep.FramesPerBatch = float64(br.FramesOut) / float64(br.Batches)
 	}
+	rep.Chunked, rep.Reassembled = br.Chunked, br.Reassembled
 	rep.Peers = br.Peers
 	if mgr := sys.Manager(); mgr != nil {
 		st := mgr.Stats()
@@ -254,6 +273,61 @@ func runSelftest(sys *core.System, n int, kill string) error {
 		return fmt.Errorf("selftest: %s was killed but no delegated restart was recorded", kill)
 	}
 	return nil
+}
+
+// selftestLargeBody stores a 512 KB blob in a cache partition and
+// reads it back, verifying content. 512 KB is well above the bridge's
+// chunking threshold, so against a remote partition the blob streams
+// as chunk fragments and reassembles on each hop; any corruption
+// shows up here as a content mismatch and any framing fault as a
+// wire/frame error in the report.
+func selftestLargeBody(ctx context.Context, sys *core.System) (int, error) {
+	nodes := sys.CacheNodes()
+	if len(nodes) == 0 {
+		return 0, fmt.Errorf("no cache partitions")
+	}
+	ep := sys.Net.Endpoint(san.Addr{Node: "selftest", Proc: "blob-client"}, 64)
+	defer ep.Close()
+	go func() {
+		for msg := range ep.Inbox() {
+			ep.DeliverReply(msg)
+		}
+	}()
+	cc := vcache.NewClient(ep)
+	for name, addr := range nodes {
+		cc.AddNode(name, addr)
+	}
+	const size = 512 << 10
+	payload := make([]byte, size)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	const key = "http://selftest.example/large-body.blob"
+	lctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+	defer cancel()
+	cc.Put(lctx, key, payload, "application/octet-stream", 0)
+	data, _, release, ok := cc.GetView(lctx, key)
+	if !ok {
+		return 0, fmt.Errorf("get after put missed")
+	}
+	if len(data) != size {
+		if release != nil {
+			release()
+		}
+		return 0, fmt.Errorf("got %d bytes, want %d", len(data), size)
+	}
+	for i, b := range data {
+		if b != byte(i*31) {
+			if release != nil {
+				release()
+			}
+			return 0, fmt.Errorf("content mismatch at byte %d", i)
+		}
+	}
+	if release != nil {
+		release()
+	}
+	return size, nil
 }
 
 // selftestKillRemote crashes a cache component hosted by a peer

@@ -310,7 +310,10 @@ func Start(cfg Config) (*System, error) {
 	}
 	var netOpts []san.Option
 	if cfg.WireMode {
-		netOpts = append(netOpts, san.WithCodec(stub.WireCodec{}))
+		// Decode views ride along with the codec: []byte bodies alias
+		// pooled receive buffers (see san.WithDecodeViews), and every
+		// consumer in this tree honors the Lease/Release contract.
+		netOpts = append(netOpts, san.WithCodec(stub.WireCodec{}), san.WithDecodeViews(true))
 	}
 	s.Net = san.NewNetwork(cfg.Seed, netOpts...)
 	if cfg.Transport.Listen != "" {

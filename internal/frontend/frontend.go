@@ -42,6 +42,24 @@ type Response struct {
 	// "fallback-stale".
 	Source string
 	// Err is non-nil only when not even a degraded answer exists.
+
+	// release, when non-nil, returns Blob.Data's backing buffer to the
+	// SAN's receive pool: the cache-hit serve path is zero-copy, so the
+	// bytes alias a pooled buffer instead of being cloned per request.
+	release func()
+}
+
+// Release returns the response's backing buffer (if any) to the
+// receive-buffer pool. Call it after the response body has been
+// written out; Blob.Data must not be touched afterwards. Forgetting to
+// call it never corrupts anything — the buffer just falls to the GC
+// instead of recycling — and calling it on a copied (non-view)
+// response is a no-op.
+func (r *Response) Release() {
+	if r.release != nil {
+		r.release()
+		r.release = nil
+	}
 }
 
 // Config assembles a front end.
@@ -376,13 +394,16 @@ func (fe *FrontEnd) handle(ctx, life context.Context, req Request) (Response, er
 	distillKey := pipeline.CacheKey(req.URL, profile)
 	origKey := "orig|" + req.URL
 
-	// 3. Distilled variant already cached?
+	// 3. Distilled variant already cached? This is the steady-state
+	// hot path, so it serves the view directly — the bytes stay in the
+	// pooled receive buffer until the caller's Response.Release.
 	if len(pipeline) > 0 {
-		if data, mime, ok := fe.cache.Get(ctx, distillKey); ok {
+		if data, mime, release, ok := fe.cache.GetView(ctx, distillKey); ok {
 			fe.stats.cacheDistilled.Add(1)
 			return Response{
-				Blob:   tacc.Blob{MIME: mime, Data: data},
-				Source: "cache-distilled",
+				Blob:    tacc.Blob{MIME: mime, Data: data},
+				Source:  "cache-distilled",
+				release: release,
 			}, nil
 		}
 	}

@@ -17,17 +17,17 @@ type fakeFabric struct {
 	noRoute  bool // report delivery failure
 }
 
-func (f *fakeFabric) Unicast(from, to Addr, kind string, callID uint64, reply bool, wire []byte) bool {
+func (f *fakeFabric) Unicast(from, to Addr, kind string, callID uint64, reply bool, wire []byte, lease *Lease) bool {
 	f.unicasts++
 	if f.noRoute {
 		return false
 	}
-	return f.peer.InjectUnicast(from, to, kind, callID, reply, wire)
+	return f.peer.InjectUnicast(from, to, kind, callID, reply, wire, lease)
 }
 
 func (f *fakeFabric) Multicast(from Addr, group, kind string, wire []byte) {
 	f.mcasts++
-	f.peer.InjectMulticast(from, group, kind, wire)
+	f.peer.InjectMulticast(from, group, kind, wire, nil)
 }
 
 func (f *fakeFabric) EndpointUp(a Addr)   { f.ups = append(f.ups, a) }
@@ -99,13 +99,13 @@ func TestFabricSeam(t *testing.T) {
 	}
 
 	// Inject to an address nobody holds reads as a dropped datagram.
-	if remote.InjectUnicast(src.Addr(), Addr{Node: "x", Proc: "y"}, "k", 0, false, nil) {
+	if remote.InjectUnicast(src.Addr(), Addr{Node: "x", Proc: "y"}, "k", 0, false, nil, nil) {
 		t.Fatal("inject to unbound address claimed delivery")
 	}
 
 	// A reply injection routes back into a pending Call: callID and
 	// the reply flag survive the fabric hop.
-	if !remote.InjectUnicast(src.Addr(), dst.Addr(), "req", 42, false, []byte("q")) {
+	if !remote.InjectUnicast(src.Addr(), dst.Addr(), "req", 42, false, []byte("q"), nil) {
 		t.Fatal("request injection failed")
 	}
 	req := <-dst.Inbox()
@@ -178,17 +178,17 @@ func TestInjectRespectsPartition(t *testing.T) {
 	n.Partition(map[string]int{"n0": 1}) // remote senders land in group 0
 
 	from := Addr{Node: "other", Proc: "src"}
-	if n.InjectUnicast(from, dst.Addr(), "k", 0, false, []byte("p")) {
+	if n.InjectUnicast(from, dst.Addr(), "k", 0, false, []byte("p"), nil) {
 		t.Fatal("unicast crossed a partition")
 	}
-	if got := n.InjectMulticast(from, "grp", "k", []byte("p")); got != 0 {
+	if got := n.InjectMulticast(from, "grp", "k", []byte("p"), nil); got != 0 {
 		t.Fatalf("multicast crossed a partition to %d members", got)
 	}
 	n.Heal()
-	if !n.InjectUnicast(from, dst.Addr(), "k", 0, false, []byte("p")) {
+	if !n.InjectUnicast(from, dst.Addr(), "k", 0, false, []byte("p"), nil) {
 		t.Fatal("unicast failed after heal")
 	}
-	if got := n.InjectMulticast(from, "grp", "k", []byte("p")); got != 1 {
+	if got := n.InjectMulticast(from, "grp", "k", []byte("p"), nil); got != 1 {
 		t.Fatalf("multicast reached %d members after heal, want 1", got)
 	}
 }

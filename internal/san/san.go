@@ -32,6 +32,18 @@
 // processes re-enter through InjectUnicast/InjectMulticast. The
 // in-process mode is untouched when no fabric is installed —
 // internal/transport provides the socket implementation.
+//
+// Zero-copy views: when the codec also implements ViewCodec (and views
+// are not disabled with WithDecodeViews(false)), delivery decodes
+// []byte body fields as views that alias the encoded wire bytes
+// instead of copying them. The wire bytes then live in a refcounted
+// Lease carried on the Message; the buffer is recycled only after
+// every holder releases, so consumers that finish with a message call
+// msg.Release() (a performance obligation — forgetting it costs a pool
+// miss, never corruption) and consumers that keep body bytes past the
+// message clone them first (CloneBytes, copy-on-retain). Messages
+// whose bodies contain no []byte never carry a lease, so control-plane
+// consumers are unaffected.
 package san
 
 import (
@@ -74,6 +86,32 @@ type Message struct {
 	// echoes it with Reply=true.
 	CallID uint64
 	Reply  bool
+
+	// Lease, when non-nil, backs []byte fields of Body with a pooled
+	// receive buffer (zero-copy view mode). The consumer that finishes
+	// with the message calls Release; a consumer that keeps body bytes
+	// beyond its own release must clone them first (CloneBytes).
+	// Nil for passthrough deliveries and for bodies without views.
+	Lease *Lease
+}
+
+// Retain adds a reference to the message's backing buffer (no-op when
+// the message carries none): the holder promises a matching Release.
+func (m Message) Retain() {
+	if m.Lease != nil {
+		m.Lease.Retain()
+	}
+}
+
+// Release drops the message's reference to its backing buffer and
+// clears the field, so the same Message value cannot double-release.
+// Safe (and a no-op) when the message carries no lease — consumers can
+// call it unconditionally.
+func (m *Message) Release() {
+	if m.Lease != nil {
+		m.Lease.Release()
+		m.Lease = nil
+	}
 }
 
 // Stats counts network activity. In wire mode Bytes counts actual
@@ -110,11 +148,27 @@ var (
 // encoding of body into dst (growing it as needed) and returns the
 // extended slice; DecodeBody parses those bytes back into the concrete
 // body type for kind. A Codec must be safe for concurrent use, and
-// decoded values must not alias the input bytes (the network pools and
-// reuses encode buffers).
+// DecodeBody's values must not alias the input bytes (the network
+// pools and reuses encode buffers); ViewCodec below is the aliasing
+// variant. A zero-length encoding represents a nil body, and the
+// codec is bypassed in both directions for them: nil bodies travel as
+// zero-length wire without an encode call, and zero-length wire is
+// delivered as a nil body without a decode call.
 type Codec interface {
 	AppendBody(dst []byte, kind string, body any) ([]byte, error)
 	DecodeBody(kind string, data []byte) (any, error)
+}
+
+// ViewCodec extends Codec with zero-copy decoding: DecodeBodyView is
+// DecodeBody except that []byte fields of the result may alias data
+// directly, reported by aliased=true. The network then parks the wire
+// bytes in a refcounted Lease on the delivered Message instead of
+// recycling them, and consumers govern the buffer's lifetime with
+// Release. Kinds that carry no byte slices decode identically in both
+// modes and must report aliased=false.
+type ViewCodec interface {
+	Codec
+	DecodeBodyView(kind string, data []byte) (body any, aliased bool, err error)
 }
 
 // Fabric carries SAN traffic to endpoints hosted by other OS
@@ -128,8 +182,12 @@ type Fabric interface {
 	// not registered on this network. It reports whether the message
 	// was handed to at least one remote process; false means nobody
 	// reachable holds the address (the network surfaces that to the
-	// sender as ErrUnknownAddr).
-	Unicast(from, to Addr, kind string, callID uint64, reply bool, wire []byte) bool
+	// sender as ErrUnknownAddr). When lease is non-nil it backs wire;
+	// a fabric that needs the bytes beyond the call (vectored or
+	// chunked writes) retains it instead of copying, releasing when
+	// the socket write completes. A nil lease keeps the old contract:
+	// copy to retain.
+	Unicast(from, to Addr, kind string, callID uint64, reply bool, wire []byte, lease *Lease) bool
 	// Multicast forwards a group message to every remote process;
 	// each re-fans it out to its own local group members.
 	Multicast(from Addr, group, kind string, wire []byte)
@@ -148,6 +206,14 @@ type Option func(*Network)
 // through c on send and re-materialized by decoding on delivery.
 func WithCodec(c Codec) Option {
 	return func(n *Network) { n.codec = c }
+}
+
+// WithDecodeViews forces zero-copy decode views on or off. The default
+// (option absent) enables views whenever the codec implements
+// ViewCodec; WithDecodeViews(false) pins the copying decode path — the
+// escape hatch for consumers that cannot honor the Lease contract.
+func WithDecodeViews(on bool) Option {
+	return func(n *Network) { n.viewsForced, n.viewsOn = true, on }
 }
 
 // maxPooledBuf bounds the encode buffers kept in the pool so one huge
@@ -237,6 +303,12 @@ type Network struct {
 	codec  Codec // nil = passthrough mode (bodies pass by reference)
 	closed atomic.Bool
 
+	// viewCodec is non-nil when deliveries decode zero-copy views
+	// (codec implements ViewCodec and views are not disabled).
+	viewCodec   ViewCodec
+	viewsForced bool // WithDecodeViews was given
+	viewsOn     bool // ... and its value
+
 	sent         atomic.Uint64
 	dropped      atomic.Uint64
 	mcastSent    atomic.Uint64
@@ -259,11 +331,17 @@ func NewNetwork(seed int64, opts ...Option) *Network {
 	for _, opt := range opts {
 		opt(n)
 	}
+	if vc, ok := n.codec.(ViewCodec); ok && (!n.viewsForced || n.viewsOn) {
+		n.viewCodec = vc
+	}
 	return n
 }
 
 // WireMode reports whether a codec is installed.
 func (n *Network) WireMode() bool { return n.codec != nil }
+
+// DecodeViews reports whether deliveries decode zero-copy views.
+func (n *Network) DecodeViews() bool { return n.viewCodec != nil }
 
 // SetFabric installs (or, with nil, detaches) the cross-process
 // fabric. A fabric requires wire mode: message bodies must already be
@@ -324,7 +402,12 @@ func (n *Network) Closed() bool { return n.closed.Load() }
 // reports whether the message reached an inbox — false reads as a
 // dropped datagram, never an error, mirroring a NIC discarding a
 // frame for an unbound port.
-func (n *Network) InjectUnicast(from, to Addr, kind string, callID uint64, reply bool, wire []byte) bool {
+//
+// A non-nil lease must back wire (the transport's receive buffer); in
+// view mode the delivery retains it so the transport can recycle the
+// buffer only after the consumer releases. The caller keeps its own
+// reference either way.
+func (n *Network) InjectUnicast(from, to Addr, kind string, callID uint64, reply bool, wire []byte, lease *Lease) bool {
 	if n.closed.Load() || n.codec == nil {
 		return false
 	}
@@ -337,17 +420,22 @@ func (n *Network) InjectUnicast(from, to Addr, kind string, callID uint64, reply
 		n.dropped.Add(1)
 		return false
 	}
-	body, err := n.decodeWire(kind, wire)
+	body, aliased, err := n.decodeDelivery(kind, wire)
 	if err != nil {
 		n.dropped.Add(1)
 		return false
 	}
 	msg := Message{From: from, To: to, Kind: kind, Body: body, Size: len(wire), CallID: callID, Reply: reply}
+	if aliased && lease != nil {
+		lease.Retain()
+		msg.Lease = lease
+	}
 	if n.deliver(dst, msg, st.latency) {
 		n.sent.Add(1)
 		n.bytes.Add(uint64(len(wire)))
 		return true
 	}
+	msg.Release()
 	n.dropped.Add(1)
 	return false
 }
@@ -355,8 +443,9 @@ func (n *Network) InjectUnicast(from, to Addr, kind string, callID uint64, reply
 // InjectMulticast fans a group message that arrived from a remote
 // process out to this network's local members, decoding a fresh body
 // per actual delivery exactly as the local multicast path does. It
-// returns the number of members reached.
-func (n *Network) InjectMulticast(from Addr, group, kind string, wire []byte) int {
+// returns the number of members reached. Lease semantics match
+// InjectUnicast: each aliased delivery retains it.
+func (n *Network) InjectMulticast(from Addr, group, kind string, wire []byte, lease *Lease) int {
 	if n.closed.Load() || n.codec == nil {
 		return 0
 	}
@@ -371,16 +460,21 @@ func (n *Network) InjectMulticast(from Addr, group, kind string, wire []byte) in
 			n.mcastDropped.Add(1)
 			continue
 		}
-		body, err := n.decodeWire(kind, wire)
+		body, aliased, err := n.decodeDelivery(kind, wire)
 		if err != nil {
 			n.mcastDropped.Add(1)
 			continue
 		}
 		msg := Message{From: from, Group: group, Kind: kind, Body: body, Size: len(wire)}
+		if aliased && lease != nil {
+			lease.Retain()
+			msg.Lease = lease
+		}
 		if n.deliver(dst, msg, st.latency) {
 			delivered++
 			n.bytes.Add(uint64(len(wire)))
 		} else {
+			msg.Release()
 			n.mcastDropped.Add(1)
 		}
 	}
@@ -414,6 +508,77 @@ func (n *Network) decodeWire(kind string, wire []byte) (any, error) {
 	}
 	n.wireDecodes.Add(1)
 	return out, nil
+}
+
+// encodeWire serializes body for one send or multicast. Three shapes,
+// by decreasing frequency on the data plane:
+//   - view mode: the bytes land in a fresh refcounted Lease (returned
+//     non-nil) so deliveries can alias them;
+//   - copy mode: a pooled buffer (bp non-nil), recycled immediately
+//     after the copying decode;
+//   - nil body: encoded with no buffer at all — a bodiless control
+//     message appends nothing, so there is nothing to pool. (A codec
+//     that encodes nil to bytes still works; the fresh slice is simply
+//     GC-owned.)
+//
+// The caller settles exactly one obligation: putEncBuf(bp, wire) when
+// bp is non-nil, lease.Release() when lease is non-nil.
+func (n *Network) encodeWire(kind string, body any) (wire []byte, bp *[]byte, lease *Lease, err error) {
+	if body == nil {
+		// Nil bodies bypass the codec in both directions: they travel
+		// as zero-length wire and decodeDelivery delivers them as nil
+		// without a decode call. This is what puts wire-mode control
+		// messages (acks, shutdowns, stats probes) at passthrough
+		// parity — no codec call, no pool round trip, no counters.
+		return nil, nil, nil, nil
+	}
+	if n.viewCodec != nil {
+		lease = NewLease(0)
+		wire, err = n.codec.AppendBody(lease.buf, kind, body)
+		if err != nil {
+			lease.Release()
+			n.wireErrors.Add(1)
+			return nil, nil, nil, fmt.Errorf("%w: encode %s: %v", ErrCodec, kind, err)
+		}
+		lease.buf = wire // adopt growth so the pool keeps the capacity
+		n.wireEncodes.Add(1)
+		return wire, nil, lease, nil
+	}
+	wire, bp, err = n.encodeToPool(kind, body)
+	return wire, bp, nil, err
+}
+
+// releaseEnc settles encodeWire's buffer obligation on paths that drop
+// the message before (or instead of) delivery.
+func (n *Network) releaseEnc(bp *[]byte, lease *Lease, wire []byte) {
+	if bp != nil {
+		putEncBuf(bp, wire)
+	}
+	if lease != nil {
+		lease.Release()
+	}
+}
+
+// decodeDelivery materializes one delivery's body. In view mode the
+// result's []byte fields may alias wire (aliased=true) and the caller
+// pairs the message with the backing lease. A zero-length encoding is
+// a nil body and skips the codec entirely — the nil-body fast path
+// that puts wire-mode control messages at parity with passthrough.
+func (n *Network) decodeDelivery(kind string, wire []byte) (body any, aliased bool, err error) {
+	if len(wire) == 0 {
+		return nil, false, nil
+	}
+	if vc := n.viewCodec; vc != nil {
+		body, aliased, err = vc.DecodeBodyView(kind, wire)
+		if err != nil {
+			n.wireErrors.Add(1)
+			return nil, false, fmt.Errorf("%w: decode %s: %v", ErrCodec, kind, err)
+		}
+		n.wireDecodes.Add(1)
+		return body, aliased, nil
+	}
+	body, err = n.decodeWire(kind, wire)
+	return body, false, err
 }
 
 // mutate applies f to a private clone of the current state and
@@ -616,11 +781,26 @@ func (n *Network) deliver(ep *Endpoint, msg Message, latency func() time.Duratio
 	if latency != nil {
 		d := latency()
 		if d > 0 {
-			time.AfterFunc(d, func() { ep.push(msg) })
-			return true // counted as sent; late drop still possible
+			return deliverLater(ep, msg, d)
 		}
 	}
 	return ep.push(msg)
+}
+
+// deliverLater schedules a latency-delayed push. It lives in its own
+// never-inlined function so the timer closure's capture of msg makes
+// it heap-escape only on this rare path; merged into deliver, the
+// capture forces every zero-latency delivery to allocate the whole
+// Message (the 1 alloc/op the send benchmarks used to carry).
+//
+//go:noinline
+func deliverLater(ep *Endpoint, msg Message, d time.Duration) bool {
+	time.AfterFunc(d, func() {
+		if !ep.push(msg) {
+			msg.Release() // late drop: free the view buffer too
+		}
+	})
+	return true // counted as sent; late drop still possible
 }
 
 // atomicRand is a lock-free deterministic random source (splitmix64):
@@ -817,42 +997,50 @@ func (e *Endpoint) send(to Addr, kind string, body any, size int, callID uint64,
 		return e.sendRemote(st, to, kind, body, callID, reply)
 	}
 	var (
-		wire []byte
-		bp   *[]byte
+		wire  []byte
+		bp    *[]byte
+		lease *Lease
 	)
 	if n.codec != nil {
 		// The sender pays serialization before the network can drop
 		// the datagram, as a real NIC would.
 		var err error
-		wire, bp, err = n.encodeToPool(kind, body)
+		wire, bp, lease, err = n.encodeWire(kind, body)
 		if err != nil {
 			return err
 		}
 		size = len(wire)
 	}
 	if !st.samePartition(e.addr.Node, to.Node) || e.chance(st.lossP) {
-		if bp != nil {
-			putEncBuf(bp, wire)
-		}
+		n.releaseEnc(bp, lease, wire)
 		n.dropped.Add(1)
 		return nil
 	}
+	var msgLease *Lease
 	if n.codec != nil {
-		decoded, err := n.decodeWire(kind, wire)
-		putEncBuf(bp, wire)
+		decoded, aliased, err := n.decodeDelivery(kind, wire)
 		if err != nil {
 			// The bytes arrived but the receiver cannot parse them:
 			// dropped on delivery, surfaced to the sender for tests.
+			n.releaseEnc(bp, lease, wire)
 			n.dropped.Add(1)
 			return err
 		}
 		body = decoded
+		if aliased && lease != nil {
+			// The delivery's reference; the sender's own (below) then
+			// leaves the buffer alive until the consumer releases.
+			lease.Retain()
+			msgLease = lease
+		}
+		n.releaseEnc(bp, lease, wire)
 	}
-	msg := Message{From: e.addr, To: to, Kind: kind, Body: body, Size: size, CallID: callID, Reply: reply}
+	msg := Message{From: e.addr, To: to, Kind: kind, Body: body, Size: size, CallID: callID, Reply: reply, Lease: msgLease}
 	if n.deliver(dst, msg, st.latency) {
 		n.sent.Add(1)
 		n.bytes.Add(uint64(size))
 	} else {
+		msg.Release()
 		n.dropped.Add(1)
 	}
 	return nil
@@ -872,18 +1060,18 @@ func (e *Endpoint) sendRemote(st *netState, to Addr, kind string, body any, call
 		n.dropped.Add(1)
 		return nil
 	}
-	wire, bp, err := n.encodeToPool(kind, body)
+	wire, bp, lease, err := n.encodeWire(kind, body)
 	if err != nil {
 		return err
 	}
-	handed := st.fabric.Unicast(e.addr, to, kind, callID, reply, wire)
+	handed := st.fabric.Unicast(e.addr, to, kind, callID, reply, wire, lease)
 	if handed {
 		n.sent.Add(1)
 		n.bytes.Add(uint64(len(wire)))
 	} else {
 		n.dropped.Add(1)
 	}
-	putEncBuf(bp, wire)
+	n.releaseEnc(bp, lease, wire)
 	if !handed {
 		return fmt.Errorf("%w: %s", ErrUnknownAddr, to)
 	}
@@ -909,16 +1097,19 @@ func (e *Endpoint) Multicast(group, kind string, body any, size int) int {
 	st := n.state.Load()
 	members := st.groups[group]
 	var (
-		wire []byte
-		bufp *[]byte
+		wire    []byte
+		bufp    *[]byte
+		lease   *Lease
+		encoded bool
 	)
 	if n.codec != nil && (len(members) > 0 || st.fabric != nil) {
 		var err error
-		wire, bufp, err = n.encodeToPool(kind, body) // encode-once fan-out: 1 per Multicast
+		wire, bufp, lease, err = n.encodeWire(kind, body) // encode-once fan-out: 1 per Multicast
 		if err != nil {
 			return 0
 		}
 		size = len(wire)
+		encoded = true
 	}
 	delivered := 0
 	for _, dst := range members {
@@ -931,30 +1122,34 @@ func (e *Endpoint) Multicast(group, kind string, body any, size int) int {
 			continue
 		}
 		mbody := body
+		var msgLease *Lease
 		if n.codec != nil {
-			decoded, err := n.decodeWire(kind, wire)
+			decoded, aliased, err := n.decodeDelivery(kind, wire)
 			if err != nil {
 				n.mcastDropped.Add(1)
 				continue
 			}
 			mbody = decoded
+			if aliased && lease != nil {
+				lease.Retain() // one reference per aliased delivery
+				msgLease = lease
+			}
 		}
-		msg := Message{From: e.addr, Group: group, Kind: kind, Body: mbody, Size: size}
+		msg := Message{From: e.addr, Group: group, Kind: kind, Body: mbody, Size: size, Lease: msgLease}
 		if n.deliver(dst, msg, st.latency) {
 			delivered++
 			n.bytes.Add(uint64(size))
 		} else {
+			msg.Release()
 			n.mcastDropped.Add(1)
 		}
 	}
-	if st.fabric != nil && wire != nil {
+	if st.fabric != nil && encoded {
 		// The same encode-once bytes cross the process boundary; each
 		// remote network re-fans them out to its own members.
 		st.fabric.Multicast(e.addr, group, kind, wire)
 	}
-	if bufp != nil {
-		putEncBuf(bufp, wire)
-	}
+	n.releaseEnc(bufp, lease, wire)
 	return delivered
 }
 
@@ -1011,6 +1206,8 @@ func (e *Endpoint) DeliverReply(msg Message) bool {
 	e.mu.Unlock()
 	if ok {
 		ch <- msg
+	} else {
+		msg.Release() // the caller gave up: nobody will read the body
 	}
 	return true // replies are consumed even if the caller gave up
 }

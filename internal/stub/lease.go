@@ -1,0 +1,23 @@
+package stub
+
+import "repro/internal/san"
+
+// Zero-copy view support. DecodeBodyView hands out []byte fields that
+// alias the receive buffer; the buffer's lifetime is governed by a
+// refcounted Lease. The concrete type lives in san (the network owns
+// buffer pooling); stub re-exports it so codec-level code and tests
+// can speak the Lease/Release contract without importing san
+// directly.
+
+// Lease is the refcounted pooled buffer backing decoded views. See
+// san.Lease for the full contract: Release when done (a performance
+// obligation, never a safety one), CloneBytes before retaining bytes
+// past your release.
+type Lease = san.Lease
+
+// NewLease acquires a pooled lease holding one reference.
+func NewLease(n int) *Lease { return san.NewLease(n) }
+
+// CloneBytes is the copy-on-retain escape hatch for long-lived holders
+// of view-decoded bytes.
+func CloneBytes(b []byte) []byte { return san.CloneBytes(b) }

@@ -257,15 +257,24 @@ func (ms *ManagerStub) Dispatch(ctx context.Context, class string, task *tacc.Ta
 		}
 		res, ok := resp.Body.(ResultMsg)
 		if !ok {
+			resp.Release()
 			continue
 		}
 		if res.Err != "" {
+			resp.Release()
 			if res.Err == "queue full" || res.Err == "worker disabled" {
 				continue // overloaded/disabled: try another instance
 			}
 			// A genuine task error (e.g. pathological input) is
 			// not retryable: every instance would fail the same way.
 			return tacc.Blob{}, fmt.Errorf("stub: worker %s: %s", id, res.Err)
+		}
+		if resp.Lease != nil {
+			// Copy-on-retain: Dispatch hands out an owned Blob (callers
+			// cache it, compose pipelines with it), so a view-decoded
+			// result is cloned out of its receive buffer here.
+			res.Blob.Data = CloneBytes(res.Blob.Data)
+			resp.Release()
 		}
 		return res.Blob, nil
 	}

@@ -175,6 +175,13 @@ func (WireCodec) DecodeBody(kind string, data []byte) (any, error) {
 	return DecodeBody(kind, data)
 }
 
+// DecodeBodyView implements san.ViewCodec: a network running this
+// codec decodes []byte body fields as views into the wire bytes, and
+// deliveries carry the backing buffer's san.Lease.
+func (WireCodec) DecodeBodyView(kind string, data []byte) (any, bool, error) {
+	return DecodeBodyView(kind, data)
+}
+
 // EncodeBody serializes a message body for the given kind. Kinds
 // without a registered body layout (control signals like MsgShutdown)
 // encode a nil body as empty bytes.
@@ -347,9 +354,27 @@ func EncodeBodyAppend(dst []byte, kind string, body any) ([]byte, error) {
 }
 
 // DecodeBody parses a message body for the given kind. The returned
-// value has the same concrete type EncodeBody accepts for that kind.
+// value has the same concrete type EncodeBody accepts for that kind
+// and shares no memory with data.
 func DecodeBody(kind string, data []byte) (any, error) {
-	r := &wireReader{buf: data}
+	body, _, err := decodeBody(kind, data, false)
+	return body, err
+}
+
+// DecodeBodyView parses a message body in view mode: []byte fields of
+// the result (blob data, cache values) alias data directly instead of
+// copying, reported by aliased=true. Strings are always copied (Go
+// string conversion), so only the bulk payload bytes share memory with
+// the input. The caller owns data's lifetime: with aliased=true the
+// result is valid only while data's buffer is — the san layer pairs it
+// with a Lease. Kinds without byte-slice fields return aliased=false
+// and are identical to DecodeBody.
+func DecodeBodyView(kind string, data []byte) (body any, aliased bool, err error) {
+	return decodeBody(kind, data, true)
+}
+
+func decodeBody(kind string, data []byte, view bool) (any, bool, error) {
+	r := &wireReader{buf: data, view: view}
 	var body any
 	switch kind {
 	case MsgBeacon:
@@ -428,17 +453,17 @@ func DecodeBody(kind string, data []byte) (any, error) {
 		body = supervisor.Ack{ID: r.u64(), OK: r.bool(), Err: r.str()}
 	default:
 		if len(data) != 0 {
-			return nil, fmt.Errorf("%w: kind %q carries no body layout", ErrWireFormat, kind)
+			return nil, false, fmt.Errorf("%w: kind %q carries no body layout", ErrWireFormat, kind)
 		}
-		return nil, nil
+		return nil, false, nil
 	}
 	if r.err != nil {
-		return nil, r.err
+		return nil, false, r.err
 	}
 	if len(r.buf) != r.pos {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrWireFormat, len(r.buf)-r.pos)
+		return nil, false, fmt.Errorf("%w: %d trailing bytes", ErrWireFormat, len(r.buf)-r.pos)
 	}
-	return body, nil
+	return body, r.aliased, nil
 }
 
 // WireKinds lists every kind with a registered body layout, sorted —
@@ -542,11 +567,15 @@ func (w *wireWriter) f64Map(m map[string]float64) {
 
 // wireReader parses with sticky errors: after the first failure every
 // accessor returns zero values, so decode paths need no per-field
-// error plumbing.
+// error plumbing. In view mode (DecodeBodyView) bytes() returns
+// subslices of buf instead of copies and records that it did, so the
+// caller knows the result aliases the input.
 type wireReader struct {
-	buf []byte
-	pos int
-	err error
+	buf     []byte
+	pos     int
+	err     error
+	view    bool
+	aliased bool
 }
 
 func (r *wireReader) fail() {
@@ -614,6 +643,25 @@ func (r *wireReader) bool() bool {
 }
 
 func (r *wireReader) bytes() []byte {
+	raw := r.raw()
+	if len(raw) == 0 {
+		return nil
+	}
+	if r.view {
+		r.aliased = true
+		// Capacity-capped so an append by the consumer reallocates
+		// instead of scribbling over the rest of the receive buffer.
+		return raw[:len(raw):len(raw)]
+	}
+	out := make([]byte, len(raw))
+	copy(out, raw)
+	return out
+}
+
+// raw reads a length-prefixed field as a subslice of the input — no
+// copy, no aliased mark. Callers either copy it themselves (str: the
+// string conversion is the copy) or wrap it via bytes().
+func (r *wireReader) raw() []byte {
 	n := r.uvarint()
 	if r.err != nil {
 		return nil
@@ -622,16 +670,12 @@ func (r *wireReader) bytes() []byte {
 		r.fail()
 		return nil
 	}
-	if n == 0 {
-		return nil
-	}
-	out := make([]byte, n)
-	copy(out, r.buf[r.pos:])
+	out := r.buf[r.pos : r.pos+int(n)]
 	r.pos += int(n)
 	return out
 }
 
-func (r *wireReader) str() string { return string(r.bytes()) }
+func (r *wireReader) str() string { return string(r.raw()) }
 
 // sliceLen reads an element count and bounds it by the bytes left:
 // each element needs at least min bytes, so a count the remaining

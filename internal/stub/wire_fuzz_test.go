@@ -224,5 +224,66 @@ func FuzzWireRoundTrip(f *testing.F) {
 		if !reflect.DeepEqual(body, body2) {
 			t.Fatalf("%s: canonical round trip mismatch:\n got %#v\nwant %#v", kind, body2, body)
 		}
+		// View-mode equivalence: the zero-copy decoder must produce the
+		// same value as the owning decoder for every input the owning
+		// decoder accepts — aliasing is a lifetime difference, never a
+		// value difference.
+		vbuf := append([]byte{}, re...)
+		view, aliased, err := DecodeBodyView(kind, vbuf)
+		if err != nil {
+			t.Fatalf("%s: owning decode succeeded but view decode failed: %v", kind, err)
+		}
+		if !reflect.DeepEqual(view, body2) {
+			t.Fatalf("%s: view decode diverges from DecodeBody:\n got %#v\nwant %#v", kind, view, body2)
+		}
+		if !aliased {
+			// aliased=false promises the result shares no memory with
+			// the input; dirtying the buffer must not touch it.
+			for i := range vbuf {
+				vbuf[i] ^= 0xFF
+			}
+			if !reflect.DeepEqual(view, body2) {
+				t.Fatalf("%s: aliased=false but the view changed when its buffer was dirtied", kind)
+			}
+		}
 	})
+}
+
+// TestDecodeBodyViewAliasing pins the aliasing contract on a kind with
+// a bulk payload: the view's Data field aliases the wire buffer (a
+// mutation shows through), and CloneBytes taken before the mutation is
+// the copy-on-retain escape hatch that stays stable.
+func TestDecodeBodyViewAliasing(t *testing.T) {
+	want := wireSamples()[MsgResult].(ResultMsg)
+	wire, err := EncodeBody(MsgResult, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, aliased, err := DecodeBodyView(MsgResult, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aliased {
+		t.Fatal("MsgResult carries blob bytes but view decode reported aliased=false")
+	}
+	got := body.(ResultMsg)
+	if !bytes.Equal(got.Blob.Data, want.Blob.Data) {
+		t.Fatalf("view data mismatch: %q", got.Blob.Data)
+	}
+
+	// A consumer that must outlive the buffer clones before the
+	// producer recycles it.
+	kept := CloneBytes(got.Blob.Data)
+
+	// Simulate buffer recycling: scribble over the wire bytes. The
+	// live view changes with them (it aliases); the clone does not.
+	for i := range wire {
+		wire[i] = 0xEE
+	}
+	if bytes.Equal(got.Blob.Data, want.Blob.Data) {
+		t.Fatal("view did not alias the wire buffer (copied despite view mode)")
+	}
+	if !bytes.Equal(kept, want.Blob.Data) {
+		t.Fatalf("copy-on-retain clone changed with the buffer: %q", kept)
+	}
 }

@@ -261,6 +261,7 @@ func (s *WorkerStub) processLoop(ctx context.Context, crashed chan<- any) {
 			if panicked != nil {
 				s.crashes.Add(1)
 				_ = s.ep.Respond(msg, MsgResult, ResultMsg{Err: fmt.Sprintf("worker panic: %v", panicked)}, 16)
+				msg.Release()
 				if !s.cfg.SurvivePanic {
 					select {
 					case crashed <- panicked:
@@ -273,10 +274,15 @@ func (s *WorkerStub) processLoop(ctx context.Context, crashed chan<- any) {
 			if err != nil {
 				s.errs.Add(1)
 				_ = s.ep.Respond(msg, MsgResult, ResultMsg{Err: err.Error()}, 16)
+				msg.Release()
 				continue
 			}
 			s.done.Add(1)
 			_ = s.ep.Respond(msg, MsgResult, ResultMsg{Blob: blob}, blob.Size()+32)
+			// Release after Respond: the result blob may alias the
+			// task's input (identity transforms), and Respond has
+			// finished encoding it by the time it returns.
+			msg.Release()
 		}
 	}
 }

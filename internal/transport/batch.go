@@ -3,6 +3,7 @@ package transport
 import (
 	"errors"
 	"io"
+	"net"
 	"sync"
 	"time"
 )
@@ -27,6 +28,27 @@ type BatchStats struct {
 	Bytes       uint64 // bytes written
 	SizeFlushes uint64 // flushes triggered by the size threshold
 	TimeFlushes uint64 // flushes triggered by the deadline
+	VecFrames   uint64 // frames whose body went out as its own iovec
+	VecBytes    uint64 // body bytes written without staging (writev)
+}
+
+// vecWriter is the optional fast path a Batcher probes its writer for:
+// a writer that can take a gather list in one call (net.Buffers →
+// writev). Connection wrappers (deadline writers) forward it to the
+// underlying *net.TCPConn/*net.UnixConn — Go's net package only
+// issues a real writev when WriteTo sees the concrete conn type.
+type vecWriter interface {
+	WriteVec(bufs *net.Buffers) (int64, error)
+}
+
+// cut records one externally-held body spliced into the staged stream:
+// the staging buffer splits at off, with body (and its release hook)
+// in between. Offsets, not subslices — b.buf's backing array moves as
+// it grows.
+type cut struct {
+	off     int
+	body    []byte
+	release func()
 }
 
 // Batcher coalesces frames into one buffered write per flush. Appends
@@ -46,6 +68,9 @@ type Batcher struct {
 
 	mu      sync.Mutex
 	buf     []byte
+	cuts    []cut // external bodies interleaved with buf (vectored)
+	ext     int   // total external body bytes pending
+	iov     net.Buffers
 	pending int // frames in buf
 	armed   bool
 	timer   *time.Timer
@@ -81,7 +106,40 @@ func (b *Batcher) Append(frame []byte) error {
 	b.buf = append(b.buf, frame...)
 	b.pending++
 	b.stats.Frames++
-	if b.delay < 0 || len(b.buf) >= b.flushBytes {
+	return b.afterAppendLocked()
+}
+
+// AppendVec queues one frame whose body stays in the caller's buffer:
+// hdr and trailer (from AppendDataVec) are copied into the staging
+// buffer as usual, but body is only referenced — at flush it goes to
+// the socket as its own iovec. release, if non-nil, runs once the
+// flush that carries the body completes (successfully or not); until
+// then the caller must keep body immutable and alive, which is
+// exactly the Lease.Retain/Release contract.
+func (b *Batcher) AppendVec(hdr, body []byte, trailer [4]byte, release func()) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed || b.err != nil {
+		if release != nil {
+			release() // nothing will carry the body; drop the reference
+		}
+		if b.closed {
+			return ErrBatcherClosed
+		}
+		return b.err
+	}
+	b.buf = append(b.buf, hdr...)
+	b.cuts = append(b.cuts, cut{off: len(b.buf), body: body, release: release})
+	b.buf = append(b.buf, trailer[:]...)
+	b.ext += len(body)
+	b.pending++
+	b.stats.Frames++
+	b.stats.VecFrames++
+	return b.afterAppendLocked()
+}
+
+func (b *Batcher) afterAppendLocked() error {
+	if b.delay < 0 || len(b.buf)+b.ext >= b.flushBytes {
 		return b.flushLocked(&b.stats.SizeFlushes)
 	}
 	if !b.armed {
@@ -123,12 +181,23 @@ func (b *Batcher) flushLocked(cause *uint64) error {
 		b.timer.Stop()
 	}
 	if b.err != nil {
+		b.releaseCutsLocked()
 		return b.err
 	}
 	if b.pending == 0 {
 		return nil
 	}
-	n, err := b.w.Write(b.buf)
+	var (
+		n   int64
+		err error
+	)
+	if len(b.cuts) == 0 {
+		var w int
+		w, err = b.w.Write(b.buf)
+		n = int64(w)
+	} else {
+		n, err = b.writeVecLocked()
+	}
 	b.stats.Batches++
 	b.stats.Bytes += uint64(n)
 	*cause++
@@ -138,6 +207,58 @@ func (b *Batcher) flushLocked(cause *uint64) error {
 		b.err = err
 	}
 	return b.err
+}
+
+// writeVecLocked assembles the staged bytes and the external bodies
+// into one gather list and writes it — writev when the writer supports
+// it, a WriteTo fallback loop otherwise. Either way the external
+// bodies never pass through the staging buffer. Releases every cut's
+// hook afterwards, success or not: the write attempt is over and the
+// bodies are no longer needed.
+func (b *Batcher) writeVecLocked() (int64, error) {
+	iov := b.iov[:0]
+	prev := 0
+	for _, c := range b.cuts {
+		if c.off > prev {
+			iov = append(iov, b.buf[prev:c.off])
+		}
+		if len(c.body) > 0 {
+			iov = append(iov, c.body)
+			b.stats.VecBytes += uint64(len(c.body))
+		}
+		prev = c.off
+	}
+	if len(b.buf) > prev {
+		iov = append(iov, b.buf[prev:])
+	}
+	b.iov = iov // keep the grown backing array for the next flush
+	var (
+		n   int64
+		err error
+	)
+	bufs := iov // WriteTo consumes its receiver; keep b.iov intact
+	if vw, ok := b.w.(vecWriter); ok {
+		n, err = vw.WriteVec(&bufs)
+	} else {
+		// Plain writers get net.Buffers' sequential-Write fallback.
+		n, err = bufs.WriteTo(b.w)
+	}
+	b.releaseCutsLocked()
+	for i := range b.iov {
+		b.iov[i] = nil // drop body references; the slots get reused
+	}
+	return n, err
+}
+
+func (b *Batcher) releaseCutsLocked() {
+	for i := range b.cuts {
+		if b.cuts[i].release != nil {
+			b.cuts[i].release()
+		}
+		b.cuts[i] = cut{}
+	}
+	b.cuts = b.cuts[:0]
+	b.ext = 0
 }
 
 // Close flushes what it can and refuses further appends. It does not

@@ -57,6 +57,15 @@ type Config struct {
 	// behind one sick peer (default 10 s).
 	WriteTimeout time.Duration
 
+	// ChunkBytes is the chunked-relay threshold: a leased body larger
+	// than this streams to peers as FlagChunk fragments (chunkFrag
+	// bytes each) instead of one giant frame, so ordinary frames
+	// interleave between fragments rather than stalling behind a
+	// 500 KB blob occupying a whole batch. Zero picks
+	// DefaultChunkBytes; negative disables chunking (bodies up to
+	// MaxFramePayload then ride single frames, as before).
+	ChunkBytes int
+
 	// Logf, when set, receives connection lifecycle diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -74,8 +83,27 @@ func (c Config) withDefaults() Config {
 	if c.WriteTimeout <= 0 {
 		c.WriteTimeout = 10 * time.Second
 	}
+	if c.ChunkBytes == 0 {
+		c.ChunkBytes = DefaultChunkBytes
+	}
 	return c
 }
+
+// Zero-copy data-plane thresholds.
+const (
+	// DefaultChunkBytes: leased bodies above this are chunk-streamed.
+	// Sized so a 64 KB cache object still rides one (vectored) frame
+	// while the long tail of huge GIFs fragments.
+	DefaultChunkBytes = 128 << 10
+	// chunkFrag is the fragment size of chunked relay — half the
+	// default batch threshold, so at most two fragments share a flush
+	// and competing small frames never wait behind more than that.
+	chunkFrag = 16 << 10
+	// vecMinBody: leased bodies at least this large skip the staging
+	// copy and go to the socket as their own iovec. Below it the
+	// iovec bookkeeping costs more than the memcpy it saves.
+	vecMinBody = 2 << 10
+)
 
 // Stats counts bridge activity.
 type Stats struct {
@@ -92,6 +120,8 @@ type Stats struct {
 	HellosIn    uint64 // handshakes accepted
 	AdvertsIn   uint64 // endpoint-table advertisement frames received
 	Unroutable  uint64 // unicasts refused: destination advertised dead
+	Chunked     uint64 // outbound bodies streamed as chunk fragments
+	Reassembled uint64 // inbound chunk streams completed and injected
 }
 
 // peer is one live connection to another bridge.
@@ -168,6 +198,9 @@ type Bridge struct {
 	hellosIn    atomic.Uint64
 	advertsIn   atomic.Uint64
 	unroutable  atomic.Uint64
+	chunked     atomic.Uint64
+	reassembled atomic.Uint64
+	chunkSeq    atomic.Uint64 // per-bridge fragment-stream id source
 	// Batch counters accumulated from connections that have closed;
 	// Stats() adds the live batchers on top.
 	deadBatches  atomic.Uint64
@@ -305,6 +338,8 @@ func (b *Bridge) Stats() Stats {
 		HellosIn:    b.hellosIn.Load(),
 		AdvertsIn:   b.advertsIn.Load(),
 		Unroutable:  b.unroutable.Load(),
+		Chunked:     b.chunked.Load(),
+		Reassembled: b.reassembled.Load(),
 		Batches:     b.deadBatches.Load(),
 		BytesOut:    b.deadBytesOut.Load(),
 	}
@@ -373,7 +408,7 @@ func (b *Bridge) logf(format string, args ...any) {
 // of sending to an unbound local address. Only a genuinely never-seen
 // address still floods, as a last resort for races the advert stream
 // has not covered yet.
-func (b *Bridge) Unicast(from, to san.Addr, kind string, callID uint64, reply bool, wire []byte) bool {
+func (b *Bridge) Unicast(from, to san.Addr, kind string, callID uint64, reply bool, wire []byte, lease *san.Lease) bool {
 	var stack [1]*peer
 	targets := stack[:0]
 	b.mu.RLock()
@@ -398,16 +433,84 @@ func (b *Bridge) Unicast(from, to san.Addr, kind string, callID uint64, reply bo
 		return false
 	}
 
+	var flags byte
+	if reply {
+		flags |= FlagReply
+	}
+	// Huge leased bodies stream as chunk fragments so competing small
+	// frames interleave between them instead of stalling a whole batch
+	// behind one 500 KB blob.
+	if lease != nil && b.cfg.ChunkBytes > 0 && len(wire) > b.cfg.ChunkBytes && len(wire) <= MaxChunkBody {
+		return b.unicastChunked(targets, from, to, kind, callID, flags, wire, lease)
+	}
+
 	bufp := b.framePool.Get().(*[]byte)
-	frame := AppendData((*bufp)[:0], from, to, kind, callID, reply, wire)
 	sent := 0
-	for _, p := range targets {
-		if b.appendToPeer(p, frame) {
-			sent++
+	if lease != nil && len(wire) >= vecMinBody {
+		// Vectored: only the header and CRC trailer are staged; the
+		// already-encoded body goes to the socket as its own iovec,
+		// pinned by one lease reference per peer until its flush.
+		hdr, trailer := AppendDataVec((*bufp)[:0], from, to, kind, callID, flags, nil, wire)
+		for _, p := range targets {
+			lease.Retain()
+			if b.appendVecToPeer(p, hdr, wire, trailer, lease.Release) {
+				sent++
+			}
 		}
+		*bufp = hdr[:0]
+	} else {
+		frame := AppendData((*bufp)[:0], from, to, kind, callID, reply, wire)
+		for _, p := range targets {
+			if b.appendToPeer(p, frame) {
+				sent++
+			}
+		}
+		*bufp = frame[:0]
 	}
 	b.framesOut.Add(uint64(sent))
-	*bufp = frame[:0]
+	b.framePool.Put(bufp)
+	return sent > 0
+}
+
+// unicastChunked streams wire to each target as FlagChunk fragments of
+// chunkFrag bytes. Each fragment is a self-contained frame (envelope:
+// stream id, total, offset) carrying its slice of the body as an iovec,
+// so the body is still never copied on the send side; the receiver
+// reassembles into one lease and injects the completed message. A
+// target counts as reached if its first fragment was accepted — a
+// failure later in the stream is a dying connection, and the loss
+// surfaces exactly like any other dropped datagram.
+func (b *Bridge) unicastChunked(targets []*peer, from, to san.Addr, kind string, callID uint64, flags byte, wire []byte, lease *san.Lease) bool {
+	id := b.chunkSeq.Add(1)
+	total := len(wire)
+	flags |= FlagChunk
+	bufp := b.framePool.Get().(*[]byte)
+	scratch := (*bufp)[:0]
+	var env [3 * 10]byte // three uvarints, 10 bytes max each
+	sent := 0
+	frames := 0
+	for off := 0; off < total; off += chunkFrag {
+		end := off + chunkFrag
+		if end > total {
+			end = total
+		}
+		frag := wire[off:end]
+		prefix := appendChunkEnv(env[:0], id, total, off)
+		hdr, trailer := AppendDataVec(scratch[:0], from, to, kind, callID, flags, prefix, frag)
+		scratch = hdr
+		for _, p := range targets {
+			lease.Retain()
+			if b.appendVecToPeer(p, hdr, frag, trailer, lease.Release) {
+				frames++
+				if off == 0 {
+					sent++
+				}
+			}
+		}
+	}
+	b.framesOut.Add(uint64(frames))
+	b.chunked.Add(1)
+	*bufp = scratch[:0]
 	b.framePool.Put(bufp)
 	return sent > 0
 }
@@ -509,6 +612,22 @@ func (b *Bridge) applyAdvertised(p *peer, addrs []san.Addr) {
 // counting as a live peer.
 func (b *Bridge) appendToPeer(p *peer, frame []byte) bool {
 	err := p.batch.Append(frame)
+	if err == nil {
+		return true
+	}
+	if !errors.Is(err, ErrBatcherClosed) {
+		b.logf("transport: %s: write to peer %s failed, dropping connection: %v", b.cfg.ID, p.id, err)
+		p.close()
+	}
+	return false
+}
+
+// appendVecToPeer is appendToPeer for vectored frames: hdr and trailer
+// are staged, body rides as its own iovec, release runs when the
+// batcher is done with the body (AppendVec runs it itself on a closed
+// or sticky-error batcher). Same fatality rule as appendToPeer.
+func (b *Bridge) appendVecToPeer(p *peer, hdr, body []byte, trailer [4]byte, release func()) bool {
+	err := p.batch.AppendVec(hdr, body, trailer, release)
 	if err == nil {
 		return true
 	}
@@ -719,11 +838,12 @@ func (b *Bridge) runConn(conn net.Conn, dialed bool) (peerID string, kept bool) 
 		_ = conn.Close()
 		return "", false
 	}
-	dec := &Decoder{}
+	dec := NewLeasedDecoder()
 	hello, err := b.readHello(conn, dec)
 	if err != nil {
 		b.logf("transport: handshake with %s failed: %v", conn.RemoteAddr(), err)
 		_ = conn.Close()
+		dec.Close()
 		return "", false
 	}
 	_ = conn.SetDeadline(time.Time{})
@@ -739,6 +859,7 @@ func (b *Bridge) runConn(conn net.Conn, dialed bool) (peerID string, kept bool) 
 	}
 	if !b.registerPeer(p) {
 		_ = conn.Close()
+		dec.Close()
 		return hello.ID, false
 	}
 	b.logf("transport: %s connected to peer %s (%s, dialed=%v)", b.cfg.ID, p.id, p.advertise, dialed)
@@ -770,6 +891,7 @@ func (b *Bridge) runConn(conn net.Conn, dialed bool) (peerID string, kept bool) 
 	}
 
 	b.readLoop(p, dec)
+	dec.Close()
 	b.removePeer(p)
 	return hello.ID, true
 }
@@ -852,11 +974,48 @@ func (b *Bridge) removePeer(p *peer) {
 	b.logf("transport: %s lost peer %s", b.cfg.ID, p.id)
 }
 
+// chunkBuild is one in-flight reassembly: fragments land at their
+// offsets in a lease-backed buffer sized for the full body, so the
+// completed message injects with zero further copies.
+type chunkBuild struct {
+	lease *san.Lease
+	buf   []byte
+	got   int // fragment bytes received; TCP ordering makes overlap a sender bug
+}
+
+// maxChunkBuilds bounds concurrent reassemblies per connection. An
+// evicted stream's later fragments restart a build that can never
+// complete, which the bound then evicts in turn — a hostile or wildly
+// interleaving peer pins at most maxChunkBuilds × MaxChunkBody.
+const maxChunkBuilds = 64
+
+// chunkAsm is a connection's reassembly table (owned by its read loop,
+// so unlocked).
+type chunkAsm struct {
+	builds map[uint64]*chunkBuild
+	order  []uint64 // insertion order for FIFO eviction
+}
+
+func (a *chunkAsm) drop(id uint64) {
+	if cb := a.builds[id]; cb != nil {
+		cb.lease.Release()
+		delete(a.builds, id)
+	}
+}
+
+func (a *chunkAsm) releaseAll() {
+	for id := range a.builds {
+		a.drop(id)
+	}
+}
+
 // readLoop decodes frames off the connection and injects them into the
 // local SAN until the stream ends or corrupts.
 func (b *Bridge) readLoop(p *peer, dec *Decoder) {
 	buf := make([]byte, 64<<10)
 	intern := newInterner()
+	asm := &chunkAsm{builds: make(map[uint64]*chunkBuild)}
+	defer asm.releaseAll()
 	for {
 		for {
 			f, ok, err := dec.Next()
@@ -869,7 +1028,7 @@ func (b *Bridge) readLoop(p *peer, dec *Decoder) {
 				break
 			}
 			b.framesIn.Add(1)
-			b.handleFrame(p, f, intern)
+			b.handleFrame(p, f, intern, dec, asm)
 		}
 		n, err := p.conn.Read(buf)
 		if n > 0 {
@@ -882,19 +1041,23 @@ func (b *Bridge) readLoop(p *peer, dec *Decoder) {
 	}
 }
 
-func (b *Bridge) handleFrame(p *peer, f Frame, intern *interner) {
+func (b *Bridge) handleFrame(p *peer, f Frame, intern *interner, dec *Decoder, asm *chunkAsm) {
 	switch f.Type {
 	case FrameData:
 		from := san.Addr{Node: intern.str(f.SrcNode), Proc: intern.str(f.SrcProc)}
 		to := san.Addr{Node: intern.str(f.DstNode), Proc: intern.str(f.DstProc)}
 		b.learn(from, p)
-		if b.net.InjectUnicast(from, to, intern.str(f.Kind), f.CallID, f.Flags&FlagReply != 0, f.Body) {
+		if f.Flags&FlagChunk != 0 {
+			b.handleChunk(asm, f, from, to, intern.str(f.Kind))
+			return
+		}
+		if b.net.InjectUnicast(from, to, intern.str(f.Kind), f.CallID, f.Flags&FlagReply != 0, f.Body, dec.Lease()) {
 			b.injected.Add(1)
 		}
 	case FrameMcast:
 		from := san.Addr{Node: intern.str(f.SrcNode), Proc: intern.str(f.SrcProc)}
 		b.learn(from, p)
-		if b.net.InjectMulticast(from, intern.str(f.Group), intern.str(f.Kind), f.Body) > 0 {
+		if b.net.InjectMulticast(from, intern.str(f.Group), intern.str(f.Kind), f.Body, dec.Lease()) > 0 {
 			b.injected.Add(1)
 		}
 	case FrameHello:
@@ -930,6 +1093,56 @@ func (b *Bridge) handleFrame(p *peer, f Frame, intern *interner) {
 	}
 }
 
+// handleChunk folds one FlagChunk fragment into its reassembly build
+// and injects the message when the last fragment lands. The frame's
+// CRC already passed, so a malformed envelope or an inconsistent total
+// is a sender bug; it poisons only that stream, not the connection.
+func (b *Bridge) handleChunk(asm *chunkAsm, f Frame, from, to san.Addr, kind string) {
+	id, total, offset, frag, err := ParseChunk(f.Body)
+	if err != nil {
+		b.frameErrors.Add(1)
+		return
+	}
+	cb := asm.builds[id]
+	if cb == nil {
+		cb = &chunkBuild{lease: san.NewLease(total)}
+		cb.buf = cb.lease.Bytes()[:total]
+		asm.builds[id] = cb
+		asm.order = append(asm.order, id)
+		for len(asm.builds) > maxChunkBuilds && len(asm.order) > 0 {
+			asm.drop(asm.order[0])
+			asm.order = asm.order[1:]
+		}
+		// Completed streams leave dead ids behind in order; compact
+		// before the slice outgrows a small multiple of the live bound.
+		if len(asm.order) > 4*maxChunkBuilds {
+			live := asm.order[:0]
+			for _, oid := range asm.order {
+				if asm.builds[oid] != nil {
+					live = append(live, oid)
+				}
+			}
+			asm.order = live
+		}
+	}
+	if total != len(cb.buf) || offset+len(frag) > len(cb.buf) {
+		b.frameErrors.Add(1)
+		asm.drop(id)
+		return
+	}
+	copy(cb.buf[offset:], frag)
+	cb.got += len(frag)
+	if cb.got < len(cb.buf) {
+		return
+	}
+	delete(asm.builds, id) // stale order entry is fine; drop tolerates it
+	b.reassembled.Add(1)
+	if b.net.InjectUnicast(from, to, kind, f.CallID, f.Flags&FlagReply != 0, cb.buf, cb.lease) {
+		b.injected.Add(1)
+	}
+	cb.lease.Release()
+}
+
 // learn records that addr is reachable via p (switch-style MAC
 // learning: the source of an observed frame is a valid route). Entries
 // move if the address shows up behind a different peer — a component
@@ -961,6 +1174,18 @@ func (w *deadlineWriter) Write(p []byte) (int, error) {
 		_ = w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
 	}
 	return w.conn.Write(p)
+}
+
+// WriteVec forwards a gather list to the connection under the same
+// deadline. net.Buffers.WriteTo issues a real writev only on the
+// concrete TCP/unix conn types, which is exactly what w.conn is — this
+// forwarder exists so the Batcher's vecWriter probe survives the
+// deadline wrapper.
+func (w *deadlineWriter) WriteVec(bufs *net.Buffers) (int64, error) {
+	if w.timeout > 0 {
+		_ = w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
+	}
+	return bufs.WriteTo(w.conn)
 }
 
 // interner deduplicates the small, hot string set a connection sees

@@ -17,6 +17,21 @@
 //     formation, automatic reconnect, and a learning route table that
 //     maps endpoint addresses to peers from observed traffic.
 //
+// The data plane is zero-copy end to end. Outbound, bodies at or
+// above a small threshold are not copied into the batch buffer:
+// AppendDataVec stages only the header and CRC trailer, the body
+// rides as its own iovec, and the Batcher flushes via
+// net.Buffers/writev, releasing the body's san.Lease after the write.
+// Bodies above Config.ChunkBytes (default DefaultChunkBytes) stream
+// as chunkFrag-sized chunk frames (FlagChunk + a uvarint
+// id/total/offset envelope) so one huge body never stalls small
+// frames queued behind it; the receiving bridge reassembles the
+// stream into a single leased buffer before injecting it. Inbound,
+// NewLeasedDecoder reads into san.Lease-backed buffers and delivery
+// views alias them; the decoder recycles a buffer only after every
+// consumer releases (see the Lease contract in internal/san —
+// releasing is a performance obligation, never a safety one).
+//
 // Frame layout (all integers little-endian unless uvarint):
 //
 //	offset size  field
@@ -74,6 +89,13 @@ const (
 // Data-frame flags.
 const (
 	FlagReply byte = 1 << 0 // body answers a san Call (CallID echoes)
+	// FlagChunk marks the body as one fragment of a larger message:
+	// a chunk envelope (uvarint chunk id, total length, offset)
+	// followed by the fragment bytes. The receiving bridge reassembles
+	// fragments into the original body before injection, so a huge
+	// blob streams as many small frames — ordinary traffic interleaves
+	// between them instead of stalling behind one giant frame.
+	FlagChunk byte = 1 << 1
 )
 
 // Decode errors. A stream that produces any of these has lost frame
@@ -150,6 +172,62 @@ func AppendData(dst []byte, from, to san.Addr, kind string, callID uint64, reply
 	dst = appendBytes(dst, body)
 	return finishFrame(dst, off)
 }
+
+// AppendDataVec builds the same wire bytes as AppendData but without
+// splicing the body into the staging buffer: it returns the frame's
+// header portion (prelude, meta, body length, and the optional prefix
+// — the chunk envelope) appended to dst, plus the 4-byte CRC trailer.
+// The frame on the wire is hdr ++ body ++ trailer; Batcher.AppendVec
+// hands the three pieces to writev so an already-encoded blob goes to
+// the socket straight from its lease, copy-free. The logical frame
+// body is prefix ++ body. The flags byte is taken verbatim (compose
+// FlagReply/FlagChunk yourself).
+func AppendDataVec(dst []byte, from, to san.Addr, kind string, callID uint64, flags byte, prefix, body []byte) (hdr []byte, trailer [4]byte) {
+	dst, off := appendPrelude(dst, FrameData)
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, callID)
+	dst = appendString(dst, from.Node)
+	dst = appendString(dst, from.Proc)
+	dst = appendString(dst, to.Node)
+	dst = appendString(dst, to.Proc)
+	dst = appendString(dst, kind)
+	dst = binary.AppendUvarint(dst, uint64(len(prefix)+len(body)))
+	dst = append(dst, prefix...)
+	payload := len(dst) - off - preludeLen + len(body)
+	binary.LittleEndian.PutUint32(dst[off+4:], uint32(payload+crcLen))
+	sum := crc32.ChecksumIEEE(dst[off:])
+	sum = crc32.Update(sum, crc32.IEEETable, body)
+	binary.LittleEndian.PutUint32(trailer[:], sum)
+	return dst, trailer
+}
+
+// appendChunkEnv appends the chunk envelope riding at the front of a
+// FlagChunk frame's body: fragment stream id, total reassembled
+// length, this fragment's offset.
+func appendChunkEnv(dst []byte, id uint64, total, offset int) []byte {
+	dst = binary.AppendUvarint(dst, id)
+	dst = binary.AppendUvarint(dst, uint64(total))
+	return binary.AppendUvarint(dst, uint64(offset))
+}
+
+// ParseChunk splits a FlagChunk frame body into its envelope and
+// fragment. The fragment aliases body.
+func ParseChunk(body []byte) (id uint64, total, offset int, frag []byte, err error) {
+	r := payloadReader{buf: body}
+	id = r.uvarint()
+	t := r.uvarint()
+	o := r.uvarint()
+	if r.err != nil || t > MaxChunkBody || o > t || uint64(len(body)-r.pos) > t-o {
+		return 0, 0, 0, nil, fmt.Errorf("%w: chunk envelope", ErrFrameFormat)
+	}
+	return id, int(t), int(o), body[r.pos:], nil
+}
+
+// MaxChunkBody bounds the reassembled length a chunk stream may claim,
+// the chunked analogue of MaxFramePayload. One cap for every caller:
+// senders refuse to chunk anything larger, receivers refuse to
+// allocate for a claim above it.
+const MaxChunkBody = 64 << 20
 
 // AppendMcast appends one multicast frame (group-addressed, no flags
 // or call id — multicasts are never replies).
@@ -268,17 +346,59 @@ func (f *Frame) DecodeAdvert() (op byte, addrs []san.Addr, err error) {
 // arrives. The internal buffer is bounded: a frame's claimed length is
 // validated against MaxFramePayload as soon as the prelude is visible,
 // before any of the payload is awaited.
+//
+// A leased decoder (NewLeasedDecoder) backs its buffer with a
+// refcounted san.Lease so frame slices can outlive the next Write:
+// a consumer that retains the current Lease() keeps the buffer pinned,
+// and the decoder swaps to a fresh lease (carrying over the unconsumed
+// tail) instead of scribbling over live views. The old buffer recycles
+// when the last view releases — the receive half of the zero-copy data
+// plane.
 type Decoder struct {
 	buf []byte
 	r   int // consumed prefix
 
 	frames uint64
+
+	leased bool
+	lease  *san.Lease
+}
+
+// leasedDecoderBuf sizes fresh receive leases: big enough to hold a
+// full socket read plus a partial frame without immediate growth.
+const leasedDecoderBuf = 64 << 10
+
+// NewLeasedDecoder returns a decoder whose buffer lives in refcounted
+// leases (see Decoder docs). The zero-valued Decoder remains the plain
+// copying variant.
+func NewLeasedDecoder() *Decoder { return &Decoder{leased: true} }
+
+// Lease returns the lease backing the decoder's current buffer (nil
+// before the first Write, or on an unleased decoder). Frames returned
+// by Next alias this lease's buffer; retain it to keep them valid past
+// the next Write.
+func (d *Decoder) Lease() *san.Lease { return d.lease }
+
+// Close drops the decoder's own reference to its buffer lease (no-op
+// on a plain decoder). Call it when the stream ends; views retained by
+// consumers stay valid — they hold their own references.
+func (d *Decoder) Close() {
+	if d.lease != nil {
+		d.lease.Release()
+		d.lease = nil
+		d.buf = nil
+		d.r = 0
+	}
 }
 
 // Write feeds stream bytes into the decoder. It never fails; the
 // error return exists to satisfy io.Writer so a decoder can sit
 // directly under an io.Copy or TeeReader in tests.
 func (d *Decoder) Write(p []byte) (int, error) {
+	if d.leased {
+		d.writeLeased(p)
+		return len(p), nil
+	}
 	// Compact lazily: only when the dead prefix dominates the buffer.
 	if d.r > 0 && (d.r >= len(d.buf) || d.r > 4096) {
 		d.buf = append(d.buf[:0], d.buf[d.r:]...)
@@ -286,6 +406,47 @@ func (d *Decoder) Write(p []byte) (int, error) {
 	}
 	d.buf = append(d.buf, p...)
 	return len(p), nil
+}
+
+// writeLeased is Write for the leased decoder. The invariant: d.buf
+// always starts at index 0 of the current lease's array, so cap(d.buf)
+// is the lease capacity and in-place appends never escape it. Only the
+// decoder's goroutine mutates the buffer, and only after observing
+// Refs()==1 — the atomic refcount orders consumers' last reads before
+// the reuse, so recycling can never race a live view.
+func (d *Decoder) writeLeased(p []byte) {
+	if l := d.lease; l != nil && l.Refs() == 1 {
+		if len(d.buf)+len(p) <= cap(d.buf) {
+			d.buf = append(d.buf, p...)
+			return
+		}
+		// Sole owner but out of room at the end: compact the
+		// unconsumed tail down to the front if that makes p fit.
+		tail := len(d.buf) - d.r
+		if tail+len(p) <= cap(d.buf) {
+			copy(d.buf, d.buf[d.r:])
+			d.buf = append(d.buf[:tail], p...)
+			d.r = 0
+			return
+		}
+	}
+	// Views are live on the current buffer (or it cannot hold the new
+	// bytes): swap to a fresh lease carrying only the unconsumed tail.
+	// The old buffer recycles when its last view releases.
+	need := len(d.buf) - d.r + len(p)
+	size := need
+	if size < leasedDecoderBuf {
+		size = leasedDecoderBuf
+	}
+	nl := san.NewLease(size)
+	nb := append(nl.Bytes(), d.buf[d.r:]...)
+	nb = append(nb, p...)
+	if d.lease != nil {
+		d.lease.Release()
+	}
+	d.lease = nl
+	d.buf = nb
+	d.r = 0
 }
 
 // Buffered returns the number of unconsumed bytes held.

@@ -155,13 +155,22 @@ func (s *Service) handle(ep *san.Endpoint, msg san.Message) {
 	case MsgPut, MsgInject:
 		req, ok := msg.Body.(PutReq)
 		if !ok {
+			msg.Release()
 			return
+		}
+		if msg.Lease != nil {
+			// Copy-on-retain: with decode views on, req.Data aliases a
+			// pooled receive buffer, and the partition stores data far
+			// past this message's lifetime. This is the one copy a put
+			// pays; everything upstream was zero-copy.
+			req.Data = san.CloneBytes(req.Data)
 		}
 		if msg.Kind == MsgInject {
 			s.Partition.Inject(req.Key, req.Data, req.MIME, req.TTL)
 		} else {
 			s.Partition.Put(req.Key, req.Data, req.MIME, req.TTL)
 		}
+		msg.Release()
 		_ = ep.Respond(msg, MsgOK, nil, 16)
 	case MsgStats:
 		_ = ep.Respond(msg, MsgStatsR, s.Partition.Stats(), 64)
@@ -226,23 +235,45 @@ func (c *Client) owner(key string) (san.Addr, bool) {
 
 // Get fetches a key from the virtual cache. A missing partition or
 // timeout reads as a miss: the cache is an optimization, never a
-// correctness dependency (BASE).
+// correctness dependency (BASE). The returned data is owned by the
+// caller (copied out of any pooled receive buffer); holders that can
+// bound the data's lifetime should prefer GetView and skip the copy.
 func (c *Client) Get(ctx context.Context, key string) (data []byte, mime string, found bool) {
+	data, mime, release, found := c.GetView(ctx, key)
+	if release != nil {
+		data = san.CloneBytes(data)
+		release()
+	}
+	return data, mime, found
+}
+
+// GetView is the zero-copy Get: when the reply arrived as a decode
+// view, data aliases a pooled receive buffer and release is non-nil —
+// the caller must finish reading (or copy) before calling release, must
+// call it exactly once, and must not touch data afterwards. A nil
+// release means data is already owned (local passthrough delivery, or
+// a miss). Front ends that write the bytes straight to a client socket
+// use this to serve a cache hit without any body copy in this process.
+func (c *Client) GetView(ctx context.Context, key string) (data []byte, mime string, release func(), found bool) {
 	addr, ok := c.owner(key)
 	if !ok {
-		return nil, "", false
+		return nil, "", nil, false
 	}
 	cctx, cancel := context.WithTimeout(ctx, c.Timeout)
 	defer cancel()
 	resp, err := c.ep.Call(cctx, addr, MsgGet, GetReq{Key: key}, len(key)+16)
 	if err != nil {
-		return nil, "", false
+		return nil, "", nil, false
 	}
 	got, ok := resp.Body.(GetResp)
 	if !ok || !got.Found {
-		return nil, "", false
+		resp.Release()
+		return nil, "", nil, false
 	}
-	return got.Data, got.MIME, true
+	if resp.Lease == nil {
+		return got.Data, got.MIME, nil, true
+	}
+	return got.Data, got.MIME, resp.Lease.Release, true
 }
 
 // Put stores original content; errors are swallowed (best effort).

@@ -51,4 +51,20 @@ if ! grep -q '"delegated_restarts":[1-9]' <<<"${out}"; then
     exit 1
 fi
 
-echo "smoke: OK — ${REQUESTS}+ requests across two OS processes, zero failures, zero wire errors, cache0 respawned by supervisor delegation"
+# The large-body leg must have round-tripped a 512 KB blob through the
+# remote cache partition — above the chunking threshold, so it crossed
+# the TCP bridge as chunk fragments and reassembled on both hops. The
+# selftest already failed on any wire/frame error; assert here that
+# the chunked path actually ran (not just small frames).
+if ! grep -q '"large_body_bytes":524288' <<<"${out}"; then
+    echo "smoke: FAILED — large-body leg did not complete" >&2
+    cat "${ctl_log}" >&2
+    exit 1
+fi
+if ! grep -q '"reassembled":[1-9]' <<<"${out}"; then
+    echo "smoke: FAILED — no chunk stream was reassembled on the serving side" >&2
+    cat "${ctl_log}" >&2
+    exit 1
+fi
+
+echo "smoke: OK — ${REQUESTS}+ requests plus a chunked 512 KB blob across two OS processes, zero failures, zero wire errors, cache0 respawned by supervisor delegation"
