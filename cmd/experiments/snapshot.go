@@ -109,6 +109,17 @@ func writeSnapshot(path string, seed int64) error {
 		fmt.Fprintln(os.Stderr, "snapshot: supervisor restart measurement failed:", err)
 	}
 
+	// manager failover: crash-to-new-regime latency of the lease
+	// election — primary killed, clock stopped when a standby is the
+	// acting primary at a higher epoch with the full worker inventory
+	// re-anchored (ns tracked, not gated — beacon-silence timeouts
+	// dominate).
+	if ns, err := measureManagerFailover(seed); err == nil {
+		m["manager_failover_ns"] = ns
+	} else {
+		fmt.Fprintln(os.Stderr, "snapshot: manager failover measurement failed:", err)
+	}
+
 	// Hot-path micro costs: SAN send (passthrough vs wire), partition
 	// get, wire encode/decode — ns/op is hardware-bound (tracked, not
 	// gated); allocs/op is deterministic and regression-gated.
@@ -392,6 +403,36 @@ func measureRecovery(seed int64) (float64, error) {
 		time.Sleep(time.Millisecond)
 	}
 	return float64(time.Since(start).Microseconds()) / 1000, nil
+}
+
+// measureManagerFailover boots a two-replica system through the chaos
+// harness, crashes the acting primary, and times the lease election:
+// crash to "a standby is the acting primary at a higher epoch and the
+// whole worker inventory has re-anchored on it first-hand".
+func measureManagerFailover(seed int64) (float64, error) {
+	h, err := chaos.New(chaos.Config{Seed: seed, Managers: 2})
+	if err != nil {
+		return 0, err
+	}
+	defer h.Stop()
+	old := h.Sys.PrimaryManager()
+	oldEpoch := old.Epoch()
+	// The harness awaited steady state, so the dying primary's worker
+	// table is the full configured inventory.
+	want := old.Stats().Workers
+	start := time.Now()
+	h.Execute(context.Background(), chaos.Schedule{Seed: seed, Events: []chaos.Event{{Kind: chaos.KillManager}}})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		m := h.Sys.PrimaryManager()
+		if m != nil && m != old && m.IsPrimary() && m.Epoch() > oldEpoch && m.Stats().Workers >= want {
+			return float64(time.Since(start).Nanoseconds()), nil
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("no standby takeover within 10s")
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 // measureSupervisorRestart times one cross-process supervised restart:

@@ -62,6 +62,8 @@ func main() {
 	rolesFlag := flag.String("roles", "all", "roles to host: frontend,manager,worker,cache,monitor (or 'all')")
 	cacheHost := flag.String("cache-host", "", "node prefix of the process hosting the cache partitions (when the cache role is remote)")
 	frontEnds := flag.Int("frontends", 2, "front ends (frontend role)")
+	managers := flag.Int("managers", 1, "manager replicas hosted in this process (manager role)")
+	managerRank := flag.Int("manager-rank", 0, "election rank of this process's first manager replica; global rank 0 boots as the acting primary, everyone else standby")
 	cacheParts := flag.Int("caches", 2, "cache partitions (cluster-wide count; used to compute remote addresses too)")
 	nodes := flag.Int("nodes", 8, "dedicated cluster nodes in this process")
 	cacheNodes := flag.Int("cache-nodes", 0, "dedicated node count of the cache-hosting process (default: -nodes)")
@@ -72,6 +74,8 @@ func main() {
 	httpAddr := flag.String("http", "", "serve the TranSend HTTP API on this address (frontend role)")
 	selftest := flag.Int("selftest", 0, "run N requests after ready, print a JSON summary, and exit")
 	selftestKill := flag.String("selftest-kill", "", "mid-selftest, kill this cache component via its process's supervisor and assert a delegated respawn (requires the manager role here)")
+	selftestSpacing := flag.Duration("selftest-spacing", 0, "pause between selftest requests (stretches the workload across externally injected faults)")
+	selftestEpoch := flag.Uint64("selftest-expect-epoch", 0, "after the request loop, require a local manager replica to be acting primary at this election epoch or later (the failover smoke: SIGKILL the rank-0 process mid-run, assert the standby here took over)")
 	readyTimeout := flag.Duration("ready-timeout", 30*time.Second, "how long to wait for the cluster to become serviceable")
 	seed := flag.Int64("seed", 0, "random seed (0 = time-based)")
 	flag.Parse()
@@ -113,6 +117,8 @@ func main() {
 		DedicatedNodes: *nodes,
 		OverflowNodes:  *overflow,
 		FrontEnds:      *frontEnds,
+		Managers:       *managers,
+		ManagerRank:    *managerRank,
 		CacheParts:     *cacheParts,
 		Workers:        workers,
 		Registry:       registry,
@@ -146,7 +152,7 @@ func main() {
 	log.Printf("node: ready — peers %v", sys.Bridge.Peers())
 
 	if *selftest > 0 {
-		if err := runSelftest(sys, *selftest, *selftestKill); err != nil {
+		if err := runSelftest(sys, *selftest, *selftestKill, *selftestSpacing, *selftestEpoch); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -182,13 +188,18 @@ type selftestReport struct {
 	Supervisors    int     `json:"supervisors"`
 	Delegated      uint64  `json:"delegated_restarts"`
 	CacheRestarts  uint64  `json:"cache_restarts"`
+	ManagerEpoch   uint64  `json:"manager_epoch"`
+	Takeovers      uint64  `json:"manager_takeovers"`
 	KillInjected   string  `json:"kill_injected,omitempty"`
 }
 
-func runSelftest(sys *core.System, n int, kill string) error {
+func runSelftest(sys *core.System, n int, kill string, spacing time.Duration, expectEpoch uint64) error {
 	ctx := context.Background()
 	rep := selftestReport{Requests: n}
 	for i := 0; i < n; i++ {
+		if spacing > 0 && i > 0 {
+			time.Sleep(spacing)
+		}
 		if kill != "" && i == n/3 {
 			// Remote fault injection: crash the victim through its own
 			// process's supervisor, then keep the load running — the
@@ -240,6 +251,24 @@ func runSelftest(sys *core.System, n int, kill string) error {
 		} else {
 			rep.LargeBodyBytes = bytes
 		}
+	}
+	if expectEpoch > 0 {
+		// The failover smoke: an external hand SIGKILLed the rank-0
+		// manager process mid-run, and this process hosts a standby that
+		// must have won (or must win shortly) the election at expectEpoch
+		// or later. The wait tolerates the request loop outpacing the
+		// election — the workload already proved requests survive the gap.
+		if err := awaitLocalPrimary(sys, expectEpoch, 30*time.Second); err != nil {
+			return fmt.Errorf("selftest: %w", err)
+		}
+		log.Printf("selftest: local manager replica is acting primary at epoch >= %d", expectEpoch)
+	}
+	for _, m := range sys.ManagerReplicas() {
+		st := m.Stats()
+		if st.Epoch > rep.ManagerEpoch {
+			rep.ManagerEpoch = st.Epoch
+		}
+		rep.Takeovers += st.Takeovers
 	}
 	for _, fe := range sys.FrontEnds() {
 		st := fe.Stats()
@@ -370,6 +399,26 @@ func selftestKillRemote(ctx context.Context, sys *core.System, name string) erro
 	return nil
 }
 
+// awaitLocalPrimary blocks until a manager replica hosted by this
+// process is the acting primary at epoch >= want — the post-failover
+// condition the multi-manager smoke asserts after SIGKILLing the
+// rank-0 process.
+func awaitLocalPrimary(sys *core.System, want uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if m := sys.PrimaryManager(); m != nil && m.IsPrimary() && m.Epoch() >= want {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	m := sys.PrimaryManager()
+	if m == nil {
+		return fmt.Errorf("no local manager replica became primary within %s", timeout)
+	}
+	return fmt.Errorf("no local acting primary at epoch >= %d within %s (primary=%v epoch=%d)",
+		want, timeout, m.IsPrimary(), m.Epoch())
+}
+
 // awaitDelegatedRestart blocks until the manager has completed at
 // least one supervisor-delegated restart.
 func awaitDelegatedRestart(sys *core.System, timeout time.Duration) error {
@@ -410,8 +459,11 @@ func serveHTTP(sys *core.System, addr string) {
 		for _, fe := range sys.FrontEnds() {
 			fmt.Fprintf(w, "%s: %+v\n", fe.ID(), fe.Stats())
 		}
+		for _, mgr := range sys.ManagerReplicas() {
+			st := mgr.Stats()
+			fmt.Fprintf(w, "manager replica (primary=%v epoch=%d): %+v\n", st.Primary, st.Epoch, st)
+		}
 		if mgr := sys.Manager(); mgr != nil {
-			fmt.Fprintf(w, "manager: %+v\n", mgr.Stats())
 			for _, sup := range mgr.Supervisors() {
 				fmt.Fprintf(w, "supervisor: %s (prefix %q)\n", sup.Addr, sup.Prefix)
 			}

@@ -34,6 +34,11 @@ type Config struct {
 	FrontEnds      int
 	CacheParts     int
 	Workers        map[string]int
+	// Managers is how many manager replicas to run (election-ranked:
+	// rank 0 boots as primary, the rest as standbys). Default 1 — the
+	// pre-replication topology. KillManager faults always target the
+	// acting primary.
+	Managers int
 
 	// Service. Nil Registry/Rules install an echo worker class
 	// ("chaos-echo") whose pipeline every request traverses, so a
@@ -136,6 +141,7 @@ func New(cfg Config) (*Harness, error) {
 		FrontEnds:         cfg.FrontEnds,
 		CacheParts:        cfg.CacheParts,
 		Workers:           cfg.Workers,
+		Managers:          cfg.Managers,
 		Registry:          cfg.Registry,
 		Rules:             cfg.Rules,
 		BeaconInterval:    cfg.BeaconInterval,

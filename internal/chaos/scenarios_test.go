@@ -404,3 +404,132 @@ func TestSoakKillAnything(t *testing.T) {
 	t.Logf("soak: %d faults, load %+v (success %.2f), capacity %.2f -> %.2f",
 		injected, load, load.SuccessRate(), baseline, after)
 }
+
+// TestScenarioPrimaryManagerKilledMidRespawn (ROADMAP): with three
+// manager replicas, crash a worker and then kill the primary manager
+// BEFORE the worker's TTL fires — the respawn duty is in flight with
+// nobody having acted on it. A standby must win the election within
+// about one beacon interval past the timeout, inherit the duty from
+// its mirrored soft state, and execute it: zero lost restart duties,
+// no recovery protocol. The fault timeline must be identical across
+// two executions of the same schedule.
+func TestScenarioPrimaryManagerKilledMidRespawn(t *testing.T) {
+	// The primary dies 30 ms in: after the worker crash (0 ms) but
+	// before its 50 ms TTL (5 beacons) can fire on the old regime.
+	sched := Schedule{Seed: seed, Events: []Event{
+		{Kind: KillWorker, Slot: 0},
+		{At: 30 * time.Millisecond, Kind: KillManager},
+	}}
+
+	run := func(t *testing.T) []string {
+		h := newHarness(t, Config{Seed: seed, Managers: 3})
+		ctx := context.Background()
+
+		oldPrimary := h.Sys.PrimaryManager()
+		oldEpoch := oldPrimary.Epoch()
+		if reps := h.Sys.ManagerReplicas(); len(reps) != 3 {
+			t.Fatalf("%d manager replicas, want 3", len(reps))
+		}
+		killAt := time.Now()
+		h.Execute(ctx, sched)
+
+		// A standby takes over: new primary instance, higher epoch.
+		waitFor(t, "standby takeover", func() bool {
+			m := h.Sys.PrimaryManager()
+			return m != nil && m != oldPrimary && m.IsPrimary() && m.Epoch() > oldEpoch
+		})
+		elected := time.Since(killAt) - 30*time.Millisecond
+		h.Note("manager-failover", elected.String())
+		newPrimary := h.Sys.PrimaryManager()
+		if st := newPrimary.Stats(); st.Takeovers != 1 {
+			t.Fatalf("new primary stats %+v, want exactly one takeover", st)
+		}
+
+		// Requests flow throughout: dispatch runs off cached beacons
+		// during the election gap (§3.1.8 stale-data tolerance).
+		for i := 0; i < 5; i++ {
+			rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+			_, err := h.Sys.Request(rctx, fmt.Sprintf("http://chaos.example/fo%d.bin", i), "u")
+			cancel()
+			if err != nil {
+				t.Fatalf("request %d failed across manager failover: %v", i, err)
+			}
+		}
+
+		// The in-flight respawn duty lands on the NEW primary: it
+		// expires the dead worker from its mirrored inventory and spawns
+		// the replacement the old regime never got to.
+		waitFor(t, "inherited respawn duty", func() bool {
+			return newPrimary.Stats().Spawns >= 1
+		})
+		if !h.AwaitSteady(10 * time.Second) {
+			t.Fatalf("system did not return to full strength under the new primary:\n%s", h.Timeline())
+		}
+		return h.FaultTimeline()
+	}
+
+	first := run(t)
+	second := run(t)
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Fatalf("fault timelines diverged across identical runs:\n%v\n%v", first, second)
+	}
+}
+
+// TestScenarioBothFrontEndsDieInOneFETTLWindow (ROADMAP): kill both
+// front ends 10 ms apart — inside a single 60 ms FETTL window, so
+// their heartbeat silences overlap and the manager's process-peer
+// sweep sees two dead peers at once. Both must be restarted (zero
+// lost restart duties) and service must fully recover. Same
+// run-twice determinism contract as every scripted schedule.
+func TestScenarioBothFrontEndsDieInOneFETTLWindow(t *testing.T) {
+	sched := Schedule{Seed: seed, Events: []Event{
+		{Kind: KillFrontEnd, Slot: 0},
+		{At: 10 * time.Millisecond, Kind: KillFrontEnd, Slot: 1},
+	}}
+
+	run := func(t *testing.T) []string {
+		h := newHarness(t, Config{Seed: seed, FrontEnds: 2})
+		ctx := context.Background()
+
+		killAt := time.Now()
+		h.Execute(ctx, sched)
+
+		waitFor(t, "both front ends restarted", func() bool {
+			fes := h.Sys.FrontEnds()
+			if len(fes) != 2 {
+				return false
+			}
+			for _, fe := range fes {
+				if !fe.Running() {
+					return false
+				}
+			}
+			return true
+		})
+		h.Note("frontend-double-restart", time.Since(killAt).String())
+		if got := h.Sys.Manager().Stats().FERestarts; got < 2 {
+			t.Fatalf("manager recorded %d front-end restarts, want 2", got)
+		}
+
+		// Full service recovery: restarted front ends re-anchor on
+		// beacons and serve.
+		if !h.AwaitSteady(10 * time.Second) {
+			t.Fatalf("front ends did not return to steady state:\n%s", h.Timeline())
+		}
+		for i := 0; i < 5; i++ {
+			rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+			_, err := h.Sys.Request(rctx, fmt.Sprintf("http://chaos.example/fe2x%d.bin", i), "u")
+			cancel()
+			if err != nil {
+				t.Fatalf("request %d failed after double front-end restart: %v", i, err)
+			}
+		}
+		return h.FaultTimeline()
+	}
+
+	first := run(t)
+	second := run(t)
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Fatalf("fault timelines diverged across identical runs:\n%v\n%v", first, second)
+	}
+}

@@ -16,8 +16,10 @@ const (
 	// KillWorker crashes a live worker (no deregistration — the
 	// manager must infer the loss by timeout, §3.1.3).
 	KillWorker ActionKind = "kill-worker"
-	// KillManager crashes the manager; front-end watchdogs restart
-	// it and workers re-register on its beacons.
+	// KillManager crashes the acting primary manager replica. With
+	// replicas configured a standby wins the election and beacons the
+	// next epoch; single-manager systems respawn it, and workers
+	// re-register on the new regime's beacons either way.
 	KillManager ActionKind = "kill-manager"
 	// KillFrontEnd crashes a front end; the manager's process-peer
 	// duty restarts it.

@@ -154,8 +154,20 @@ type Config struct {
 	ProcsPerNode   int // capacity heuristic per node (default 8)
 
 	// Components.
-	FrontEnds  int
-	CacheParts int
+	FrontEnds int
+	// Managers is how many manager replicas this process hosts when
+	// it carries the manager role (default 1). Replica 0 boots as the
+	// acting primary; the rest boot standby and win the primacy by
+	// the lease election in internal/manager when the primary goes
+	// silent.
+	Managers int
+	// ManagerRank offsets the election rank of the first local
+	// replica: replica i runs at rank ManagerRank+i, and only global
+	// rank 0 boots as the acting primary. A multi-process deployment
+	// gives each manager-role process Managers=1 and a distinct
+	// ManagerRank; exactly one process runs rank 0.
+	ManagerRank int
+	CacheParts  int
 	// CacheBudget is bytes per cache partition (default 64 MiB).
 	CacheBudget int64
 	// Workers maps class -> initial replica count.
@@ -203,6 +215,9 @@ func (c Config) withDefaults() Config {
 	if c.FrontEnds <= 0 {
 		c.FrontEnds = 1
 	}
+	if c.Managers <= 0 {
+		c.Managers = 1
+	}
 	if c.CacheParts <= 0 {
 		c.CacheParts = 2
 	}
@@ -249,9 +264,8 @@ type System struct {
 	mu          sync.Mutex
 	cacheNodes  map[string]san.Addr // local + remote partitions (FE view)
 	localCaches map[string]bool     // partitions this process hosts
-	mgr         *manager.Manager
-	mgrHandle   *cluster.Handle
-	mgrEpoch    int
+	mgrs        []*mgrReplica
+	mgrEpochHW  uint64 // high-water election epoch across local replicas
 	lastMgrFix  time.Time
 	sup         *supervisor.Supervisor
 	supNode     string
@@ -265,6 +279,16 @@ type System struct {
 	rr        atomic.Uint64
 	tmpDir    string
 	stopped   atomic.Bool
+}
+
+// mgrReplica tracks one locally hosted manager replica across its
+// respawns. The rank is stable; the Manager instance and handle are
+// replaced each time the replica is respawned.
+type mgrReplica struct {
+	rank int
+	gen  int // spawn generation, for distinct process names
+	m    *manager.Manager
+	h    *cluster.Handle
 }
 
 // nodeName/ovfName build prefix-qualified cluster node names — unique
@@ -401,11 +425,16 @@ func Start(cfg Config) (*System, error) {
 		}
 	}
 
-	// Manager.
+	// Manager replicas: global rank 0 boots as the acting primary,
+	// everyone else standby. The election (internal/manager) owns
+	// primacy from here on.
 	if cfg.Roles.manager() {
-		if err := s.spawnManager(); err != nil {
-			s.cleanup()
-			return nil, err
+		for i := 0; i < cfg.Managers; i++ {
+			rank := cfg.ManagerRank + i
+			if err := s.spawnManagerReplica(rank, rank != 0, 0); err != nil {
+				s.cleanup()
+				return nil, err
+			}
 		}
 	}
 
@@ -486,15 +515,32 @@ func (s *System) Stop() {
 	s.cleanup()
 }
 
-// spawnManager starts (or restarts) the centralized manager. Each
-// epoch gets a distinct process name so a lingering old instance can
-// never collide with its replacement.
-func (s *System) spawnManager() error {
+// spawnManagerReplica starts (or restarts) one manager replica. Each
+// spawn generation gets a distinct process name so a lingering old
+// instance can never collide with its replacement; initialEpoch seeds
+// the replica's election epoch so a respawn re-enters the cluster
+// already knowing roughly where the epoch stands (its first claim
+// outbids the epoch it died holding instead of a long-deposed one).
+func (s *System) spawnManagerReplica(rank int, standby bool, initialEpoch uint64) error {
 	s.mu.Lock()
-	s.mgrEpoch++
+	var rep *mgrReplica
+	for _, r := range s.mgrs {
+		if r.rank == rank {
+			rep = r
+			break
+		}
+	}
+	if rep == nil {
+		rep = &mgrReplica{rank: rank}
+		s.mgrs = append(s.mgrs, rep)
+	}
+	rep.gen++
 	name := "manager"
-	if s.mgrEpoch > 1 {
-		name = fmt.Sprintf("manager.%d", s.mgrEpoch)
+	if rank > 0 {
+		name = fmt.Sprintf("manager-r%d", rank)
+	}
+	if rep.gen > 1 {
+		name = fmt.Sprintf("%s.%d", name, rep.gen)
 	}
 	s.mu.Unlock()
 	node := s.placeOrErr()
@@ -513,23 +559,80 @@ func (s *System) spawnManager() error {
 		Prefix:         s.cfg.NodePrefix,
 		CmdTimeout:     s.cfg.CallTimeout,
 		Spawner:        &spawner{s: s},
+		Rank:           rank,
+		Standby:        standby,
+		InitialEpoch:   initialEpoch,
 	})
 	h, err := s.Cluster.Spawn(node, m)
 	if err != nil {
 		return err
 	}
 	s.mu.Lock()
-	s.mgr = m
-	s.mgrHandle = h
+	rep.m = m
+	rep.h = h
 	s.mu.Unlock()
 	return nil
 }
 
-// Manager returns the current manager instance.
-func (s *System) Manager() *manager.Manager {
+// Manager returns the acting primary manager replica (an alias for
+// PrimaryManager — existing callers predate replication and always
+// mean "the manager that is actually running the cluster").
+func (s *System) Manager() *manager.Manager { return s.PrimaryManager() }
+
+// PrimaryManager returns the local replica currently acting as
+// primary — the newest-epoch one if several claim it (a deposed
+// replica that has not yet heard the winner's beacon may still say
+// yes). With no acting primary it returns the newest-epoch replica,
+// so callers polling "who won?" always have a candidate to watch.
+func (s *System) PrimaryManager() *manager.Manager {
+	// Snapshot the manager pointers under the lock — the replica slots
+	// themselves are rewritten by respawns.
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.mgr
+	ms := make([]*manager.Manager, 0, len(s.mgrs))
+	for _, r := range s.mgrs {
+		if r.m != nil {
+			ms = append(ms, r.m)
+		}
+	}
+	s.mu.Unlock()
+	var best, fallback *manager.Manager
+	var bestEpoch, fbEpoch uint64
+	for _, m := range ms {
+		e := m.Epoch()
+		if fallback == nil || e > fbEpoch {
+			fallback, fbEpoch = m, e
+		}
+		if m.IsPrimary() && (best == nil || e > bestEpoch) {
+			best, bestEpoch = m, e
+		}
+	}
+	if best != nil {
+		return best
+	}
+	return fallback
+}
+
+// ManagerReplicas returns every locally hosted manager replica in
+// rank order (standbys included), for tests and operator tooling.
+func (s *System) ManagerReplicas() []*manager.Manager {
+	s.mu.Lock()
+	type slot struct {
+		rank int
+		m    *manager.Manager
+	}
+	slots := make([]slot, 0, len(s.mgrs))
+	for _, r := range s.mgrs {
+		if r.m != nil {
+			slots = append(slots, slot{r.rank, r.m})
+		}
+	}
+	s.mu.Unlock()
+	sort.Slice(slots, func(i, j int) bool { return slots[i].rank < slots[j].rank })
+	out := make([]*manager.Manager, 0, len(slots))
+	for _, sl := range slots {
+		out = append(out, sl.m)
+	}
+	return out
 }
 
 // Supervisor returns this process's supervisor daemon.
@@ -572,6 +675,18 @@ func (s *System) spawnSupervisor() error {
 		HeartbeatInterval: s.cfg.ReportInterval,
 		DisableKind:       stub.MsgDisable,
 		EnableKind:        stub.MsgEnable,
+		// The supervisor cannot import the stub package (stub's wire
+		// codec encodes supervisor commands), so the beacon-epoch
+		// extraction it fences stale commands with is injected here.
+		EpochFrom: func(kind string, body any) (uint64, bool) {
+			if kind != stub.MsgBeacon {
+				return 0, false
+			}
+			if b, ok := body.(stub.Beacon); ok {
+				return b.Epoch, true
+			}
+			return 0, false
+		},
 	})
 	if _, err := s.Cluster.Spawn(node, sup); err != nil {
 		return err
@@ -589,6 +704,14 @@ func (s *System) spawnSupervisor() error {
 // multi-process deployment only the process hosting the manager role
 // may act — a front-end-only process inferring silence must not spawn
 // a second manager of its own.
+//
+// With replication, the election — not this watchdog — owns primacy:
+// dead replicas are respawned as standbys so the replica set stays at
+// full strength, and a surviving standby's takeover is what restores
+// beacons. Only when every local replica is dead does the first
+// respawn boot as an immediate primary, seeded past the local epoch
+// high-water mark so its beacons outbid every stub's and supervisor's
+// memory of the dead regime.
 func (s *System) restartManager() {
 	if s.stopped.Load() || !s.cfg.Roles.manager() {
 		return
@@ -599,12 +722,52 @@ func (s *System) restartManager() {
 		return
 	}
 	s.lastMgrFix = time.Now()
-	old := s.mgrHandle
-	s.mu.Unlock()
-	if old != nil {
-		old.Kill()
+	type slot struct {
+		rank int
+		m    *manager.Manager
+		h    *cluster.Handle
 	}
-	_ = s.spawnManager()
+	reps := make([]slot, 0, len(s.mgrs))
+	for _, r := range s.mgrs {
+		reps = append(reps, slot{r.rank, r.m, r.h})
+	}
+	s.mu.Unlock()
+
+	var hw uint64
+	var dead []slot
+	live := 0
+	for _, r := range reps {
+		if r.m != nil {
+			// Readable even after the replica's goroutine died: the
+			// epoch a killed primary last held is exactly what its
+			// replacement's first claim must outbid.
+			if e := r.m.Epoch(); e > hw {
+				hw = e
+			}
+		}
+		if r.h == nil {
+			continue
+		}
+		select {
+		case <-r.h.Done():
+			dead = append(dead, r)
+		default:
+			live++
+		}
+	}
+	s.mu.Lock()
+	if hw > s.mgrEpochHW {
+		s.mgrEpochHW = hw
+	}
+	hw = s.mgrEpochHW
+	s.mu.Unlock()
+	if len(dead) == 0 {
+		return // silence without a corpse: the election owns this
+	}
+	for i, r := range dead {
+		standby := live > 0 || i > 0
+		_ = s.spawnManagerReplica(r.rank, standby, hw)
+	}
 }
 
 // spawnFrontEnd builds and spawns one front end.
@@ -688,7 +851,9 @@ func (s *System) WaitReady(timeout time.Duration) bool {
 	for time.Now().Before(deadline) {
 		ready := true
 		if s.cfg.Roles.manager() {
-			if s.Manager().Stats().Workers < want {
+			// The primary's (or, in a standby-only process, the beacon
+			// mirror's) worker table carries the cluster-wide count.
+			if m := s.PrimaryManager(); m == nil || m.Stats().Workers < want {
 				ready = false
 			}
 		}
@@ -999,8 +1164,10 @@ func (s *System) ComponentAddr(name string) (san.Addr, bool) {
 	if s.localCaches[name] {
 		return s.cacheNodes[name], true
 	}
-	if s.mgr != nil && s.mgr.ID() == name {
-		return s.mgr.Addr(), true
+	for _, r := range s.mgrs {
+		if r.m != nil && r.m.ID() == name {
+			return r.m.Addr(), true
+		}
 	}
 	return san.Addr{}, false
 }
@@ -1040,15 +1207,52 @@ func (s *System) KillFrontEnd(name string) error {
 	return s.Cluster.KillProcess(node, name)
 }
 
-// KillManager crashes the manager process.
+// KillManager crashes the acting primary manager replica (fault
+// injection). Standby replicas are left running — surviving the
+// primary's death is their whole job; the election promotes one
+// within ElectionTimeout plus its rank stagger.
 func (s *System) KillManager() error {
+	type slot struct {
+		m *manager.Manager
+		h *cluster.Handle
+	}
 	s.mu.Lock()
-	h := s.mgrHandle
+	reps := make([]slot, 0, len(s.mgrs))
+	for _, r := range s.mgrs {
+		if r.m != nil && r.h != nil {
+			reps = append(reps, slot{r.m, r.h})
+		}
+	}
 	s.mu.Unlock()
-	if h == nil {
+	var victim *slot
+	var vEpoch uint64
+	var anyLive *slot
+	for i := range reps {
+		r := &reps[i]
+		select {
+		case <-r.h.Done():
+			continue
+		default:
+		}
+		if anyLive == nil {
+			anyLive = r
+		}
+		if e := r.m.Epoch(); r.m.IsPrimary() && (victim == nil || e > vEpoch) {
+			victim, vEpoch = r, e
+		}
+	}
+	if victim == nil {
+		victim = anyLive // mid-election: kill any live replica
+	}
+	if victim == nil {
 		return fmt.Errorf("core: no manager")
 	}
-	h.Kill()
+	s.mu.Lock()
+	if vEpoch > s.mgrEpochHW {
+		s.mgrEpochHW = vEpoch
+	}
+	s.mu.Unlock()
+	victim.h.Kill()
 	return nil
 }
 

@@ -314,14 +314,17 @@ func (fe *FrontEnd) Run(ctx context.Context) error {
 }
 
 func (fe *FrontEnd) heartbeat(ep *san.Endpoint) {
-	mgr := fe.mstub.Manager()
-	if !mgr.IsZero() {
-		_ = ep.Send(mgr, stub.MsgFEHello, stub.FEHeartbeat{
-			Name: fe.cfg.Name,
-			Addr: fe.addr(),
-			Node: fe.cfg.Node,
-		}, 48)
-	}
+	// The liveness heartbeat is multicast on the control group, not
+	// unicast to the primary: every standby manager replica mirrors the
+	// front-end inventory from the same stream, so a freshly elected
+	// primary takes over the FE process-peer watch with no
+	// re-registration round (symmetric with cache and supervisor
+	// hellos).
+	ep.Multicast(stub.GroupControl, stub.MsgFEHello, stub.FEHeartbeat{
+		Name: fe.cfg.Name,
+		Addr: fe.addr(),
+		Node: fe.cfg.Node,
+	}, 48)
 	st := fe.Stats()
 	ep.Multicast(stub.GroupReports, stub.MsgMonReport, stub.StatusReport{
 		Component: fe.cfg.Name,

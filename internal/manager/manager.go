@@ -11,6 +11,30 @@
 // see beacons from a restarted manager, so there is no crash-recovery
 // protocol at all — the BASE design that replaced the original
 // process-pair prototype.
+//
+// # Replication, epochs, and standby mode
+//
+// The manager role is replicated: N Manager instances share the
+// control group, but exactly one — the primary — beacons, runs policy
+// sweeps, and delegates restarts. The rest run in standby mode: the
+// full receive loop stays live (they mirror the worker inventory and
+// replica floors from the primary's beacons and ingest the multicast
+// front-end/cache/supervisor heartbeats directly), but every output is
+// suppressed. Because all of that state is BASE soft state, a standby
+// is always at most one beacon interval behind the primary, which is
+// the whole failover story: there is no state transfer and no recovery
+// protocol.
+//
+// Election is by heartbeat rank: when a standby hears no primary
+// beacon for ElectionTimeout plus a rank-proportional stagger, it
+// increments the election epoch, declares itself primary, and beacons
+// immediately. Beacons carry the epoch; every listener (stubs,
+// supervisors, rival managers) ignores beacons older than the newest
+// epoch it has seen, and supervisors refuse commands stamped with a
+// deposed epoch — so a primary that was partitioned rather than dead
+// can never double-restart a component. Two simultaneous claims at the
+// same epoch resolve by lowest address: the loser steps back to
+// standby on the winner's next beacon.
 package manager
 
 import (
@@ -130,6 +154,28 @@ type Config struct {
 	CmdTimeout time.Duration
 	// Spawner performs cluster actions; may be nil (no spawning).
 	Spawner Spawner
+	// Rank is this replica's election rank. It staggers takeover
+	// timing (rank r waits r extra beacon intervals beyond
+	// ElectionTimeout) so replicas claim the primacy one at a time
+	// instead of racing.
+	Rank int
+	// Standby starts the replica in standby mode: full receive loop,
+	// no beacons, no policy sweeps, no delegation — until it wins an
+	// election. False (the default) starts as the acting primary at
+	// epoch 1, which keeps a single-manager deployment's behavior
+	// identical to the pre-replication code.
+	Standby bool
+	// ElectionTimeout is how long a standby tolerates primary silence
+	// before claiming the primacy (plus the rank stagger). Default
+	// 3 beacon intervals.
+	ElectionTimeout time.Duration
+	// InitialEpoch seeds the replica's election epoch. A respawned
+	// replica re-enters the cluster already knowing roughly where the
+	// epoch stands, so its eventual claim outbids the regime it died
+	// under instead of a long-deposed one. A non-standby replica
+	// claims InitialEpoch+1 immediately. Zero is the natural cold
+	// start (a fresh primary claims epoch 1).
+	InitialEpoch uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +199,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CmdTimeout <= 0 {
 		c.CmdTimeout = 2 * time.Second
+	}
+	if c.ElectionTimeout <= 0 {
+		c.ElectionTimeout = 3 * c.BeaconInterval
 	}
 	if c.Policy == (Policy{}) {
 		c.Policy = DefaultPolicy()
@@ -180,6 +229,13 @@ type Stats struct {
 	Delegated      uint64
 	DelegateFails  uint64
 	DelegatedSpawn uint64
+	// Election state: whether this replica is the acting primary, the
+	// epoch it believes is current, and how many times it took over or
+	// stepped down.
+	Primary   bool
+	Epoch     uint64
+	Takeovers uint64
+	StepDowns uint64
 }
 
 type workerState struct {
@@ -218,6 +274,12 @@ type Manager struct {
 	inflightSp   map[string]int // class -> delegated respawns in flight
 	seq          uint64
 	stats        Stats
+
+	// Election state (guarded by mu).
+	primary    bool
+	epoch      uint64    // current election epoch (stamped on beacons/commands)
+	curPrimary san.Addr  // last observed primary (self when primary)
+	lastClaim  time.Time // when a rival primary's beacon was last heard
 }
 
 // New creates a manager and eagerly registers its SAN endpoint.
@@ -235,6 +297,13 @@ func New(cfg Config) *Manager {
 		cmdIDs:     make(map[string]uint64),
 		inflightSp: make(map[string]int),
 	}
+	m.epoch = cfg.InitialEpoch
+	if !cfg.Standby {
+		m.primary = true
+		m.epoch++
+		m.curPrimary = m.addr()
+	}
+	m.lastClaim = time.Now()
 	m.ep = cfg.Net.Endpoint(m.addr(), 4096)
 	return m
 }
@@ -256,7 +325,23 @@ func (m *Manager) Stats() Stats {
 	st.FrontEnds = m.fes.Len()
 	st.Caches = m.caches.Len()
 	st.Supervisors = m.sups.Len()
+	st.Primary = m.primary
+	st.Epoch = m.epoch
 	return st
+}
+
+// IsPrimary reports whether this replica is the acting primary.
+func (m *Manager) IsPrimary() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.primary
+}
+
+// Epoch returns the election epoch this replica believes is current.
+func (m *Manager) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
 }
 
 // Run implements cluster.Process: serve until ctx is done.
@@ -273,22 +358,115 @@ func (m *Manager) Run(ctx context.Context) error {
 	policy := time.NewTicker(m.cfg.BeaconInterval)
 	defer policy.Stop()
 
-	m.sendBeacon(ep) // announce immediately so workers register fast
+	m.mu.Lock()
+	m.lastClaim = time.Now() // fresh grace window per Run
+	primary := m.primary
+	m.mu.Unlock()
+	if primary {
+		m.sendBeacon(ep) // announce immediately so workers register fast
+	}
 
 	for {
 		select {
 		case <-ctx.Done():
 			return nil
 		case <-beacon.C:
-			m.sendBeacon(ep)
+			if m.IsPrimary() {
+				m.sendBeacon(ep)
+			} else {
+				m.maybeTakeover(ep)
+			}
 		case <-policy.C:
-			m.evaluatePolicy()
+			if m.IsPrimary() {
+				m.evaluatePolicy()
+			}
 		case msg, ok := <-ep.Inbox():
 			if !ok {
 				return fmt.Errorf("manager: endpoint closed")
 			}
 			m.handle(msg)
 		}
+	}
+}
+
+// maybeTakeover is the standby half of the election: primary silence
+// past ElectionTimeout plus this replica's rank stagger means the
+// primary is gone — claim the next epoch and beacon immediately, so
+// every stub, supervisor, and rival replica re-anchors within one
+// beacon interval.
+func (m *Manager) maybeTakeover(ep *san.Endpoint) {
+	m.mu.Lock()
+	if m.primary {
+		m.mu.Unlock()
+		return
+	}
+	wait := m.cfg.ElectionTimeout + time.Duration(m.cfg.Rank)*m.cfg.BeaconInterval
+	if time.Since(m.lastClaim) < wait {
+		m.mu.Unlock()
+		return
+	}
+	m.epoch++
+	m.primary = true
+	m.curPrimary = m.addr()
+	m.stats.Takeovers++
+	m.mu.Unlock()
+	m.sendBeacon(ep)
+}
+
+// observeBeacon processes a rival manager replica's beacon: adopt a
+// newer epoch (stepping down if this replica was primary), resolve an
+// equal-epoch split claim by lowest address, and — while in standby —
+// mirror the primary's worker inventory and replica floors so a later
+// takeover starts from state at most one beacon interval old.
+func (m *Manager) observeBeacon(b stub.Beacon) {
+	if b.Manager == m.addr() {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if b.Epoch < m.epoch {
+		return // deposed primary still beaconing; ignore
+	}
+	if b.Epoch == m.epoch && m.primary {
+		// Split claim at the same epoch: lowest address wins, the
+		// other steps back to standby.
+		if m.addr().String() < b.Manager.String() {
+			return
+		}
+		m.primary = false
+		m.stats.StepDowns++
+	} else if b.Epoch > m.epoch && m.primary {
+		m.primary = false
+		m.stats.StepDowns++
+	}
+	m.epoch = b.Epoch
+	m.curPrimary = b.Manager
+	m.lastClaim = time.Now()
+
+	// Standby mirror: the primary's beacon is the ground truth for the
+	// worker inventory and the per-class replica floors. Load averages
+	// ride along too, so a fresh primary's very first policy sweep
+	// balances with current hints instead of zeros.
+	live := make(map[string]bool, len(b.Workers))
+	for _, wi := range b.Workers {
+		live[wi.ID] = true
+		if ws, ok := m.workers.Get(wi.ID); ok {
+			ws.info = wi
+			m.workers.Put(wi.ID, ws)
+		} else {
+			ws := &workerState{info: wi, avg: &softstate.MovingAverage{Alpha: 0.3}}
+			ws.avg.Add(wi.QLen)
+			m.workers.Put(wi.ID, ws)
+		}
+	}
+	for id := range m.workers.Snapshot() {
+		if !live[id] {
+			m.workers.Delete(id)
+		}
+	}
+	m.desired = make(map[string]int, len(b.Floors))
+	for class, f := range b.Floors {
+		m.desired[class] = f
 	}
 }
 
@@ -300,6 +478,12 @@ func (m *Manager) handle(msg san.Message) {
 		return
 	}
 	switch msg.Kind {
+	case stub.MsgBeacon:
+		b, ok := msg.Body.(stub.Beacon)
+		if !ok {
+			return
+		}
+		m.observeBeacon(b)
 	case stub.MsgRegister:
 		r, ok := msg.Body.(stub.RegisterMsg)
 		if !ok {
@@ -406,6 +590,7 @@ func (m *Manager) sendBeacon(ep *san.Endpoint) {
 	m.mu.Lock()
 	m.seq++
 	seq := m.seq
+	epoch := m.epoch
 	snap := m.workers.Snapshot()
 	workers := make([]stub.WorkerInfo, 0, len(snap))
 	for _, ws := range snap {
@@ -413,13 +598,24 @@ func (m *Manager) sendBeacon(ep *san.Endpoint) {
 		info.QLen = ws.avg.Value()
 		workers = append(workers, info)
 	}
+	var floors map[string]int
+	if len(m.desired) > 0 {
+		floors = make(map[string]int, len(m.desired))
+		for class, f := range m.desired {
+			if f > 0 {
+				floors[class] = f
+			}
+		}
+	}
 	m.stats.BeaconsSent++
 	m.mu.Unlock()
 	sort.Slice(workers, func(i, j int) bool { return workers[i].ID < workers[j].ID })
 	ep.Multicast(stub.GroupControl, stub.MsgBeacon, stub.Beacon{
 		Manager: m.addr(),
 		Seq:     seq,
+		Epoch:   epoch,
 		Workers: workers,
+		Floors:  floors,
 	}, 64+len(workers)*48)
 	ep.Multicast(stub.GroupReports, stub.MsgMonReport, stub.StatusReport{
 		Component: m.cfg.Name,
@@ -705,8 +901,13 @@ func (m *Manager) delegateRestart(key, op string, t peerTarget, cmdID uint64, su
 		// process (stale supervisor table, or a supervisor that died
 		// mid-restart of a local component), the direct path still
 		// works; otherwise it errors instantly and the retry budget
-		// re-delegates on the next tick.
-		success = restart(t.name) == nil
+		// re-delegates on the next tick. A replica that was deposed
+		// while the command was in flight (the refusal above may BE the
+		// stale-epoch fence) must not touch anything: the duty belongs
+		// to the new primary now.
+		if m.IsPrimary() {
+			success = restart(t.name) == nil
+		}
 	}
 	m.mu.Lock()
 	delete(m.inflight, key)
@@ -755,8 +956,15 @@ func (m *Manager) delegateSpawn(key, class string, cmdID uint64, sup supervisor.
 
 // invokeSupervisor performs one supervisor command Call with the
 // configured timeout. The manager's receive loop routes the ack back
-// into the pending call.
+// into the pending call. Commands are stamped with the issuing epoch:
+// a supervisor that has seen a newer one refuses the command, which is
+// how a deposed primary's still-in-flight delegations die harmlessly.
 func (m *Manager) invokeSupervisor(sup supervisor.HelloMsg, cmd supervisor.Command) (supervisor.Ack, error) {
+	if cmd.Epoch == 0 {
+		m.mu.Lock()
+		cmd.Epoch = m.epoch
+		m.mu.Unlock()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.CmdTimeout)
 	defer cancel()
 	resp, err := m.ep.Call(ctx, sup.Addr, supervisor.MsgCmd, cmd, 64)

@@ -62,9 +62,10 @@ type ManagerStub struct {
 	sched   *lottery.Scheduler
 	wd      *softstate.Watchdog
 
-	mu      sync.Mutex
-	manager san.Addr
-	lastSeq uint64
+	mu        sync.Mutex
+	manager   san.Addr
+	lastSeq   uint64
+	lastEpoch uint64
 
 	// Stats.
 	dispatches  uint64
@@ -73,6 +74,7 @@ type ManagerStub struct {
 	exhausted   uint64
 	spawnAsks   uint64
 	beaconsSeen uint64
+	staleDrops  uint64
 }
 
 // ManagerStubStats is a snapshot of dispatch counters.
@@ -83,6 +85,11 @@ type ManagerStubStats struct {
 	Exhausted   uint64
 	SpawnAsks   uint64
 	BeaconsSeen uint64
+	// Epoch is the newest election epoch seen in a beacon; StaleDrops
+	// counts beacons discarded for carrying an older one (a deposed
+	// primary still talking).
+	Epoch      uint64
+	StaleDrops uint64
 }
 
 // NewManagerStub builds a stub over the front end's endpoint. The
@@ -128,6 +135,16 @@ func (ms *ManagerStub) HandleMessage(msg san.Message) bool {
 		return true
 	}
 	ms.mu.Lock()
+	if b.Epoch < ms.lastEpoch {
+		// A deposed primary's straggler: the newest epoch owns this
+		// stub now. Dropping it (rather than letting it flip the cached
+		// manager address back and forth) is what makes failover settle
+		// within one beacon interval.
+		ms.staleDrops++
+		ms.mu.Unlock()
+		return true
+	}
+	ms.lastEpoch = b.Epoch
 	ms.manager = b.Manager
 	ms.lastSeq = b.Seq
 	ms.beaconsSeen++
@@ -167,6 +184,13 @@ func (ms *ManagerStub) Manager() san.Addr {
 	return ms.manager
 }
 
+// Epoch returns the newest election epoch seen in a beacon.
+func (ms *ManagerStub) Epoch() uint64 {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.lastEpoch
+}
+
 // Workers returns the cached workers of a class, sorted by ID.
 func (ms *ManagerStub) Workers(class string) []WorkerInfo {
 	snap := ms.workers.Snapshot()
@@ -191,6 +215,8 @@ func (ms *ManagerStub) Stats() ManagerStubStats {
 		Exhausted:   ms.exhausted,
 		SpawnAsks:   ms.spawnAsks,
 		BeaconsSeen: ms.beaconsSeen,
+		Epoch:       ms.lastEpoch,
+		StaleDrops:  ms.staleDrops,
 	}
 }
 

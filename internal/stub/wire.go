@@ -61,11 +61,19 @@ type WorkerInfo struct {
 
 // Beacon is the manager's periodic multicast: its own address (for
 // registration and spawn requests) plus the load-balancing hints the
-// front ends cache (§2.2.2).
+// front ends cache (§2.2.2). Epoch is the election generation: every
+// takeover bumps it, and listeners ignore beacons from epochs older
+// than the newest they have seen, so a deposed primary cannot drag
+// followers back. Floors carries the per-class replica floors so a
+// standby that wins an election adopts the primary's spawn duties
+// exactly — like everything else here, soft state rebuilt from one
+// beacon interval (§3.1.3).
 type Beacon struct {
 	Manager san.Addr
 	Seq     uint64
+	Epoch   uint64
 	Workers []WorkerInfo
+	Floors  map[string]int
 }
 
 // RegisterMsg announces a worker to the manager.
@@ -203,10 +211,12 @@ func EncodeBodyAppend(dst []byte, kind string, body any) ([]byte, error) {
 		}
 		w.addr(b.Manager)
 		w.u64(b.Seq)
+		w.u64(b.Epoch)
 		w.uvarint(uint64(len(b.Workers)))
 		for _, wi := range b.Workers {
 			w.workerInfo(wi)
 		}
+		w.intMap(b.Floors)
 	case MsgRegister:
 		m, ok := body.(RegisterMsg)
 		if !ok {
@@ -337,6 +347,7 @@ func EncodeBodyAppend(dst []byte, kind string, body any) ([]byte, error) {
 		w.str(m.Origin)
 		w.str(m.Op)
 		w.str(m.Target)
+		w.u64(m.Epoch)
 	case supervisor.MsgAck:
 		m, ok := body.(supervisor.Ack)
 		if !ok {
@@ -381,6 +392,7 @@ func decodeBody(kind string, data []byte, view bool) (any, bool, error) {
 		var b Beacon
 		b.Manager = r.addr()
 		b.Seq = r.u64()
+		b.Epoch = r.u64()
 		n := r.sliceLen(wireMinWorkerInfo)
 		if n > 0 {
 			b.Workers = make([]WorkerInfo, 0, n)
@@ -388,6 +400,7 @@ func decodeBody(kind string, data []byte, view bool) (any, bool, error) {
 				b.Workers = append(b.Workers, r.workerInfo())
 			}
 		}
+		b.Floors = r.intMap()
 		body = b
 	case MsgRegister:
 		body = RegisterMsg{Info: r.workerInfo()}
@@ -448,7 +461,7 @@ func decodeBody(kind string, data []byte, view bool) (any, bool, error) {
 	case supervisor.MsgHello:
 		body = supervisor.HelloMsg{Name: r.str(), Addr: r.addr(), Node: r.str(), Prefix: r.str()}
 	case supervisor.MsgCmd:
-		body = supervisor.Command{ID: r.u64(), Origin: r.str(), Op: r.str(), Target: r.str()}
+		body = supervisor.Command{ID: r.u64(), Origin: r.str(), Op: r.str(), Target: r.str(), Epoch: r.u64()}
 	case supervisor.MsgAck:
 		body = supervisor.Ack{ID: r.u64(), OK: r.bool(), Err: r.str()}
 	default:
@@ -562,6 +575,16 @@ func (w *wireWriter) f64Map(m map[string]float64) {
 	for _, k := range keys {
 		w.str(k)
 		w.f64(m[k])
+	}
+}
+
+func (w *wireWriter) intMap(m map[string]int) {
+	var scratch [8]string
+	keys := sortedKeys(m, &scratch)
+	w.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.str(k)
+		w.varint(int64(m[k]))
 	}
 }
 
@@ -724,6 +747,23 @@ func (r *wireReader) strMap() map[string]string {
 			return nil
 		}
 		m[k] = v
+	}
+	return m
+}
+
+func (r *wireReader) intMap() map[string]int {
+	n := r.sliceLen(2)
+	if n == 0 {
+		return nil
+	}
+	m := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		k := r.str()
+		v := r.varint()
+		if r.err != nil {
+			return nil
+		}
+		m[k] = int(v)
 	}
 	return m
 }

@@ -68,9 +68,10 @@ type WorkerStub struct {
 	slowdown atomic.Int64 // nanoseconds added to every task
 	hung     atomic.Bool
 
-	mu       sync.Mutex
-	manager  san.Addr
-	disabled bool
+	mu        sync.Mutex
+	manager   san.Addr
+	lastEpoch uint64
+	disabled  bool
 }
 
 // InjectSlowdown adds d to every subsequent task execution (zero
@@ -184,6 +185,14 @@ func (s *WorkerStub) handle(ctx context.Context, ep *san.Endpoint, msg san.Messa
 			return
 		}
 		s.mu.Lock()
+		if b.Epoch < s.lastEpoch {
+			// Stale-epoch straggler from a deposed primary: following
+			// it would re-anchor the stub on a manager that no longer
+			// owns anything.
+			s.mu.Unlock()
+			return
+		}
+		s.lastEpoch = b.Epoch
 		known := s.manager == b.Manager
 		disabled := s.disabled
 		s.manager = b.Manager

@@ -91,11 +91,20 @@ func Owner(node string, sups map[string]HelloMsg) (HelloMsg, bool) {
 // one incident: retries of the same incident reuse the ID, so a
 // command that executed but whose ack was lost is answered from the
 // supervisor's result cache instead of being executed again.
+//
+// Epoch is the issuing manager's election epoch. A supervisor tracks
+// the highest epoch it has observed (from commands and from beacons,
+// via Config.EpochFrom) and refuses commands stamped with an older
+// one — a deposed primary that has not yet heard the new primary's
+// beacon can therefore never double-restart a component. Epoch 0
+// means "no election claim" and is always accepted (operator tooling,
+// the monitor's upgrade waves).
 type Command struct {
 	ID     uint64
 	Origin string // issuing component's address, for idempotency scoping
 	Op     string
 	Target string // component name / worker id / class (OpSpawnWorker)
+	Epoch  uint64 // issuing manager's election epoch; 0 = unfenced
 }
 
 // Ack answers a Command.
@@ -144,20 +153,41 @@ type Config struct {
 	// stub.MsgDisable/stub.MsgEnable).
 	DisableKind string
 	EnableKind  string
+	// EpochFrom, when set, makes Run join HeartbeatGroup and extract
+	// an election epoch from every group message it sees (the platform
+	// wires a closure that recognizes manager beacons — the supervisor
+	// cannot import the stub package itself). The highest epoch
+	// observed fences stale-epoch commands.
+	EpochFrom func(kind string, body any) (uint64, bool)
+	// ResultRetention is how long a completed command's result is
+	// immune from cache eviction (so an origin still retrying that id
+	// is guaranteed an idempotent answer). Default 5s; tests compress.
+	ResultRetention time.Duration
+	// ResultCacheCap overrides the result cache's soft capacity bound
+	// (default resultCacheCap). Tests shrink it.
+	ResultCacheCap int
 }
 
 // Stats counts supervisor activity.
 type Stats struct {
-	Commands uint64 // commands executed (excluding duplicates)
-	Dupes    uint64 // duplicate deliveries answered from the cache
-	Failures uint64 // commands whose execution returned an error
-	Hellos   uint64 // heartbeats sent
+	Commands   uint64 // commands executed (excluding duplicates)
+	Dupes      uint64 // duplicate deliveries answered from the cache
+	Failures   uint64 // commands whose execution returned an error
+	Hellos     uint64 // heartbeats sent
+	StaleEpoch uint64 // commands refused for carrying a deposed epoch
 }
 
-// resultCacheCap bounds the idempotency cache; old incidents are
-// evicted FIFO. 512 results cover far more concurrent incidents than a
-// cluster can have in flight.
-const resultCacheCap = 512
+// Result cache bounds. The soft cap (resultCacheCap) is the steady-
+// state size; entries younger than ResultRetention survive it, because
+// evicting a result an origin is still retrying would re-execute the
+// command — the exact bug idempotency exists to prevent. The hard cap
+// is the memory backstop a pathological storm can push the cache to
+// before age no longer matters.
+const (
+	resultCacheCap         = 512
+	resultCacheHardFactor  = 8
+	defaultResultRetention = 5 * time.Second
+)
 
 // Supervisor is the per-process daemon. It implements cluster.Process.
 type Supervisor struct {
@@ -165,15 +195,24 @@ type Supervisor struct {
 	ep  *san.Endpoint
 
 	nextID atomic.Uint64
+	epoch  atomic.Uint64 // highest election epoch observed
 
 	mu    sync.Mutex
-	done  map[string]Ack // origin#id -> result, for idempotent redelivery
-	order []string       // FIFO eviction order for done
+	done  map[string]doneEntry // origin#id -> result, for idempotent redelivery
+	order []string             // FIFO eviction order for done
 
-	commands atomic.Uint64
-	dupes    atomic.Uint64
-	failures atomic.Uint64
-	hellos   atomic.Uint64
+	commands   atomic.Uint64
+	dupes      atomic.Uint64
+	failures   atomic.Uint64
+	hellos     atomic.Uint64
+	staleEpoch atomic.Uint64
+}
+
+// doneEntry is one cached command result plus its completion time —
+// the age gate eviction keys on.
+type doneEntry struct {
+	ack Ack
+	at  time.Time
 }
 
 // New creates a supervisor and eagerly registers its SAN endpoint so
@@ -182,7 +221,13 @@ func New(cfg Config) *Supervisor {
 	if cfg.Name == "" {
 		cfg.Name = "sup"
 	}
-	s := &Supervisor{cfg: cfg, done: make(map[string]Ack)}
+	if cfg.ResultRetention <= 0 {
+		cfg.ResultRetention = defaultResultRetention
+	}
+	if cfg.ResultCacheCap <= 0 {
+		cfg.ResultCacheCap = resultCacheCap
+	}
+	s := &Supervisor{cfg: cfg, done: make(map[string]doneEntry)}
 	s.ep = cfg.Net.Endpoint(s.addr(), 256)
 	return s
 }
@@ -201,10 +246,24 @@ func (s *Supervisor) ID() string { return s.cfg.Name }
 // Stats returns a snapshot of counters.
 func (s *Supervisor) Stats() Stats {
 	return Stats{
-		Commands: s.commands.Load(),
-		Dupes:    s.dupes.Load(),
-		Failures: s.failures.Load(),
-		Hellos:   s.hellos.Load(),
+		Commands:   s.commands.Load(),
+		Dupes:      s.dupes.Load(),
+		Failures:   s.failures.Load(),
+		Hellos:     s.hellos.Load(),
+		StaleEpoch: s.staleEpoch.Load(),
+	}
+}
+
+// Epoch returns the highest election epoch this supervisor has seen.
+func (s *Supervisor) Epoch() uint64 { return s.epoch.Load() }
+
+// ObserveEpoch raises the supervisor's epoch watermark (monotonic).
+func (s *Supervisor) ObserveEpoch(e uint64) {
+	for {
+		cur := s.epoch.Load()
+		if e <= cur || s.epoch.CompareAndSwap(cur, e) {
+			return
+		}
 	}
 }
 
@@ -229,6 +288,12 @@ func (s *Supervisor) Run(ctx context.Context) error {
 		hb = t.C
 		s.heartbeat(ep) // announce immediately so delegation works now
 	}
+	if s.cfg.EpochFrom != nil && s.cfg.HeartbeatGroup != "" {
+		// Observe election epochs from the control group's beacons so a
+		// deposed primary's commands are fenced even before the new
+		// primary sends us anything directly.
+		ep.Join(s.cfg.HeartbeatGroup)
+	}
 	for {
 		select {
 		case <-ctx.Done():
@@ -245,6 +310,12 @@ func (s *Supervisor) Run(ctx context.Context) error {
 				continue
 			}
 			if msg.Kind != MsgCmd {
+				if s.cfg.EpochFrom != nil {
+					if e, ok := s.cfg.EpochFrom(msg.Kind, msg.Body); ok {
+						s.ObserveEpoch(e)
+					}
+				}
+				msg.Release()
 				continue
 			}
 			cmd, ok := msg.Body.(Command)
@@ -270,13 +341,26 @@ func (s *Supervisor) heartbeat(ep *san.Endpoint) {
 // effect worth protecting, and pinning a transient refusal (say, a
 // momentary capacity gap) against an id the caller reuses across
 // retries would turn one bad moment into a permanent one.
+//
+// Eviction is age-gated, not pure FIFO: a result younger than
+// ResultRetention may still have its origin retrying that id, and
+// evicting it would re-execute the command on redelivery. Only when
+// the cache balloons past the hard cap does memory safety outrank the
+// retention promise.
 func (s *Supervisor) dispatch(cmd Command) Ack {
+	if cmd.Epoch != 0 {
+		if cur := s.epoch.Load(); cmd.Epoch < cur {
+			s.staleEpoch.Add(1)
+			return Ack{ID: cmd.ID, Err: fmt.Sprintf("supervisor: stale epoch %d (current %d)", cmd.Epoch, cur)}
+		}
+		s.ObserveEpoch(cmd.Epoch)
+	}
 	key := cmd.Origin + "#" + fmt.Sprint(cmd.ID)
 	s.mu.Lock()
-	if ack, seen := s.done[key]; seen {
+	if e, seen := s.done[key]; seen {
 		s.mu.Unlock()
 		s.dupes.Add(1)
-		return ack
+		return e.ack
 	}
 	s.mu.Unlock()
 
@@ -285,11 +369,17 @@ func (s *Supervisor) dispatch(cmd Command) Ack {
 		return ack
 	}
 
+	now := time.Now()
 	s.mu.Lock()
 	if _, seen := s.done[key]; !seen {
-		s.done[key] = ack
+		s.done[key] = doneEntry{ack: ack, at: now}
 		s.order = append(s.order, key)
-		if len(s.order) > resultCacheCap {
+		hardCap := s.cfg.ResultCacheCap * resultCacheHardFactor
+		for len(s.order) > s.cfg.ResultCacheCap {
+			oldest := s.done[s.order[0]]
+			if now.Sub(oldest.at) < s.cfg.ResultRetention && len(s.order) <= hardCap {
+				break // still inside its retry window; keep it
+			}
 			delete(s.done, s.order[0])
 			s.order = s.order[1:]
 		}

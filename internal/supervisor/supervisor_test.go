@@ -275,3 +275,179 @@ func TestInvoke(t *testing.T) {
 		t.Fatal("kill executed on the wrong process")
 	}
 }
+
+// TestResultCacheRetentionUnderRetryStorm: a storm of distinct
+// commands overflowing the cache's soft capacity must NOT evict
+// results still inside their retry window — redelivering any of them
+// has to answer from the cache instead of re-executing (the
+// double-restart bug age-gated eviction exists to prevent). Only the
+// hard cap, and results past their retention age, may be shed.
+func TestResultCacheRetentionUnderRetryStorm(t *testing.T) {
+	host := newFakeHost()
+	net := san.NewNetwork(1)
+	sup := New(Config{
+		Name: "sup", Node: "n0", Net: net, Prefix: "n", Host: host,
+		ResultCacheCap:  4,
+		ResultRetention: time.Hour, // nothing ages out during the test
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go sup.Run(ctx)
+	client := net.Endpoint(san.Addr{Node: "c0", Proc: "client"}, 64)
+	go func() {
+		for msg := range client.Inbox() {
+			client.DeliverReply(msg)
+		}
+	}()
+
+	// 10 distinct incidents: 2.5x the soft cap, well under the hard cap.
+	const storm = 10
+	for i := 1; i <= storm; i++ {
+		target := fmt.Sprintf("w%d", i)
+		if ack := call(t, client, sup.Addr(), Command{ID: uint64(i), Origin: "mgr/a", Op: OpRestartWorker, Target: target}); !ack.OK {
+			t.Fatalf("command %d: %+v", i, ack)
+		}
+	}
+	// Every incident — including the very first, which pure-FIFO
+	// eviction at cap 4 would have discarded six commands ago — must
+	// still answer idempotently.
+	for i := 1; i <= storm; i++ {
+		target := fmt.Sprintf("w%d", i)
+		ack := call(t, client, sup.Addr(), Command{ID: uint64(i), Origin: "mgr/a", Op: OpRestartWorker, Target: target})
+		if !ack.OK {
+			t.Fatalf("redelivery %d refused: %+v", i, ack)
+		}
+		if got := host.count(OpRestartWorker, target); got != 1 {
+			t.Fatalf("redelivery of in-retention command %d re-executed the restart (%d times)", i, got)
+		}
+	}
+	if st := sup.Stats(); st.Dupes != storm || st.Commands != storm {
+		t.Fatalf("stats %+v, want %d commands + %d dupes", st, storm, storm)
+	}
+
+	// The hard cap still bounds memory when age cannot: push past
+	// cap*hardFactor and verify the cache sheds down to it.
+	hard := sup.cfg.ResultCacheCap * resultCacheHardFactor
+	for i := storm + 1; i <= hard+20; i++ {
+		target := fmt.Sprintf("w%d", i)
+		if ack := call(t, client, sup.Addr(), Command{ID: uint64(i), Origin: "mgr/a", Op: OpRestartWorker, Target: target}); !ack.OK {
+			t.Fatalf("command %d: %+v", i, ack)
+		}
+	}
+	sup.mu.Lock()
+	cached := len(sup.order)
+	sup.mu.Unlock()
+	if cached > hard {
+		t.Fatalf("result cache holds %d entries, hard cap is %d", cached, hard)
+	}
+}
+
+// TestResultCacheAgedEvictionRestoresCapacity: once results age past
+// their retention window the soft cap reasserts itself, and a
+// redelivery of an aged-out command re-executes — acceptable, because
+// an origin still retrying after the retention window has violated
+// the retry contract the window encodes.
+func TestResultCacheAgedEvictionRestoresCapacity(t *testing.T) {
+	host := newFakeHost()
+	net := san.NewNetwork(2)
+	sup := New(Config{
+		Name: "sup", Node: "n0", Net: net, Prefix: "n", Host: host,
+		ResultCacheCap:  4,
+		ResultRetention: 10 * time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go sup.Run(ctx)
+	client := net.Endpoint(san.Addr{Node: "c0", Proc: "client"}, 64)
+	go func() {
+		for msg := range client.Inbox() {
+			client.DeliverReply(msg)
+		}
+	}()
+
+	for i := 1; i <= 10; i++ {
+		call(t, client, sup.Addr(), Command{ID: uint64(i), Origin: "mgr/a", Op: OpRestartWorker, Target: fmt.Sprintf("w%d", i)})
+	}
+	time.Sleep(25 * time.Millisecond) // everything ages out of retention
+	// The next completion triggers eviction down to the soft cap.
+	call(t, client, sup.Addr(), Command{ID: 11, Origin: "mgr/a", Op: OpRestartWorker, Target: "w11"})
+	sup.mu.Lock()
+	cached := len(sup.order)
+	sup.mu.Unlock()
+	if cached > sup.cfg.ResultCacheCap {
+		t.Fatalf("aged results not evicted: %d cached, soft cap %d", cached, sup.cfg.ResultCacheCap)
+	}
+	// An aged-out incident re-executes on redelivery — exactly once more.
+	call(t, client, sup.Addr(), Command{ID: 1, Origin: "mgr/a", Op: OpRestartWorker, Target: "w1"})
+	if got := host.count(OpRestartWorker, "w1"); got != 2 {
+		t.Fatalf("aged redelivery executed %d times total, want 2", got)
+	}
+}
+
+// TestStaleEpochCommandFenced: the supervisor refuses commands stamped
+// with an epoch older than the highest it has observed — from commands
+// or from group traffic via EpochFrom — so a deposed primary can never
+// double-restart a component. Epoch 0 stays unfenced for operator
+// tooling.
+func TestStaleEpochCommandFenced(t *testing.T) {
+	host := newFakeHost()
+	net := san.NewNetwork(3)
+	sup := New(Config{
+		Name: "sup", Node: "n0", Net: net, Prefix: "n", Host: host,
+		HeartbeatGroup: "ctl", HeartbeatInterval: 5 * time.Millisecond,
+		EpochFrom: func(kind string, body any) (uint64, bool) {
+			if kind != "test.beacon" {
+				return 0, false
+			}
+			e, ok := body.(uint64)
+			return e, ok
+		},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go sup.Run(ctx)
+	client := net.Endpoint(san.Addr{Node: "c0", Proc: "client"}, 64)
+	go func() {
+		for msg := range client.Inbox() {
+			client.DeliverReply(msg)
+		}
+	}()
+
+	// Epoch 3 command executes and raises the watermark.
+	if ack := call(t, client, sup.Addr(), Command{ID: 1, Origin: "mgr/a", Op: OpRestartWorker, Target: "w0", Epoch: 3}); !ack.OK {
+		t.Fatalf("epoch-3 command refused: %+v", ack)
+	}
+	// A deposed primary's epoch-2 command is fenced: refused, never
+	// executed.
+	ack := call(t, client, sup.Addr(), Command{ID: 9, Origin: "mgr/b", Op: OpRestartWorker, Target: "w0", Epoch: 2})
+	if ack.OK {
+		t.Fatal("stale-epoch command executed")
+	}
+	if got := host.count(OpRestartWorker, "w0"); got != 1 {
+		t.Fatalf("stale-epoch command reached the host (%d executions)", got)
+	}
+	if st := sup.Stats(); st.StaleEpoch != 1 {
+		t.Fatalf("stats %+v, want 1 stale-epoch refusal", st)
+	}
+	// Epoch 0 is no election claim at all: always accepted.
+	if ack := call(t, client, sup.Addr(), Command{ID: 10, Origin: "op/cli", Op: OpRestartWorker, Target: "w1", Epoch: 0}); !ack.OK {
+		t.Fatalf("unfenced command refused: %+v", ack)
+	}
+
+	// Beacons on the heartbeat group raise the watermark without any
+	// command: an epoch-7 beacon fences even the regime that was valid a
+	// moment ago.
+	beaconer := net.Endpoint(san.Addr{Node: "m0", Proc: "mgr"}, 16)
+	beaconer.Multicast("ctl", "test.beacon", uint64(7), 16)
+	waitFor := time.Now().Add(2 * time.Second)
+	for sup.Epoch() < 7 && time.Now().Before(waitFor) {
+		time.Sleep(time.Millisecond)
+	}
+	if sup.Epoch() != 7 {
+		t.Fatalf("beacon-observed epoch = %d, want 7", sup.Epoch())
+	}
+	ack = call(t, client, sup.Addr(), Command{ID: 11, Origin: "mgr/a", Op: OpRestartWorker, Target: "w0", Epoch: 3})
+	if ack.OK {
+		t.Fatal("command from a beacon-deposed epoch executed")
+	}
+}

@@ -480,6 +480,13 @@ func (b *Bridge) Unicast(from, to san.Addr, kind string, callID uint64, reply bo
 // target counts as reached if its first fragment was accepted — a
 // failure later in the stream is a dying connection, and the loss
 // surfaces exactly like any other dropped datagram.
+//
+// Lease discipline: every appendVecToPeer call is handed exactly one
+// retained reference, and the batcher guarantees exactly one release
+// of it — inline when the batcher is closed or sticky-errored, after
+// the flush that wrote the fragment otherwise. The Retain therefore
+// sits immediately before the hand-off and nowhere else; this loop
+// itself never releases.
 func (b *Bridge) unicastChunked(targets []*peer, from, to san.Addr, kind string, callID uint64, flags byte, wire []byte, lease *san.Lease) bool {
 	id := b.chunkSeq.Add(1)
 	total := len(wire)
@@ -489,6 +496,13 @@ func (b *Bridge) unicastChunked(targets []*peer, from, to san.Addr, kind string,
 	var env [3 * 10]byte // three uvarints, 10 bytes max each
 	sent := 0
 	frames := 0
+	// A peer whose batcher errors mid-stream is dying (appendVecToPeer
+	// already closed it): skip its remaining fragments. Feeding them to
+	// the closed batcher would only retain/release the lease N more
+	// times for nothing — and were the connection redialed mid-stream,
+	// the fresh batcher would accept a tail with no head, seeding a
+	// reassembly build on the receiver that can never complete.
+	var failed map[*peer]bool
 	for off := 0; off < total; off += chunkFrag {
 		end := off + chunkFrag
 		if end > total {
@@ -499,12 +513,20 @@ func (b *Bridge) unicastChunked(targets []*peer, from, to san.Addr, kind string,
 		hdr, trailer := AppendDataVec(scratch[:0], from, to, kind, callID, flags, prefix, frag)
 		scratch = hdr
 		for _, p := range targets {
-			lease.Retain()
+			if failed[p] {
+				continue
+			}
+			lease.Retain() // ownership of this one ref passes to the batcher
 			if b.appendVecToPeer(p, hdr, frag, trailer, lease.Release) {
 				frames++
 				if off == 0 {
 					sent++
 				}
+			} else {
+				if failed == nil {
+					failed = make(map[*peer]bool, len(targets))
+				}
+				failed[p] = true
 			}
 		}
 	}
@@ -983,23 +1005,52 @@ type chunkBuild struct {
 	got   int // fragment bytes received; TCP ordering makes overlap a sender bug
 }
 
-// maxChunkBuilds bounds concurrent reassemblies per connection. An
-// evicted stream's later fragments restart a build that can never
-// complete, which the bound then evicts in turn — a hostile or wildly
-// interleaving peer pins at most maxChunkBuilds × MaxChunkBody.
-const maxChunkBuilds = 64
+// maxChunkBuilds bounds concurrent reassemblies per connection — a
+// hostile or wildly interleaving peer pins at most maxChunkBuilds ×
+// MaxChunkBody. maxDeadChunkIDs bounds the memory of finished
+// streams: ids whose build completed, corrupted, or was evicted stay
+// on a dead list so their late fragments are dropped outright instead
+// of seeding a fresh build that can never complete (which would pin a
+// new lease until eviction came around for it again).
+const (
+	maxChunkBuilds  = 64
+	maxDeadChunkIDs = 1024
+)
 
 // chunkAsm is a connection's reassembly table (owned by its read loop,
 // so unlocked).
 type chunkAsm struct {
-	builds map[uint64]*chunkBuild
-	order  []uint64 // insertion order for FIFO eviction
+	builds    map[uint64]*chunkBuild
+	order     []uint64 // build insertion order, for FIFO eviction
+	dead      map[uint64]bool
+	deadOrder []uint64 // FIFO eviction for dead
 }
 
 func (a *chunkAsm) drop(id uint64) {
 	if cb := a.builds[id]; cb != nil {
 		cb.lease.Release()
 		delete(a.builds, id)
+	}
+}
+
+// markDead retires a stream id: late fragments carrying it are dropped
+// at the door from now on. The set is FIFO-bounded; ids are never
+// reused within a connection (the sender mints them from a counter),
+// so an id aging off the list can only readmit a fragment delayed past
+// maxDeadChunkIDs whole streams — at which point the build it seeds is
+// ordinary eviction fodder.
+func (a *chunkAsm) markDead(id uint64) {
+	if a.dead == nil {
+		a.dead = make(map[uint64]bool)
+	}
+	if a.dead[id] {
+		return
+	}
+	a.dead[id] = true
+	a.deadOrder = append(a.deadOrder, id)
+	if len(a.deadOrder) > maxDeadChunkIDs {
+		delete(a.dead, a.deadOrder[0])
+		a.deadOrder = a.deadOrder[1:]
 	}
 }
 
@@ -1103,6 +1154,11 @@ func (b *Bridge) handleChunk(asm *chunkAsm, f Frame, from, to san.Addr, kind str
 		b.frameErrors.Add(1)
 		return
 	}
+	if asm.dead[id] {
+		// Late fragment of a stream that already completed, corrupted,
+		// or was evicted: it must never seed a fresh build.
+		return
+	}
 	cb := asm.builds[id]
 	if cb == nil {
 		cb = &chunkBuild{lease: san.NewLease(total)}
@@ -1110,10 +1166,18 @@ func (b *Bridge) handleChunk(asm *chunkAsm, f Frame, from, to san.Addr, kind str
 		asm.builds[id] = cb
 		asm.order = append(asm.order, id)
 		for len(asm.builds) > maxChunkBuilds && len(asm.order) > 0 {
-			asm.drop(asm.order[0])
+			evicted := asm.order[0]
 			asm.order = asm.order[1:]
+			if asm.builds[evicted] == nil {
+				continue // stale entry of an already-finished stream
+			}
+			// A live stream is being sacrificed: release its lease and
+			// retire the id, so the fragments still in flight for it
+			// cannot restart an uncompletable build.
+			asm.drop(evicted)
+			asm.markDead(evicted)
 		}
-		// Completed streams leave dead ids behind in order; compact
+		// Finished streams leave stale ids behind in order; compact
 		// before the slice outgrows a small multiple of the live bound.
 		if len(asm.order) > 4*maxChunkBuilds {
 			live := asm.order[:0]
@@ -1128,6 +1192,7 @@ func (b *Bridge) handleChunk(asm *chunkAsm, f Frame, from, to san.Addr, kind str
 	if total != len(cb.buf) || offset+len(frag) > len(cb.buf) {
 		b.frameErrors.Add(1)
 		asm.drop(id)
+		asm.markDead(id) // the stream is poisoned; its tail is garbage
 		return
 	}
 	copy(cb.buf[offset:], frag)
@@ -1135,7 +1200,8 @@ func (b *Bridge) handleChunk(asm *chunkAsm, f Frame, from, to san.Addr, kind str
 	if cb.got < len(cb.buf) {
 		return
 	}
-	delete(asm.builds, id) // stale order entry is fine; drop tolerates it
+	delete(asm.builds, id) // stale order entry: skipped by eviction, compacted later
+	asm.markDead(id)       // a late duplicate must not rebuild a done stream
 	b.reassembled.Add(1)
 	if b.net.InjectUnicast(from, to, kind, f.CallID, f.Flags&FlagReply != 0, cb.buf, cb.lease) {
 		b.injected.Add(1)

@@ -1,15 +1,25 @@
 #!/usr/bin/env bash
-# Two-process loopback smoke test (CI gate for internal/transport and
-# internal/supervisor): spawn a data-plane node process (workers +
-# caches) and a control/serving process (front ends + manager +
-# monitor) joined over 127.0.0.1, run a short TranSend workload from
-# the serving side, and assert zero failed requests and zero
-# wire/frame errors. Mid-run, the serving side SIGKILLs the peer
+# Multi-process loopback smoke test (CI gate for internal/transport,
+# internal/supervisor, and manager replication).
+#
+# Leg 1 — cross-process self-healing: spawn a data-plane node process
+# (workers + caches) and a control/serving process (front ends +
+# manager + monitor) joined over 127.0.0.1, run a short TranSend
+# workload from the serving side, and assert zero failed requests and
+# zero wire/frame errors. Mid-run, the serving side SIGKILLs the peer
 # process's cache0 through that process's supervisor daemon and
 # asserts the manager's process-peer duty respawned it by supervisor
-# delegation — the cross-process self-healing path — still with zero
-# failed requests. The serving process's -selftest mode performs all
-# assertions and exits non-zero on any violation.
+# delegation — still with zero failed requests. The serving process's
+# -selftest mode performs all assertions and exits non-zero on any
+# violation.
+#
+# Leg 2 — manager failover: three processes (data-plane hub; a rank-0
+# manager-only process; a serving process hosting front ends plus a
+# rank-1 standby manager replica). Mid-workload the script SIGKILLs
+# the rank-0 manager's whole OS process; the standby must win the
+# election (epoch >= 2) within the beacon-silence timeout, the workers
+# and supervisors must re-anchor on it, and not one request may fail —
+# the last singleton is gone.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,10 +28,16 @@ PORT="${SMOKE_PORT:-7461}"
 
 bin=$(mktemp -t sns-node.XXXXXX)
 ctl_log=$(mktemp -t sns-ctl.XXXXXX.log)
+hub_log=$(mktemp -t sns-hub.XXXXXX.log)
+mgr_log=$(mktemp -t sns-mgr.XXXXXX.log)
+srv_log=$(mktemp -t sns-srv.XXXXXX.log)
+srv_out=$(mktemp -t sns-srv.XXXXXX.json)
 cleanup() {
-    [[ -n "${ctl_pid:-}" ]] && kill "${ctl_pid}" 2>/dev/null || true
-    [[ -n "${ctl_pid:-}" ]] && wait "${ctl_pid}" 2>/dev/null || true
-    rm -f "${bin}" "${ctl_log}"
+    for pid in "${ctl_pid:-}" "${hub_pid:-}" "${mgr_pid:-}" "${srv_pid:-}"; do
+        [[ -n "${pid}" ]] && kill "${pid}" 2>/dev/null || true
+        [[ -n "${pid}" ]] && wait "${pid}" 2>/dev/null || true
+    done
+    rm -f "${bin}" "${ctl_log}" "${hub_log}" "${mgr_log}" "${srv_log}" "${srv_out}"
 }
 trap cleanup EXIT
 
@@ -68,3 +84,75 @@ if ! grep -q '"reassembled":[1-9]' <<<"${out}"; then
 fi
 
 echo "smoke: OK — ${REQUESTS}+ requests plus a chunked 512 KB blob across two OS processes, zero failures, zero wire errors, cache0 respawned by supervisor delegation"
+
+# Leg 1's data-plane process is done serving; stop it before the
+# failover leg so the two clusters never share a port or a peer.
+kill "${ctl_pid}" 2>/dev/null || true
+wait "${ctl_pid}" 2>/dev/null || true
+ctl_pid=
+
+PORT2=$((PORT + 1))
+echo "smoke: [failover] starting data-plane hub (worker,cache) on :${PORT2}..."
+"${bin}" -listen "tcp:127.0.0.1:${PORT2}" -prefix hub -roles worker,cache \
+    -seed 3 >"${hub_log}" 2>&1 &
+hub_pid=$!
+
+echo "smoke: [failover] starting rank-0 manager process..."
+"${bin}" -listen tcp:127.0.0.1:0 -join "tcp:127.0.0.1:${PORT2}" \
+    -prefix m0 -roles manager -manager-rank 0 -seed 4 >"${mgr_log}" 2>&1 &
+mgr_pid=$!
+
+echo "smoke: [failover] starting serving process (frontend,monitor + rank-1 standby manager) with -selftest ${REQUESTS}..."
+# 30 ms spacing stretches the workload to ~5 s so the SIGKILL below
+# lands mid-run; -selftest-expect-epoch 2 makes the serving process
+# itself assert the standby won the election.
+"${bin}" -listen tcp:127.0.0.1:0 -join "tcp:127.0.0.1:${PORT2}" \
+    -prefix srv2 -roles frontend,manager,monitor -manager-rank 1 \
+    -cache-host hub -seed 5 \
+    -selftest "${REQUESTS}" -selftest-spacing 30ms -selftest-expect-epoch 2 \
+    >"${srv_out}" 2>"${srv_log}" &
+srv_pid=$!
+
+for _ in $(seq 1 300); do
+    grep -q "node: ready" "${srv_log}" 2>/dev/null && break
+    sleep 0.1
+done
+if ! grep -q "node: ready" "${srv_log}"; then
+    echo "smoke: [failover] FAILED — serving process never became ready" >&2
+    cat "${srv_log}" "${mgr_log}" "${hub_log}" >&2
+    exit 1
+fi
+sleep 1.5
+echo "smoke: [failover] SIGKILLing the rank-0 manager's OS process mid-workload..."
+kill -9 "${mgr_pid}" 2>/dev/null || true
+wait "${mgr_pid}" 2>/dev/null || true
+mgr_pid=
+
+if ! wait "${srv_pid}"; then
+    srv_pid=
+    echo "smoke: [failover] FAILED — serving-process selftest:" >&2
+    cat "${srv_out}" >&2
+    cat "${srv_log}" "${hub_log}" >&2
+    exit 1
+fi
+srv_pid=
+out=$(cat "${srv_out}")
+echo "${out}"
+
+# Belt and braces on top of the selftest's own gates (zero failures,
+# zero wire/frame errors, local primary at epoch >= 2): the JSON must
+# show the election actually ran — a takeover, not a quiet reboot.
+if ! grep -q '"failures":0' <<<"${out}" || ! grep -q '"wire_errors":0' <<<"${out}"; then
+    echo "smoke: [failover] FAILED — failures or wire errors in report" >&2
+    exit 1
+fi
+if ! grep -q '"manager_epoch":[2-9]' <<<"${out}"; then
+    echo "smoke: [failover] FAILED — no epoch >= 2 in report" >&2
+    exit 1
+fi
+if ! grep -q '"manager_takeovers":[1-9]' <<<"${out}"; then
+    echo "smoke: [failover] FAILED — standby recorded no takeover" >&2
+    exit 1
+fi
+
+echo "smoke: [failover] OK — rank-0 manager process SIGKILLed mid-workload, standby won epoch >= 2, zero failed requests, zero wire errors"
