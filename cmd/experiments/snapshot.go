@@ -120,6 +120,13 @@ func writeSnapshot(path string, seed int64) error {
 		fmt.Fprintln(os.Stderr, "snapshot: manager failover measurement failed:", err)
 	}
 
+	// Request latency profile under steady load: the chaos load
+	// generator's p50/p99/p999, the client-side view of the whole
+	// FE→cache→worker path (ns tracked, not gated — wall-clock).
+	if err := measureLatencyProfile(seed, m); err != nil {
+		fmt.Fprintln(os.Stderr, "snapshot: latency profile failed:", err)
+	}
+
 	// Hot-path micro costs: SAN send (passthrough vs wire), partition
 	// get, wire encode/decode — ns/op is hardware-bound (tracked, not
 	// gated); allocs/op is deterministic and regression-gated.
@@ -382,6 +389,31 @@ func measureBlobRelay(m map[string]float64) {
 	if we := netA.Stats().WireErrors + netB.Stats().WireErrors; we != 0 {
 		fmt.Fprintf(os.Stderr, "snapshot: blob relay saw %d wire errors\n", we)
 	}
+}
+
+// measureLatencyProfile runs the chaos load generator against a
+// healthy default system for two seconds at a comfortable rate and
+// records the client-observed latency percentiles. These place the
+// overload scenarios' histograms on the same axis as the figure
+// metrics: the trajectory shows when a data-plane change moves the
+// tail, without gating on host speed.
+func measureLatencyProfile(seed int64, m map[string]float64) error {
+	h, err := chaos.New(chaos.Config{Seed: seed})
+	if err != nil {
+		return err
+	}
+	defer h.Stop()
+	const dur = 2 * time.Second
+	h.StartLoad(100, 4096, dur)
+	time.Sleep(dur + 300*time.Millisecond) // drain: StopLoad fails requests still in flight
+	st := h.StopLoad()
+	if st.Issued == 0 {
+		return fmt.Errorf("load generator issued nothing")
+	}
+	m["latency_p50_ns"] = float64(st.P50.Nanoseconds())
+	m["latency_p99_ns"] = float64(st.P99.Nanoseconds())
+	m["latency_p999_ns"] = float64(st.P999.Nanoseconds())
+	return nil
 }
 
 // measureRecovery boots a compact system, kills a worker, and times

@@ -29,12 +29,17 @@
 // by a peer process) mid-run through that process's supervisor, then
 // asserts the manager's process-peer duty respawned it by supervisor
 // delegation with zero failed requests — the cross-process
-// self-healing smoke.
+// self-healing smoke. -selftest-overload N additionally fires a
+// concurrent burst past the front end's admission bound (set it low
+// with -fe-max-inflight, and set -cache-ttl so warm entries go stale)
+// and asserts the degradation ladder held: degraded serves and typed
+// sheds, never an unexplained failure — the overload smoke.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -42,11 +47,14 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/distiller"
+	"repro/internal/frontend"
 	"repro/internal/manager"
 	"repro/internal/san"
 	"repro/internal/supervisor"
@@ -72,10 +80,15 @@ func main() {
 	dampD := flag.Duration("D", 5*time.Second, "spawn damping window")
 	profileDir := flag.String("profiles", "", "profile DB directory (empty = temp)")
 	httpAddr := flag.String("http", "", "serve the TranSend HTTP API on this address (frontend role)")
+	reqDeadline := flag.Duration("request-deadline", 0, "end-to-end deadline stamped onto requests arriving without one (0 = none)")
+	feMaxInflight := flag.Int("fe-max-inflight", 0, "per-front-end admitted request bound; past it requests degrade to stale cache or shed (0 = default)")
+	feHighWater := flag.Float64("fe-queue-highwater", 0, "shed at admission when the least-loaded worker's queue estimate exceeds this (0 = disabled)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "cache entry freshness TTL; expired entries survive as stale data for degraded service (0 = never stale)")
 	selftest := flag.Int("selftest", 0, "run N requests after ready, print a JSON summary, and exit")
 	selftestKill := flag.String("selftest-kill", "", "mid-selftest, kill this cache component via its process's supervisor and assert a delegated respawn (requires the manager role here)")
 	selftestSpacing := flag.Duration("selftest-spacing", 0, "pause between selftest requests (stretches the workload across externally injected faults)")
 	selftestEpoch := flag.Uint64("selftest-expect-epoch", 0, "after the request loop, require a local manager replica to be acting primary at this election epoch or later (the failover smoke: SIGKILL the rank-0 process mid-run, assert the standby here took over)")
+	selftestOverload := flag.Int("selftest-overload", 0, "after the request loop, fire a concurrent burst of N requests past the admission bound and require sheds > 0, degraded serves > 0, and no other failure (the overload smoke; pair with -fe-max-inflight and -cache-ttl)")
 	readyTimeout := flag.Duration("ready-timeout", 30*time.Second, "how long to wait for the cluster to become serviceable")
 	seed := flag.Int64("seed", 0, "random seed (0 = time-based)")
 	flag.Parse()
@@ -129,6 +142,10 @@ func main() {
 			Damping:        *dampD,
 			ReapThreshold:  0.5,
 		},
+		RequestDeadline:  *reqDeadline,
+		FEMaxInflight:    *feMaxInflight,
+		FEQueueHighWater: *feHighWater,
+		CacheTTL:         *cacheTTL,
 	}
 	if *cacheHost != "" {
 		cn := *cacheNodes
@@ -152,7 +169,17 @@ func main() {
 	log.Printf("node: ready — peers %v", sys.Bridge.Peers())
 
 	if *selftest > 0 {
-		if err := runSelftest(sys, *selftest, *selftestKill, *selftestSpacing, *selftestEpoch); err != nil {
+		opts := selftestOpts{
+			n:           *selftest,
+			kill:        *selftestKill,
+			spacing:     *selftestSpacing,
+			expectEpoch: *selftestEpoch,
+			overload:    *selftestOverload,
+			// The burst needs the warm set's entries expired into stale
+			// data before it fires, or nothing can degrade.
+			overloadAge: *cacheTTL + 200*time.Millisecond,
+		}
+		if err := runSelftest(sys, opts); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -190,15 +217,30 @@ type selftestReport struct {
 	CacheRestarts  uint64  `json:"cache_restarts"`
 	ManagerEpoch   uint64  `json:"manager_epoch"`
 	Takeovers      uint64  `json:"manager_takeovers"`
+	Shed           uint64  `json:"shed"`
+	Degraded       uint64  `json:"degraded"`
+	Backpressure   uint64  `json:"backpressure"`
 	KillInjected   string  `json:"kill_injected,omitempty"`
 }
 
-func runSelftest(sys *core.System, n int, kill string, spacing time.Duration, expectEpoch uint64) error {
+// selftestOpts collects the knobs of the selftest modes; all but n are
+// optional extras layered on the base request loop.
+type selftestOpts struct {
+	n           int
+	kill        string
+	spacing     time.Duration
+	expectEpoch uint64
+	overload    int           // size of the concurrent overload burst (0 = off)
+	overloadAge time.Duration // how long the warm set ages before the burst (> cache TTL)
+}
+
+func runSelftest(sys *core.System, opts selftestOpts) error {
 	ctx := context.Background()
+	n, kill := opts.n, opts.kill
 	rep := selftestReport{Requests: n}
 	for i := 0; i < n; i++ {
-		if spacing > 0 && i > 0 {
-			time.Sleep(spacing)
+		if opts.spacing > 0 && i > 0 {
+			time.Sleep(opts.spacing)
 		}
 		if kill != "" && i == n/3 {
 			// Remote fault injection: crash the victim through its own
@@ -252,7 +294,12 @@ func runSelftest(sys *core.System, n int, kill string, spacing time.Duration, ex
 			rep.LargeBodyBytes = bytes
 		}
 	}
-	if expectEpoch > 0 {
+	if opts.overload > 0 {
+		if err := runOverloadBurst(ctx, sys, opts.overload, opts.overloadAge, &rep); err != nil {
+			return fmt.Errorf("selftest: %w", err)
+		}
+	}
+	if expectEpoch := opts.expectEpoch; expectEpoch > 0 {
 		// The failover smoke: an external hand SIGKILLed the rank-0
 		// manager process mid-run, and this process hosts a standby that
 		// must have won (or must win shortly) the election at expectEpoch
@@ -285,6 +332,7 @@ func runSelftest(sys *core.System, n int, kill string, spacing time.Duration, ex
 		rep.FramesPerBatch = float64(br.FramesOut) / float64(br.Batches)
 	}
 	rep.Chunked, rep.Reassembled = br.Chunked, br.Reassembled
+	rep.Backpressure = br.Backpressure
 	rep.Peers = br.Peers
 	if mgr := sys.Manager(); mgr != nil {
 		st := mgr.Stats()
@@ -301,6 +349,70 @@ func runSelftest(sys *core.System, n int, kill string, spacing time.Duration, ex
 	if kill != "" && rep.Delegated == 0 {
 		return fmt.Errorf("selftest: %s was killed but no delegated restart was recorded", kill)
 	}
+	if opts.overload > 0 {
+		if rep.Shed == 0 {
+			return fmt.Errorf("selftest: overload burst of %d shed nothing — admission control never tripped", opts.overload)
+		}
+		if rep.Degraded == 0 {
+			return fmt.Errorf("selftest: overload burst of %d produced no degraded serves — the stale-cache path never ran", opts.overload)
+		}
+	}
+	return nil
+}
+
+// runOverloadBurst drives the front end past its admission bound and
+// verifies the BASE degradation ladder: warm a small URL set, let the
+// entries expire into stale data, then fire n concurrent requests —
+// half against the warm set, half against fresh URLs. Saturated
+// requests with a stale answer must degrade; the rest must shed with
+// the typed ErrOverloaded; anything else failing is a real failure and
+// trips the zero-failure gate.
+func runOverloadBurst(ctx context.Context, sys *core.System, n int, age time.Duration, rep *selftestReport) error {
+	const warmSet = 8
+	for i := 0; i < warmSet; i++ {
+		url := fmt.Sprintf("http://overload.example/obj%d.sjpg", i)
+		rctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+		_, err := sys.Request(rctx, url, "overload")
+		cancel()
+		if err != nil {
+			return fmt.Errorf("overload warm request %d: %w", i, err)
+		}
+	}
+	time.Sleep(age) // outlive the TTL: entries stay cached, now stale
+
+	var wg sync.WaitGroup
+	var okN, degraded, shed, failed atomic.Uint64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			url := fmt.Sprintf("http://overload-fresh.example/obj%d.sjpg", i)
+			if i%2 == 0 {
+				url = fmt.Sprintf("http://overload.example/obj%d.sjpg", i%warmSet)
+			}
+			rctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+			resp, err := sys.Request(rctx, url, "overload")
+			cancel()
+			switch {
+			case errors.Is(err, frontend.ErrOverloaded):
+				shed.Add(1)
+			case err != nil:
+				failed.Add(1)
+				log.Printf("selftest: overload request %d (%s) failed: %v", i, url, err)
+			case resp.Degraded:
+				degraded.Add(1)
+			default:
+				okN.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	rep.Requests += n
+	rep.Failures += int(failed.Load())
+	rep.Shed = shed.Load()
+	rep.Degraded = degraded.Load()
+	log.Printf("selftest: overload burst of %d: ok=%d degraded=%d shed=%d failed=%d",
+		n, okN.Load(), degraded.Load(), shed.Load(), failed.Load())
 	return nil
 }
 

@@ -65,6 +65,16 @@ type Config struct {
 	// never spawn on load — so respawn counts are a pure function of
 	// the fault schedule.
 	Policy manager.Policy
+
+	// Overload robustness passthroughs (zero = the core defaults:
+	// no deadline stamping, inflight bound at Threads+QueueCap, no
+	// queue-high-water shedding, no cache expiry). The saturation
+	// scenarios set these; CacheTTL > 0 gives the degraded path stale
+	// entries to serve.
+	RequestDeadline  time.Duration
+	FEMaxInflight    int
+	FEQueueHighWater float64
+	CacheTTL         time.Duration
 }
 
 // EchoClass is the default worker class installed when no registry is
@@ -151,6 +161,10 @@ func New(cfg Config) (*Harness, error) {
 		CacheSuperviseTTL: cfg.CacheSuperviseTTL,
 		MinDistillSize:    1, // everything traverses the worker pipeline
 		Policy:            cfg.Policy,
+		RequestDeadline:   cfg.RequestDeadline,
+		FEMaxInflight:     cfg.FEMaxInflight,
+		FEQueueHighWater:  cfg.FEQueueHighWater,
+		CacheTTL:          cfg.CacheTTL,
 	})
 	if err != nil {
 		return nil, err
@@ -295,6 +309,12 @@ func (h *Harness) inject(ev Event) {
 				}
 				detail = id
 			}
+		}
+	case SeverBridge:
+		if br := h.Sys.Bridge; br != nil {
+			br.SeverPeers(ev.Dur)
+		} else {
+			detail = "no-bridge"
 		}
 	case Heal:
 		h.Sys.Net.Heal()

@@ -2,12 +2,15 @@ package chaos
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/frontend"
 	"repro/internal/media"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -18,18 +21,33 @@ import (
 type LoadStats struct {
 	Issued   uint64
 	OK       uint64
-	Degraded uint64 // served, but via a fallback source
-	Failed   uint64
+	Degraded uint64 // served, but via a fallback source or stale entry
+	Shed     uint64 // refused fast with the typed overload reply
+	Failed   uint64 // any other error (timeouts, exhausted dispatch)
+
+	// End-to-end latency percentiles over every completed request
+	// (sheds included — a fast refusal is part of the latency story),
+	// measured from issue to reply. Zero until requests complete.
+	P50, P99, P999, Max time.Duration
 }
 
 // SuccessRate returns (OK+Degraded)/Issued — the paper's availability
 // measure: an approximate answer delivered quickly still counts
-// (§3.1.8).
+// (§3.1.8). Sheds and failures both count against it.
 func (s LoadStats) SuccessRate() float64 {
 	if s.Issued == 0 {
 		return 0
 	}
 	return float64(s.OK+s.Degraded) / float64(s.Issued)
+}
+
+// Goodput returns completed (OK+Degraded) requests per second over
+// dur — the saturation soak's before/after comparison measure.
+func (s LoadStats) Goodput(dur time.Duration) float64 {
+	if dur <= 0 {
+		return 0
+	}
+	return float64(s.OK+s.Degraded) / dur.Seconds()
 }
 
 // loadGen replays a seeded arrival process against the system while
@@ -40,7 +58,10 @@ type loadGen struct {
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
-	issued, ok, degraded, failed atomic.Uint64
+	issued, ok, degraded, shed, failed atomic.Uint64
+
+	latMu sync.Mutex
+	lats  []time.Duration // issue-to-reply, one per completed request
 }
 
 // StartLoad launches the background generator: requests arrive for
@@ -96,11 +117,15 @@ func (h *Harness) StartLoad(rate float64, objects int, dur time.Duration) {
 				defer lg.wg.Done()
 				rctx, rcancel := context.WithTimeout(ctx, 5*time.Second)
 				defer rcancel()
+				t0 := time.Now()
 				resp, err := h.Sys.Request(rctx, url, "loadgen")
+				lg.observe(time.Since(t0))
 				switch {
+				case errors.Is(err, frontend.ErrOverloaded):
+					lg.shed.Add(1)
 				case err != nil:
 					lg.failed.Add(1)
-				case isFallback(resp.Source):
+				case resp.Degraded || isFallback(resp.Source):
 					lg.degraded.Add(1)
 				default:
 					lg.ok.Add(1)
@@ -131,8 +156,8 @@ func (h *Harness) StopLoad() LoadStats {
 	}
 	h.load.stop()
 	st := h.load.stats()
-	h.rec.record("note", "load", fmt.Sprintf("issued=%d ok=%d degraded=%d failed=%d",
-		st.Issued, st.OK, st.Degraded, st.Failed))
+	h.rec.record("note", "load", fmt.Sprintf("issued=%d ok=%d degraded=%d shed=%d failed=%d p99=%s",
+		st.Issued, st.OK, st.Degraded, st.Shed, st.Failed, st.P99))
 	h.load = nil
 	return st
 }
@@ -142,11 +167,42 @@ func (lg *loadGen) stop() {
 	lg.wg.Wait()
 }
 
+func (lg *loadGen) observe(d time.Duration) {
+	lg.latMu.Lock()
+	lg.lats = append(lg.lats, d)
+	lg.latMu.Unlock()
+}
+
 func (lg *loadGen) stats() LoadStats {
-	return LoadStats{
+	st := LoadStats{
 		Issued:   lg.issued.Load(),
 		OK:       lg.ok.Load(),
 		Degraded: lg.degraded.Load(),
+		Shed:     lg.shed.Load(),
 		Failed:   lg.failed.Load(),
 	}
+	lg.latMu.Lock()
+	lats := append([]time.Duration(nil), lg.lats...)
+	lg.latMu.Unlock()
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		st.P50 = percentile(lats, 0.50)
+		st.P99 = percentile(lats, 0.99)
+		st.P999 = percentile(lats, 0.999)
+		st.Max = lats[len(lats)-1]
+	}
+	return st
+}
+
+// percentile reads quantile q from an ascending-sorted sample using
+// the nearest-rank method.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	idx := int(q*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/manager"
 	"repro/internal/tacc"
+	"repro/internal/transport"
 )
 
 // startBridgedPair boots a two-OS-process-shaped cluster inside the
@@ -155,6 +156,72 @@ func crossProcessRespawnTimeline(t *testing.T) []string {
 	mu.Lock()
 	defer mu.Unlock()
 	return append([]string(nil), events...)
+}
+
+// TestCrossProcessSeverBridgeWindow drives the real-TCP partition the
+// SeverBridge schedule action maps to: cut every peering for a window,
+// verify the split is total (peers drop on both sides) yet bounded —
+// the bridges re-meet on their own once the window passes and service
+// resumes, with zero wire errors and the batcher's queued bytes never
+// exceeding the backpressure bound.
+func TestCrossProcessSeverBridgeWindow(t *testing.T) {
+	sysA, sysB := startBridgedPair(t, 1, 2)
+	ctx := context.Background()
+
+	req := func(i int) error {
+		rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		defer cancel()
+		_, err := sysA.Request(rctx, fmt.Sprintf("http://sever.example/s%d.bin", i), "u")
+		return err
+	}
+	if err := req(0); err != nil {
+		t.Fatalf("pre-sever request: %v", err)
+	}
+
+	const window = 400 * time.Millisecond
+	severAt := time.Now()
+	sysA.Bridge.SeverPeers(window)
+	waitFor(t, "peers severed", func() bool {
+		return sysA.Bridge.Stats().Peers == 0 && sysB.Bridge.Stats().Peers == 0
+	})
+
+	// The bridges must not re-meet inside the window, and must re-meet
+	// on their own after it — SeverPeers heals like PartitionFor does.
+	if sysA.Bridge.WaitPeers(1, time.Until(severAt.Add(window-50*time.Millisecond))) {
+		t.Fatal("bridges re-met inside the severed window")
+	}
+	if !sysA.Bridge.WaitPeers(1, 10*time.Second) {
+		t.Fatal("bridges never re-met after the severed window")
+	}
+	waitFor(t, "service resumed after heal", func() bool { return req(1) == nil })
+
+	// Post-heal burst: concurrent cross-process traffic stays inside
+	// the batcher byte bound (no unbounded growth behind any write).
+	var wg sync.WaitGroup
+	errs := make([]error, 32)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = req(100 + i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("post-heal request %d: %v", i, err)
+		}
+	}
+	for side, sys := range map[string]*core.System{"A": sysA, "B": sysB} {
+		if st := sys.Net.Stats(); st.WireErrors != 0 {
+			t.Fatalf("process %s: WireErrors=%d", side, st.WireErrors)
+		}
+		bst := sys.Bridge.Stats()
+		if bst.MaxQueued > transport.DefaultMaxBatchBytes {
+			t.Fatalf("process %s: batcher staged %d bytes, past the %d bound",
+				side, bst.MaxQueued, transport.DefaultMaxBatchBytes)
+		}
+	}
 }
 
 // TestCrossProcessRespawnTimelineDeterministic is the run-twice-and-

@@ -42,6 +42,12 @@ const (
 	HangWorker ActionKind = "hang-worker"
 	// SlowWorker adds Delay to every task on one worker for Dur.
 	SlowWorker ActionKind = "slow-worker"
+	// SeverBridge cuts every TCP peering of the system's transport
+	// bridge for Dur — the multi-process analogue of PartitionCaches'
+	// in-SAN PartitionFor. Dur <= 0 severs without scheduling a heal;
+	// the bridge redials when the window (if any) passes. No-op on
+	// single-process systems (recorded as "no-bridge").
+	SeverBridge ActionKind = "sever-bridge"
 	// Heal removes all partitions immediately.
 	Heal ActionKind = "heal"
 )

@@ -117,6 +117,10 @@ type TransportConfig struct {
 	// when zero; negative FlushDelay disables batching).
 	FlushBytes int
 	FlushDelay time.Duration
+	// MaxBatchBytes bounds each peer's write queue: sends past the
+	// bound fail fast with backpressure instead of buffering behind a
+	// stalled peer (transport default when zero; negative unbounded).
+	MaxBatchBytes int
 }
 
 // Config describes a deployment.
@@ -203,6 +207,20 @@ type Config struct {
 	// DisableDeltaEstimator turns off the §4.5 queue-delta fix
 	// (used by the oscillation ablation).
 	DisableDeltaEstimator bool
+
+	// Overload robustness (zero values leave each check off or at the
+	// frontend package's own defaults).
+
+	// RequestDeadline is the end-to-end budget stamped onto requests
+	// that arrive without a context deadline; it propagates through
+	// dispatch so every hop drops expired work. Zero = no deadline.
+	RequestDeadline time.Duration
+	// FEMaxInflight bounds each front end's admitted requests
+	// (0 = frontend default Threads+QueueCap; negative disables).
+	FEMaxInflight int
+	// FEQueueHighWater sheds at admission when even the least-loaded
+	// worker's estimated queue reaches this depth (0 = off).
+	FEQueueHighWater float64
 }
 
 func (c Config) withDefaults() Config {
@@ -346,12 +364,13 @@ func Start(cfg Config) (*System, error) {
 			id = cfg.NodePrefix // may still be empty; bridge then uses its listen addr
 		}
 		br, err := transport.New(transport.Config{
-			Net:        s.Net,
-			Listen:     cfg.Transport.Listen,
-			Join:       cfg.Transport.Join,
-			ID:         id,
-			FlushBytes: cfg.Transport.FlushBytes,
-			FlushDelay: cfg.Transport.FlushDelay,
+			Net:           s.Net,
+			Listen:        cfg.Transport.Listen,
+			Join:          cfg.Transport.Join,
+			ID:            id,
+			FlushBytes:    cfg.Transport.FlushBytes,
+			FlushDelay:    cfg.Transport.FlushDelay,
+			MaxBatchBytes: cfg.Transport.MaxBatchBytes,
 		})
 		if err != nil {
 			return nil, err
@@ -775,6 +794,15 @@ func (s *System) spawnFrontEnd(name, node string) error {
 	if node == "" {
 		return fmt.Errorf("core: no node for %s", name)
 	}
+	// Remote congestion sheds upstream: each FE's admission estimator
+	// samples the bridge's backpressure counter, so a stalled peer
+	// process shows up as saturation here instead of as silent frame
+	// loss.
+	var backpressureFn func() uint64
+	if s.Bridge != nil {
+		br := s.Bridge
+		backpressureFn = func() uint64 { return br.Stats().Backpressure }
+	}
 	fe := frontend.New(frontend.Config{
 		Name:              name,
 		Node:              node,
@@ -788,6 +816,10 @@ func (s *System) spawnFrontEnd(name, node string) error {
 		CacheTimeout:      s.cfg.CacheTimeout,
 		HeartbeatInterval: s.cfg.BeaconInterval,
 		MinDistillSize:    s.cfg.MinDistillSize,
+		RequestDeadline:   s.cfg.RequestDeadline,
+		MaxInflight:       s.cfg.FEMaxInflight,
+		QueueHighWater:    s.cfg.FEQueueHighWater,
+		BackpressureFn:    backpressureFn,
 		ManagerStub: stub.ManagerStubConfig{
 			Seed:             s.cfg.Seed,
 			CallTimeout:      s.cfg.CallTimeout,

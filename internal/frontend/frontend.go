@@ -41,7 +41,13 @@ type Response struct {
 	// "cache-original", "distilled", "original", "fallback-original",
 	// "fallback-stale".
 	Source string
-	// Err is non-nil only when not even a degraded answer exists.
+	// Degraded marks a BASE harvest reduction: the front end answered
+	// from whatever it had on hand (a stale or undistilled cache
+	// entry) instead of doing the full work, because doing the full
+	// work would have missed the deadline or deepened an overload.
+	// "An approximate answer delivered quickly is more useful than the
+	// exact answer delivered slowly" (§3.1.8).
+	Degraded bool
 
 	// release, when non-nil, returns Blob.Data's backing buffer to the
 	// SAN's receive pool: the cache-hit serve path is zero-copy, so the
@@ -105,6 +111,35 @@ type Config struct {
 	MinDistillSize int
 	// ManagerStub configures dispatch behavior.
 	ManagerStub stub.ManagerStubConfig
+
+	// RequestDeadline, when positive, is the end-to-end latency budget
+	// stamped onto every request that arrives without its own context
+	// deadline. It propagates with the request — through the cache
+	// probes, into dispatch (TaskMsg.Deadline), down to the worker's
+	// inbox — so every hop can drop work nobody awaits anymore instead
+	// of executing it. Zero leaves requests unbounded (the caller's
+	// context still applies).
+	RequestDeadline time.Duration
+	// MaxInflight bounds concurrently admitted requests (queued plus
+	// executing). Requests beyond it take the degraded path — a stale
+	// cache answer when one exists, a fast typed ErrOverloaded reply
+	// otherwise — rather than queueing into a deadline they cannot
+	// meet. Zero defaults to Threads+QueueCap (the pool's natural
+	// capacity); negative disables the check.
+	MaxInflight int
+	// QueueHighWater, when positive, sheds on the lottery estimator's
+	// queue-delta signal: if even the least-loaded worker's estimated
+	// queue (ManagerStub.QueueEstimate) is at or past this depth, new
+	// work would only age in worker inboxes, so it degrades or sheds
+	// at admission instead. Zero disables the signal.
+	QueueHighWater float64
+	// BackpressureFn, when set, reports the cumulative count of sends
+	// the transport refused for backpressure (e.g. the Backpressure
+	// field of transport.Bridge stats). Growth between admission
+	// checks marks the fabric saturated — remote congestion sheds
+	// upstream here instead of piling more frames onto a stalled
+	// peer.
+	BackpressureFn func() uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +157,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FetchTimeout <= 0 {
 		c.FetchTimeout = 2 * time.Minute
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = c.Threads + c.QueueCap
 	}
 	return c
 }
@@ -142,6 +180,15 @@ type Stats struct {
 	// origin; CoalescedDistill the same for distillation dispatch.
 	CoalescedOrigin  uint64
 	CoalescedDistill uint64
+
+	// Shed counts requests refused outright at admission (typed
+	// ErrOverloaded, no degraded answer existed); DegradedServes
+	// counts saturated requests answered from stale/undistilled cache
+	// data instead; Expired counts queued requests dropped at dequeue
+	// because their deadline had already passed.
+	Shed           uint64
+	DegradedServes uint64
+	Expired        uint64
 }
 
 type job struct {
@@ -165,11 +212,14 @@ type FrontEnd struct {
 	origFlight    stub.FlightGroup[tacc.Blob]
 	distillFlight stub.FlightGroup[tacc.Blob]
 
-	running atomic.Bool
-	stats   struct {
+	running  atomic.Bool
+	inflight atomic.Int64  // admitted requests currently queued or executing
+	lastBP   atomic.Uint64 // last BackpressureFn sample (delta = congestion)
+	stats    struct {
 		requests, cacheDistilled, cacheOriginal, originFetches atomic.Uint64
 		distilled, passedThrough, fallbacks, errors            atomic.Uint64
 		coalescedOrigin, coalescedDistill                      atomic.Uint64
+		shed, degradedServes, expired                          atomic.Uint64
 	}
 
 	mu       sync.Mutex
@@ -225,6 +275,10 @@ func (fe *FrontEnd) Stats() Stats {
 
 		CoalescedOrigin:  fe.stats.coalescedOrigin.Load(),
 		CoalescedDistill: fe.stats.coalescedDistill.Load(),
+
+		Shed:           fe.stats.shed.Load(),
+		DegradedServes: fe.stats.degradedServes.Load(),
+		Expired:        fe.stats.expired.Load(),
 	}
 }
 
@@ -335,6 +389,8 @@ func (fe *FrontEnd) heartbeat(ep *san.Endpoint) {
 			"fallbacks": float64(st.Fallbacks),
 			"errors":    float64(st.Errors),
 			"queue":     float64(len(fe.jobs)),
+			"shed":      float64(st.Shed),
+			"degraded":  float64(st.DegradedServes),
 		},
 	}, 96)
 }
@@ -343,12 +399,45 @@ func (fe *FrontEnd) heartbeat(ep *san.Endpoint) {
 // upgrade.
 var ErrDisabled = fmt.Errorf("frontend: disabled for upgrade")
 
-// ErrOverloaded is returned when the request queue is full.
+// ErrOverloaded is the typed overload reply: the front end shed the
+// request at admission (saturated, and not even a degraded answer
+// existed) or found its queue full. It is deliberately fast — no
+// worker capacity, origin fetch, or dispatch retry was spent before
+// returning it.
 var ErrOverloaded = fmt.Errorf("frontend: request queue full")
+
+// saturated is the admission-control estimator: it combines the local
+// in-flight count, the lottery scheduler's queue-delta extrapolation
+// for the worker pool, and the transport's backpressure counter into
+// one question — would accepting this request plausibly meet its
+// deadline, or only deepen the overload?
+func (fe *FrontEnd) saturated() bool {
+	if fe.cfg.MaxInflight > 0 && fe.inflight.Load() >= int64(fe.cfg.MaxInflight) {
+		return true
+	}
+	if fn := fe.cfg.BackpressureFn; fn != nil {
+		cur := fn()
+		if last := fe.lastBP.Swap(cur); cur > last {
+			// The transport refused sends since the last admission
+			// check: a peer's reader is stalled. Piling more work on
+			// only grows the refused-frame count.
+			return true
+		}
+	}
+	if hw := fe.cfg.QueueHighWater; hw > 0 {
+		if est, known := fe.mstub.QueueEstimate(""); known && est >= hw {
+			return true
+		}
+	}
+	return false
+}
 
 // Do submits a request and waits for the response — the programmatic
 // equivalent of an HTTP arrival (cmd/transend adapts net/http onto
-// this).
+// this). Under saturation it degrades before shedding: a stale cache
+// entry past its TTL (Response.Degraded) beats a refusal, and a
+// refusal (ErrOverloaded, fast and typed) beats a queued request that
+// will miss its deadline anyway.
 func (fe *FrontEnd) Do(ctx context.Context, req Request) (Response, error) {
 	fe.mu.Lock()
 	disabled := fe.disabled
@@ -359,21 +448,80 @@ func (fe *FrontEnd) Do(ctx context.Context, req Request) (Response, error) {
 	if !fe.running.Load() {
 		return Response{}, fmt.Errorf("frontend: %s not running", fe.cfg.Name)
 	}
-	j := job{ctx: ctx, req: req, resp: make(chan Response, 1), err: make(chan error, 1)}
-	select {
-	case fe.jobs <- j:
-	default:
-		fe.stats.errors.Add(1)
-		return Response{}, ErrOverloaded
+	if fe.cfg.RequestDeadline > 0 {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, fe.cfg.RequestDeadline)
+			defer cancel()
+		}
 	}
-	select {
-	case resp := <-j.resp:
+	if !fe.saturated() {
+		j := job{ctx: ctx, req: req, resp: make(chan Response, 1), err: make(chan error, 1)}
+		select {
+		case fe.jobs <- j:
+			fe.inflight.Add(1)
+			defer fe.inflight.Add(-1)
+			select {
+			case resp := <-j.resp:
+				return resp, nil
+			case err := <-j.err:
+				return Response{}, err
+			case <-ctx.Done():
+				return Response{}, ctx.Err()
+			}
+		default:
+			// Queue full is saturation by definition: fall through to
+			// the degraded path.
+		}
+	}
+	if resp, ok := fe.degradedServe(ctx, req); ok {
 		return resp, nil
-	case err := <-j.err:
-		return Response{}, err
-	case <-ctx.Done():
-		return Response{}, ctx.Err()
 	}
+	fe.stats.shed.Add(1)
+	fe.stats.errors.Add(1)
+	return Response{}, ErrOverloaded
+}
+
+// degradedServe is the BASE harvest reduction an overloaded front end
+// applies before refusing a request: answer from whatever the cache
+// holds — the distilled variant or the original, fresh or past its TTL
+// — without consuming a worker-pool slot, an origin fetch, or a
+// dispatch. A fresh distilled hit is a full-quality answer and not
+// marked Degraded (the cache probe is cheap either way); anything
+// else served here is.
+func (fe *FrontEnd) degradedServe(ctx context.Context, req Request) (Response, bool) {
+	pipeline, profile := fe.plan(req)
+	if len(pipeline) > 0 {
+		key := pipeline.CacheKey(req.URL, profile)
+		if data, mime, stale, release, ok := fe.cache.GetStaleView(ctx, key); ok {
+			fe.stats.degradedServes.Add(1)
+			resp := Response{
+				Blob:    tacc.Blob{MIME: mime, Data: data},
+				Source:  "cache-distilled",
+				release: release,
+			}
+			if stale {
+				resp.Source = "fallback-stale"
+				resp.Degraded = true
+			}
+			return resp, true
+		}
+	}
+	if data, mime, stale, release, ok := fe.cache.GetStaleView(ctx, "orig|"+req.URL); ok {
+		fe.stats.degradedServes.Add(1)
+		resp := Response{
+			Blob:     tacc.Blob{MIME: mime, Data: data},
+			Source:   "original",
+			Degraded: len(pipeline) > 0, // undistilled when distillation was asked for
+			release:  release,
+		}
+		if stale {
+			resp.Source = "fallback-stale"
+			resp.Degraded = true
+		}
+		return resp, true
+	}
+	return Response{}, false
 }
 
 // handle shepherds one request end to end. life is the front end's
@@ -383,17 +531,17 @@ func (fe *FrontEnd) Do(ctx context.Context, req Request) (Response, error) {
 func (fe *FrontEnd) handle(ctx, life context.Context, req Request) (Response, error) {
 	fe.stats.requests.Add(1)
 
-	// 1. Pair the request with the user's customization profile.
-	var profile map[string]string
-	if fe.cfg.Profiles != nil && req.User != "" {
-		profile = fe.cfg.Profiles.Get(req.User)
+	// 0. Drop expired work at dequeue: a request whose deadline passed
+	// while it aged in the job queue has nobody awaiting it — the same
+	// rule the workers apply to their inboxes.
+	if err := ctx.Err(); err != nil {
+		fe.stats.expired.Add(1)
+		return Response{}, err
 	}
 
-	// 2. Service-specific dispatch logic decides the pipeline.
-	var pipeline tacc.Pipeline
-	if fe.cfg.Rules != nil && !req.Raw {
-		pipeline = fe.cfg.Rules(req.URL, mimeHint(req.URL), profile)
-	}
+	// 1+2. Pair the request with the user's profile and let the
+	// service-specific dispatch logic decide the pipeline.
+	pipeline, profile := fe.plan(req)
 	distillKey := pipeline.CacheKey(req.URL, profile)
 	origKey := "orig|" + req.URL
 
@@ -460,8 +608,15 @@ func (fe *FrontEnd) handle(ctx, life context.Context, req Request) (Response, er
 	out, err, shared := fe.distillFlight.Do(ctx, distillKey, func() (tacc.Blob, error) {
 		// Detached like the origin flight; dispatch is already
 		// bounded by the stub's per-attempt CallTimeout and retry
-		// budget.
+		// budget. The flight leader's deadline still rides along so
+		// the stub stamps it into TaskMsg and workers can drop the
+		// task once nobody awaits it.
 		dctx := life
+		if dl, ok := ctx.Deadline(); ok {
+			var cancel context.CancelFunc
+			dctx, cancel = context.WithDeadline(life, dl)
+			defer cancel()
+		}
 		task := &tacc.Task{Key: req.URL, Input: orig, Profile: profile}
 		blob, err := fe.mstub.DispatchPipeline(dctx, pipeline, task)
 		if err != nil {
@@ -483,6 +638,21 @@ func (fe *FrontEnd) handle(ctx, life context.Context, req Request) (Response, er
 	}
 	fe.stats.distilled.Add(1)
 	return Response{Blob: out, Source: "distilled"}, nil
+}
+
+// plan pairs a request with its user profile and lets the dispatch
+// rules pick the pipeline — the first two steps of every request,
+// shared by the full handle path and the degraded-serve path.
+func (fe *FrontEnd) plan(req Request) (tacc.Pipeline, map[string]string) {
+	var profile map[string]string
+	if fe.cfg.Profiles != nil && req.User != "" {
+		profile = fe.cfg.Profiles.Get(req.User)
+	}
+	var pipeline tacc.Pipeline
+	if fe.cfg.Rules != nil && !req.Raw {
+		pipeline = fe.cfg.Rules(req.URL, mimeHint(req.URL), profile)
+	}
+	return pipeline, profile
 }
 
 // mimeHint guesses the MIME type from the URL extension so dispatch

@@ -204,48 +204,46 @@ func (s slowFetcher) Fetch(ctx context.Context, url string) (tacc.Blob, error) {
 }
 
 func TestOverload(t *testing.T) {
-	// A tiny pool with a slow origin: flooding Do fills the queue
-	// and the front end sheds load instead of blocking forever.
+	// A tiny pool with a slow origin: fill both admission slots with
+	// slow fetches, and the front end sheds further load instead of
+	// blocking forever. MaxInflight defaults to Threads+QueueCap = 2.
 	static := origin.NewStatic()
 	fe, _, _ := startFE(t, func(cfg *Config) {
 		cfg.Threads = 1
 		cfg.QueueCap = 1
-		cfg.Origin = slowFetcher{inner: static, delay: 100 * time.Millisecond}
+		cfg.Origin = slowFetcher{inner: static, delay: time.Second}
 	})
-	// Distinct URLs defeat the virtual cache, so every admitted
-	// request holds the single worker thread for the full delay.
-	for i := 0; i < 60; i++ {
+	for i := 0; i < 3; i++ {
 		static.Put(fmt.Sprintf("http://a/x%d.bin", i),
 			tacc.Blob{MIME: media.MIMEOther, Data: make([]byte, 200)})
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	// Sustained background pressure: four clients hammer distinct
-	// URLs for the duration of the test.
-	for g := 0; g < 4; g++ {
-		g := g
-		go func() {
-			for i := 0; ctx.Err() == nil; i++ {
-				url := fmt.Sprintf("http://a/x%d.bin", (g*13+i)%60)
-				fe.Do(ctx, Request{URL: url, User: "u"})
-			}
-		}()
+	// Occupy both inflight slots: one request on the worker thread,
+	// one in the queue, each pinned to the origin for a full second.
+	done := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			fe.Do(ctx, Request{URL: fmt.Sprintf("http://a/x%d.bin", i), User: "u"})
+			done <- struct{}{}
+		}(i)
 	}
-	// Generous deadline: under -race on a loaded single-core runner
-	// the goroutines here can be starved for whole seconds; the shed
-	// itself normally happens in milliseconds.
-	overloaded := false
-	deadline := time.Now().Add(15 * time.Second)
-	for i := 0; time.Now().Before(deadline); i++ {
-		url := fmt.Sprintf("http://a/x%d.bin", i%60)
-		if _, err := fe.Do(ctx, Request{URL: url}); err == ErrOverloaded {
-			overloaded = true
-			break
-		}
+	waitFor(t, "both admission slots held", func() bool {
+		return fe.inflight.Load() >= 2
+	})
+	// A saturated front end degrades to whatever the cache holds
+	// before shedding, so only a never-cached probe is guaranteed to
+	// reach the shed rung — and it must be the typed refusal, fast,
+	// not a queued request waiting out the origin delay.
+	if _, err := fe.Do(ctx, Request{URL: "http://a/x2.bin"}); err != ErrOverloaded {
+		t.Fatalf("saturated probe: err = %v, want ErrOverloaded", err)
 	}
-	if !overloaded {
-		t.Fatal("never shed load")
+	if st := fe.Stats(); st.Shed == 0 {
+		t.Fatalf("stats = %+v, want Shed > 0", st)
 	}
+	cancel() // release the pinned requests
+	<-done
+	<-done
 }
 
 func TestDisabledFrontEndRejects(t *testing.T) {

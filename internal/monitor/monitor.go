@@ -65,11 +65,11 @@ type Monitor struct {
 	cfg Config
 	ep  *san.Endpoint
 
-	mu       sync.Mutex
-	seen     map[string]*ComponentStatus
-	alerts   []Alert
-	alerted  map[string]bool // component -> alert outstanding
-	disabled map[san.Addr]bool
+	mu         sync.Mutex
+	seen       map[string]*ComponentStatus
+	alerts     []Alert
+	alerted    map[string]bool // component -> alert outstanding
+	disabled   map[san.Addr]bool
 	sups       map[string]supervisor.HelloMsg // supervisor table, addr-keyed
 	workers    []stub.WorkerInfo              // inventory from the last beacon
 	workersSeq uint64                         // beacon seq the inventory came from

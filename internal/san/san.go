@@ -87,6 +87,14 @@ type Message struct {
 	CallID uint64
 	Reply  bool
 
+	// Deadline, when non-zero, is the absolute wall-clock instant after
+	// which nobody awaits this message's effect. Call stamps it from its
+	// context so every in-process hop can drop already-expired work
+	// instead of executing it. It is delivery metadata, not part of the
+	// wire encoding: a body that must carry its deadline across a
+	// process boundary embeds it (stub.TaskMsg does).
+	Deadline time.Time
+
 	// Lease, when non-nil, backs []byte fields of Body with a pooled
 	// receive buffer (zero-copy view mode). The consumer that finishes
 	// with the message calls Release; a consumer that keeps body bytes
@@ -977,10 +985,10 @@ func (e *Endpoint) Leave(group string) {
 // partition drops are silent (datagram semantics), mirroring a real
 // SAN.
 func (e *Endpoint) Send(to Addr, kind string, body any, size int) error {
-	return e.send(to, kind, body, size, 0, false)
+	return e.send(to, kind, body, size, 0, false, time.Time{})
 }
 
-func (e *Endpoint) send(to Addr, kind string, body any, size int, callID uint64, reply bool) error {
+func (e *Endpoint) send(to Addr, kind string, body any, size int, callID uint64, reply bool, deadline time.Time) error {
 	if e.closed.Load() {
 		return ErrClosed // a dead process sends nothing
 	}
@@ -1035,7 +1043,7 @@ func (e *Endpoint) send(to Addr, kind string, body any, size int, callID uint64,
 		}
 		n.releaseEnc(bp, lease, wire)
 	}
-	msg := Message{From: e.addr, To: to, Kind: kind, Body: body, Size: size, CallID: callID, Reply: reply, Lease: msgLease}
+	msg := Message{From: e.addr, To: to, Kind: kind, Body: body, Size: size, CallID: callID, Reply: reply, Deadline: deadline, Lease: msgLease}
 	if n.deliver(dst, msg, st.latency) {
 		n.sent.Add(1)
 		n.bytes.Add(uint64(size))
@@ -1156,7 +1164,9 @@ func (e *Endpoint) Multicast(group, kind string, body any, size int) int {
 // Call sends a request and waits for the matching reply or context
 // cancellation. The component owning the destination endpoint must
 // respond via Respond. The caller's receive loop must route reply
-// messages through DeliverReply.
+// messages through DeliverReply. The context's deadline, if any, is
+// stamped on the delivered request (Message.Deadline) so the callee
+// can skip work nobody will wait for.
 func (e *Endpoint) Call(ctx context.Context, to Addr, kind string, body any, size int) (Message, error) {
 	if e.closed.Load() {
 		return Message{}, ErrClosed
@@ -1177,7 +1187,8 @@ func (e *Endpoint) Call(ctx context.Context, to Addr, kind string, body any, siz
 		e.mu.Unlock()
 	}()
 
-	if err := e.send(to, kind, body, size, id, false); err != nil {
+	deadline, _ := ctx.Deadline()
+	if err := e.send(to, kind, body, size, id, false, deadline); err != nil {
 		return Message{}, err
 	}
 	select {
@@ -1214,5 +1225,12 @@ func (e *Endpoint) DeliverReply(msg Message) bool {
 
 // Respond answers a request message received from Call.
 func (e *Endpoint) Respond(req Message, kind string, body any, size int) error {
-	return e.send(req.From, kind, body, size, req.CallID, true)
+	return e.send(req.From, kind, body, size, req.CallID, true, time.Time{})
+}
+
+// Expired reports whether the message carries a deadline that has
+// already passed at time now — the check every hop makes before
+// spending work on a request nobody awaits.
+func (m Message) Expired(now time.Time) bool {
+	return !m.Deadline.IsZero() && now.After(m.Deadline)
 }

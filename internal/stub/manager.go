@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -25,6 +26,13 @@ type ManagerStubConfig struct {
 	CallTimeout time.Duration
 	// Retries is how many distinct workers to try before failing.
 	Retries int
+	// RetryBackoff is the base delay inserted before each retry
+	// attempt. The actual delay grows exponentially per attempt with
+	// uniform jitter (base*2^(attempt-1) .. 2x that), so a fleet of
+	// front ends failing over from the same dead worker does not
+	// re-converge on the next one in lockstep — the retry-storm
+	// amplifier under overload. Default 2 ms; negative disables.
+	RetryBackoff time.Duration
 	// UseDelta enables the §4.5 queue-delta estimator.
 	UseDelta bool
 	// ManagerTimeout is the process-peer watchdog period: silence
@@ -47,6 +55,9 @@ func (c ManagerStubConfig) withDefaults() ManagerStubConfig {
 	if c.Retries <= 0 {
 		c.Retries = 3
 	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 2 * time.Millisecond
+	}
 	return c
 }
 
@@ -66,6 +77,7 @@ type ManagerStub struct {
 	manager   san.Addr
 	lastSeq   uint64
 	lastEpoch uint64
+	rng       *rand.Rand // jitter source for retry backoff (under mu)
 
 	// Stats.
 	dispatches  uint64
@@ -102,6 +114,7 @@ func NewManagerStub(ep *san.Endpoint, cfg ManagerStubConfig) *ManagerStub {
 		cfg:     cfg,
 		workers: softstate.NewTable[WorkerInfo](cfg.WorkerTTL, nil),
 		sched:   lottery.NewScheduler(cfg.Seed, cfg.UseDelta),
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ 0x6261636b6f6666)), // "backoff"
 	}
 	if cfg.ManagerTimeout > 0 && cfg.OnManagerSilence != nil {
 		ms.wd = &softstate.Watchdog{
@@ -204,6 +217,30 @@ func (ms *ManagerStub) Workers(class string) []WorkerInfo {
 	return out
 }
 
+// QueueEstimate returns the smallest estimated queue length (the §4.5
+// extrapolation the lottery runs on) among cached workers of class —
+// any class when class is "". This is the front end's saturation
+// signal: when even the least-loaded worker's estimated queue is deep,
+// new work cannot plausibly meet a tight deadline and should degrade
+// or shed instead of piling on. ok is false when no workers are known;
+// the caller cannot distinguish idle from unknown and must not shed on
+// that.
+func (ms *ManagerStub) QueueEstimate(class string) (float64, bool) {
+	now := time.Now()
+	best := 0.0
+	known := false
+	for id, w := range ms.workers.Snapshot() {
+		if class != "" && w.Class != class {
+			continue
+		}
+		est := ms.sched.Estimate(id, now)
+		if !known || est < best {
+			best, known = est, true
+		}
+	}
+	return best, known
+}
+
 // Stats returns dispatch counters.
 func (ms *ManagerStub) Stats() ManagerStubStats {
 	ms.mu.Lock()
@@ -224,7 +261,48 @@ func (ms *ManagerStub) Stats() ManagerStubStats {
 var (
 	ErrNoWorkers = errors.New("stub: no workers available for class")
 	ErrExhausted = errors.New("stub: all dispatch attempts failed")
+	// ErrDeadline means the request's deadline passed (or cannot
+	// plausibly be met) before a worker produced a result; retrying
+	// would only burn capacity on an answer nobody awaits.
+	ErrDeadline = errors.New("stub: request deadline exceeded")
 )
+
+// retryBackoff computes the jittered exponential delay before retry
+// attempt n (n >= 1): base*2^(n-1) scaled by a uniform [1, 2) draw.
+// The exponent is capped so a long retry budget cannot overflow into
+// multi-second stalls. Returns 0 when backoff is disabled.
+func (ms *ManagerStub) retryBackoff(attempt int) time.Duration {
+	base := ms.cfg.RetryBackoff
+	if base <= 0 {
+		return 0
+	}
+	shift := attempt - 1
+	if shift > 6 {
+		shift = 6
+	}
+	d := base << shift
+	ms.mu.Lock()
+	jitter := 1 + ms.rng.Float64()
+	ms.mu.Unlock()
+	return time.Duration(float64(d) * jitter)
+}
+
+// sleepBackoff waits the attempt's backoff, abandoning the wait when
+// the context ends first. Returns false if the context ended.
+func (ms *ManagerStub) sleepBackoff(ctx context.Context, attempt int) bool {
+	d := ms.retryBackoff(attempt)
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
 
 // Dispatch runs one task on some worker of the class: lottery pick,
 // bounded call, retry elsewhere on timeout or overload. Dead workers
@@ -237,8 +315,21 @@ func (ms *ManagerStub) Dispatch(ctx context.Context, class string, task *tacc.Ta
 	ms.dispatches++
 	ms.mu.Unlock()
 
+	// The context deadline is the request's end-to-end deadline: it is
+	// stamped into every TaskMsg so workers can drop expired queue
+	// entries, and it bounds each attempt's timeout so retries never
+	// outlive the caller's interest.
+	dl, hasDL := ctx.Deadline()
+	var dlNanos int64
+	if hasDL {
+		dlNanos = dl.UnixNano()
+	}
+
 	tried := make(map[string]bool)
 	for attempt := 0; attempt < ms.cfg.Retries; attempt++ {
+		if attempt > 0 && !ms.sleepBackoff(ctx, attempt) {
+			return tacc.Blob{}, fmt.Errorf("%w: class %s", ErrDeadline, class)
+		}
 		var ids []string
 		for _, w := range ms.Workers(class) {
 			if !tried[w.ID] {
@@ -268,8 +359,18 @@ func (ms *ManagerStub) Dispatch(ctx context.Context, class string, task *tacc.Ta
 			ms.retries++
 			ms.mu.Unlock()
 		}
-		cctx, cancel := context.WithTimeout(ctx, ms.cfg.CallTimeout)
-		resp, err := ms.ep.Call(cctx, info.Addr, MsgTask, TaskMsg{Task: *task}, task.Input.Size()+128)
+		callTimeout := ms.cfg.CallTimeout
+		if hasDL {
+			remaining := time.Until(dl)
+			if remaining <= 0 {
+				return tacc.Blob{}, fmt.Errorf("%w: class %s", ErrDeadline, class)
+			}
+			if remaining < callTimeout {
+				callTimeout = remaining
+			}
+		}
+		cctx, cancel := context.WithTimeout(ctx, callTimeout)
+		resp, err := ms.ep.Call(cctx, info.Addr, MsgTask, TaskMsg{Task: *task, Deadline: dlNanos}, task.Input.Size()+128)
 		cancel()
 		if err != nil {
 			// Timeout or vanished endpoint: treat the worker as
@@ -288,6 +389,12 @@ func (ms *ManagerStub) Dispatch(ctx context.Context, class string, task *tacc.Ta
 		}
 		if res.Err != "" {
 			resp.Release()
+			if res.Err == ErrTaskExpired {
+				// The worker dropped the task because its deadline had
+				// already passed when it reached the head of the queue.
+				// Terminal, not retryable: the clock won't run backwards.
+				return tacc.Blob{}, fmt.Errorf("%w: class %s (dropped by %s)", ErrDeadline, class, id)
+			}
 			if res.Err == "queue full" || res.Err == "worker disabled" {
 				continue // overloaded/disabled: try another instance
 			}

@@ -488,3 +488,81 @@ func TestBeaconRemovesVanishedWorkers(t *testing.T) {
 		t.Fatal("wrong worker dropped")
 	}
 }
+
+func TestRetryBackoffJitteredExponential(t *testing.T) {
+	const base = 2 * time.Millisecond
+	_, ms := feEndpoint(t, san.NewNetwork(1), ManagerStubConfig{Seed: 7, RetryBackoff: base})
+
+	// Every draw for attempt n lands in [base*2^(n-1), 2*base*2^(n-1)),
+	// with the exponent capped at 6 so deep retry budgets cannot turn
+	// into multi-second stalls.
+	for attempt := 1; attempt <= 10; attempt++ {
+		shift := attempt - 1
+		if shift > 6 {
+			shift = 6
+		}
+		lo := base << shift
+		for i := 0; i < 16; i++ {
+			if d := ms.retryBackoff(attempt); d < lo || d >= 2*lo {
+				t.Fatalf("attempt %d draw %d: backoff %v outside [%v, %v)", attempt, i, d, lo, 2*lo)
+			}
+		}
+	}
+
+	// Same seed, same jitter sequence: retry timing stays inside the
+	// run-twice determinism contract.
+	_, ms1 := feEndpoint(t, san.NewNetwork(1), ManagerStubConfig{Seed: 42, RetryBackoff: base})
+	_, ms2 := feEndpoint(t, san.NewNetwork(1), ManagerStubConfig{Seed: 42, RetryBackoff: base})
+	for attempt := 1; attempt <= 6; attempt++ {
+		if d1, d2 := ms1.retryBackoff(attempt), ms2.retryBackoff(attempt); d1 != d2 {
+			t.Fatalf("attempt %d: same-seed stubs drew %v vs %v", attempt, d1, d2)
+		}
+	}
+
+	// Negative disables backoff outright (zero would mean "default").
+	_, msOff := feEndpoint(t, san.NewNetwork(1), ManagerStubConfig{Seed: 7, RetryBackoff: -time.Millisecond})
+	if d := msOff.retryBackoff(3); d != 0 {
+		t.Fatalf("disabled backoff returned %v, want 0", d)
+	}
+}
+
+func TestDispatchBacksOffBetweenRetries(t *testing.T) {
+	net := san.NewNetwork(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fm := newFakeManager(net, 5*time.Millisecond)
+	// Three ghosts at dead addresses: every call times out, so a full
+	// dispatch burns all three attempts with a backoff sleep before
+	// each retry.
+	ghosts := []WorkerInfo{
+		{ID: "w-g1", Class: "echo", Addr: san.Addr{Node: "gone", Proc: "w-g1"}, Node: "gone"},
+		{ID: "w-g2", Class: "echo", Addr: san.Addr{Node: "gone", Proc: "w-g2"}, Node: "gone"},
+		{ID: "w-g3", Class: "echo", Addr: san.Addr{Node: "gone", Proc: "w-g3"}, Node: "gone"},
+	}
+	go fm.run(ctx, func() []WorkerInfo { return ghosts })
+
+	const base = 30 * time.Millisecond
+	_, ms := feEndpoint(t, net, ManagerStubConfig{
+		Seed:         3,
+		CallTimeout:  10 * time.Millisecond,
+		Retries:      3,
+		RetryBackoff: base,
+	})
+	waitFor(t, "ghosts advertised", func() bool { return len(ms.Workers("echo")) == 3 })
+
+	start := time.Now()
+	_, err := ms.Dispatch(ctx, "echo", &tacc.Task{Input: tacc.Blob{Data: []byte("x")}})
+	elapsed := time.Since(start)
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("err = %v, want ErrExhausted", err)
+	}
+	// Backoff floor: >= base before attempt 1 and >= 2*base before
+	// attempt 2 — without backoff this dispatch finishes in ~3 call
+	// timeouts (30ms), well under the floor.
+	if min := 3 * base; elapsed < min {
+		t.Fatalf("dispatch returned after %v; jittered backoff floor is %v", elapsed, min)
+	}
+	if st := ms.Stats(); st.Retries != 2 || st.Exhausted != 1 {
+		t.Fatalf("stats = %+v, want 2 retries and 1 exhausted", st)
+	}
+}

@@ -104,9 +104,14 @@ type LoadReport struct {
 	Info WorkerInfo
 }
 
-// TaskMsg asks a worker to run one task.
+// TaskMsg asks a worker to run one task. Deadline, when non-zero, is
+// the absolute wall-clock instant (unix nanoseconds) after which the
+// caller no longer awaits the result; it rides inside the body so it
+// crosses process boundaries through the wire codec, and workers drop
+// expired tasks from their inboxes instead of running them.
 type TaskMsg struct {
-	Task tacc.Task
+	Task     tacc.Task
+	Deadline int64
 }
 
 // ResultMsg answers a TaskMsg.
@@ -255,6 +260,7 @@ func EncodeBodyAppend(dst []byte, kind string, body any) ([]byte, error) {
 		}
 		w.strMap(m.Task.Profile)
 		w.strMap(m.Task.Params)
+		w.varint(m.Deadline)
 	case MsgResult:
 		m, ok := body.(ResultMsg)
 		if !ok {
@@ -291,6 +297,7 @@ func EncodeBodyAppend(dst []byte, kind string, body any) ([]byte, error) {
 			return nil, fmt.Errorf("%w: %s wants vcache.GetReq, got %T", ErrWireFormat, kind, body)
 		}
 		w.str(m.Key)
+		w.bool(m.Stale)
 	case vcache.MsgHello:
 		m, ok := body.(vcache.HelloMsg)
 		if !ok {
@@ -307,6 +314,7 @@ func EncodeBodyAppend(dst []byte, kind string, body any) ([]byte, error) {
 		w.bool(m.Found)
 		w.bytes(m.Data)
 		w.str(m.MIME)
+		w.bool(m.Stale)
 	case vcache.MsgPut, vcache.MsgInject:
 		m, ok := body.(vcache.PutReq)
 		if !ok {
@@ -430,6 +438,7 @@ func decodeBody(kind string, data []byte, view bool) (any, bool, error) {
 		}
 		m.Task.Profile = r.strMap()
 		m.Task.Params = r.strMap()
+		m.Deadline = r.varint()
 		body = m
 	case MsgResult:
 		body = ResultMsg{Blob: r.blob(), Err: r.str()}
@@ -440,11 +449,11 @@ func decodeBody(kind string, data []byte, view bool) (any, bool, error) {
 	case MsgMonReport:
 		body = StatusReport{Component: r.str(), Kind: r.str(), Node: r.str(), Metrics: r.f64Map()}
 	case vcache.MsgGet:
-		body = vcache.GetReq{Key: r.str()}
+		body = vcache.GetReq{Key: r.str(), Stale: r.bool()}
 	case vcache.MsgHello:
 		body = vcache.HelloMsg{Name: r.str(), Addr: r.addr(), Node: r.str()}
 	case vcache.MsgGot:
-		body = vcache.GetResp{Found: r.bool(), Data: r.bytes(), MIME: r.str()}
+		body = vcache.GetResp{Found: r.bool(), Data: r.bytes(), MIME: r.str(), Stale: r.bool()}
 	case vcache.MsgPut, vcache.MsgInject:
 		body = vcache.PutReq{Key: r.str(), Data: r.bytes(), MIME: r.str(), TTL: time.Duration(r.varint())}
 	case vcache.MsgStatsR:

@@ -47,7 +47,11 @@ func wireSamples() map[string]any {
 			},
 			Profile: map[string]string{"quality": "low", "width": "320"},
 			Params:  map[string]string{"minsize": "0"},
-		}},
+		},
+			// Deadline rides the wire so remote workers can drop
+			// expired work (unix nanos).
+			Deadline: 1700000000123456789,
+		},
 		MsgResult: ResultMsg{
 			Blob: tacc.Blob{MIME: "image/sjpg", Data: []byte("distilled")},
 			Err:  "",
@@ -58,11 +62,11 @@ func wireSamples() map[string]any {
 			Component: "w0", Kind: "worker", Node: "n1",
 			Metrics: map[string]float64{"qlen": 3, "costMs": 1.5, "done": 7},
 		},
-		vcache.MsgGet: vcache.GetReq{Key: "http://origin1.example/obj42.sjpg#distilled"},
+		vcache.MsgGet: vcache.GetReq{Key: "http://origin1.example/obj42.sjpg#distilled", Stale: true},
 		vcache.MsgHello: vcache.HelloMsg{
 			Name: "cache0", Addr: san.Addr{Node: "node0", Proc: "cache0"}, Node: "node0",
 		},
-		vcache.MsgGot: vcache.GetResp{Found: true, Data: []byte("cached bytes"), MIME: "image/sjpg"},
+		vcache.MsgGot: vcache.GetResp{Found: true, Data: []byte("cached bytes"), MIME: "image/sjpg", Stale: true},
 		vcache.MsgPut: vcache.PutReq{
 			Key: "http://origin1.example/obj42.sjpg", Data: []byte("original"),
 			MIME: "image/sjpg", TTL: 90 * time.Second,

@@ -58,6 +58,7 @@ type WorkerStub struct {
 	done    atomic.Uint64
 	errs    atomic.Uint64
 	crashes atomic.Uint64
+	expired atomic.Uint64 // tasks dropped unrun: deadline passed in queue
 	costMs  atomic.Uint64 // EWMA of task cost, microseconds, stored *1
 
 	// Fault injection (chaos testing): an artificial per-task delay
@@ -119,6 +120,15 @@ func (s *WorkerStub) Info() WorkerInfo {
 
 // QueueLen returns the current queue length (pending + in service).
 func (s *WorkerStub) QueueLen() int { return int(s.qlen.Load()) }
+
+// ExpiredDrops returns how many queued tasks this stub dropped unrun
+// because their deadline had already passed.
+func (s *WorkerStub) ExpiredDrops() uint64 { return s.expired.Load() }
+
+// TasksDone returns how many tasks this stub completed successfully —
+// the per-worker share counter the gray-failure scenarios compare to
+// show the lottery shifting load away from an impaired worker.
+func (s *WorkerStub) TasksDone() uint64 { return s.done.Load() }
 
 // errWorkerCrash marks a stub exit caused by a worker panic.
 type errWorkerCrash struct{ cause any }
@@ -262,6 +272,17 @@ func (s *WorkerStub) processLoop(ctx context.Context, crashed chan<- any) {
 				case <-time.After(d):
 				}
 			}
+			if dl := taskDeadline(msg); !dl.IsZero() && time.Now().After(dl) {
+				// The request expired while queued (or while this stub
+				// hung): nobody awaits the answer, so don't burn capacity
+				// computing it — the deadline-propagation half of graceful
+				// degradation under overload.
+				s.expired.Add(1)
+				s.qlen.Add(-1)
+				_ = s.ep.Respond(msg, MsgResult, ResultMsg{Err: ErrTaskExpired}, 16)
+				msg.Release()
+				continue
+			}
 			start := time.Now()
 			blob, err, panicked := s.runTask(ctx, msg)
 			s.qlen.Add(-1)
@@ -294,6 +315,26 @@ func (s *WorkerStub) processLoop(ctx context.Context, crashed chan<- any) {
 			msg.Release()
 		}
 	}
+}
+
+// ErrTaskExpired is the ResultMsg.Err a worker answers with when it
+// drops a task whose deadline passed before execution. Dispatch treats
+// it as terminal — retrying work that is already too late only amplifies
+// the overload that delayed it.
+const ErrTaskExpired = "expired"
+
+// taskDeadline extracts the effective deadline of a queued task: the
+// SAN delivery deadline (in-process hops) or the one embedded in the
+// TaskMsg body (which is how it crosses process boundaries), whichever
+// is present.
+func taskDeadline(msg san.Message) time.Time {
+	if !msg.Deadline.IsZero() {
+		return msg.Deadline
+	}
+	if tm, ok := msg.Body.(TaskMsg); ok && tm.Deadline != 0 {
+		return time.Unix(0, tm.Deadline)
+	}
+	return time.Time{}
 }
 
 // runTask executes the worker with panic isolation.
@@ -346,10 +387,11 @@ func (s *WorkerStub) reportLoad(ep *san.Endpoint) {
 		Kind:      "worker",
 		Node:      s.node,
 		Metrics: map[string]float64{
-			"qlen":   float64(report.QLen),
-			"costMs": report.CostMs,
-			"done":   float64(report.Done),
-			"errors": float64(report.Errors),
+			"qlen":    float64(report.QLen),
+			"costMs":  report.CostMs,
+			"done":    float64(report.Done),
+			"errors":  float64(report.Errors),
+			"expired": float64(s.expired.Load()),
 		},
 	}, 96)
 }

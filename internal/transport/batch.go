@@ -19,17 +19,26 @@ const (
 // ErrBatcherClosed is returned by Append/Flush after Close.
 var ErrBatcherClosed = errors.New("transport: batcher closed")
 
+// ErrBackpressure is returned by Append/AppendVec when the bytes
+// queued behind an in-progress write exceed the batcher's bound: the
+// peer's reader has stalled and buffering more would only hide the
+// congestion. The frame is dropped (datagram semantics) and any
+// release hook has already run; the connection stays up.
+var ErrBackpressure = errors.New("transport: peer write queue full (backpressure)")
+
 // BatchStats counts a batcher's life. FramesPerBatch (derivable as
 // Frames/Batches) is the coalescing figure of merit: >1 means multiple
 // frames shared a syscall/packet.
 type BatchStats struct {
-	Frames      uint64 // frames appended
-	Batches     uint64 // Write calls issued
-	Bytes       uint64 // bytes written
-	SizeFlushes uint64 // flushes triggered by the size threshold
-	TimeFlushes uint64 // flushes triggered by the deadline
-	VecFrames   uint64 // frames whose body went out as its own iovec
-	VecBytes    uint64 // body bytes written without staging (writev)
+	Frames       uint64 // frames appended
+	Batches      uint64 // Write calls issued
+	Bytes        uint64 // bytes written
+	SizeFlushes  uint64 // flushes triggered by the size threshold
+	TimeFlushes  uint64 // flushes triggered by the deadline
+	VecFrames    uint64 // frames whose body went out as its own iovec
+	VecBytes     uint64 // body bytes written without staging (writev)
+	Backpressure uint64 // appends refused because the queue bound was hit
+	MaxQueued    uint64 // high-water mark of bytes staged behind a write
 }
 
 // vecWriter is the optional fast path a Batcher probes its writer for:
@@ -43,8 +52,8 @@ type vecWriter interface {
 
 // cut records one externally-held body spliced into the staged stream:
 // the staging buffer splits at off, with body (and its release hook)
-// in between. Offsets, not subslices — b.buf's backing array moves as
-// it grows.
+// in between. Offsets, not subslices — the staging buffer's backing
+// array moves as it grows.
 type cut struct {
 	off     int
 	body    []byte
@@ -52,44 +61,65 @@ type cut struct {
 }
 
 // Batcher coalesces frames into one buffered write per flush. Appends
-// accumulate until the buffer reaches FlushBytes (flush inline, on the
+// accumulate until the buffer reaches FlushBytes (flushed by the
 // appender's goroutine) or the oldest pending frame has waited
-// FlushDelay (flush from a timer). A FlushDelay of zero (or negative)
-// disables coalescing: every Append writes immediately — the
+// FlushDelay (flushed from a timer). A FlushDelay of zero (or
+// negative) disables coalescing: every Append writes immediately — the
 // "unbatched" mode the benchmarks compare against.
 //
-// Writes happen under the batcher's lock, so the underlying writer
-// needs no extra synchronization; errors are sticky and surface on
-// the next Append/Flush.
+// Writes happen OUTSIDE the batcher's lock: the goroutine that
+// triggers a flush takes ownership of the staged bytes (becoming the
+// drainer), releases the lock, and writes, so concurrent appenders
+// keep staging instead of queueing behind a stalled socket. At most
+// one drainer is active at a time, so the underlying writer still
+// needs no extra synchronization; it drains everything staged during
+// its write before retiring. Errors are sticky and surface on the next
+// Append/Flush.
+//
+// maxBytes, when positive, bounds the bytes staged behind an active
+// drainer: an Append that would exceed it fails fast with
+// ErrBackpressure instead of buffering unboundedly behind a peer whose
+// reader has stalled. The bound only engages while a write is in
+// flight — a healthy batcher flushes at FlushBytes long before
+// reaching it — so it should be set comfortably above FlushBytes.
 type Batcher struct {
 	w          io.Writer
 	flushBytes int
 	delay      time.Duration
+	maxBytes   int
 
-	mu      sync.Mutex
-	buf     []byte
-	cuts    []cut // external bodies interleaved with buf (vectored)
-	ext     int   // total external body bytes pending
-	iov     net.Buffers
-	pending int // frames in buf
-	armed   bool
-	timer   *time.Timer
-	closed  bool
-	err     error
+	mu        sync.Mutex
+	cond      *sync.Cond // signaled when the active drainer retires
+	buf       []byte
+	spare     []byte // recycled staging buffer (swapped by the drainer)
+	cuts      []cut  // external bodies interleaved with buf (vectored)
+	spareCuts []cut
+	ext       int // total external body bytes pending
+	iov       net.Buffers
+	pending   int // frames in buf
+	armed     bool
+	timer     *time.Timer
+	writing   bool // a drainer owns a write in progress
+	closed    bool
+	err       error
 
 	stats BatchStats
 }
 
 // NewBatcher wraps w. Zero flushBytes/delay pick the defaults; a
-// negative delay disables batching entirely.
-func NewBatcher(w io.Writer, flushBytes int, delay time.Duration) *Batcher {
+// negative delay disables batching entirely. maxBytes bounds the bytes
+// queued behind an in-progress write (see Batcher); zero or negative
+// leaves the queue unbounded.
+func NewBatcher(w io.Writer, flushBytes int, delay time.Duration, maxBytes int) *Batcher {
 	if flushBytes <= 0 {
 		flushBytes = DefaultFlushBytes
 	}
 	if delay == 0 {
 		delay = DefaultFlushDelay
 	}
-	return &Batcher{w: w, flushBytes: flushBytes, delay: delay}
+	b := &Batcher{w: w, flushBytes: flushBytes, delay: delay, maxBytes: maxBytes}
+	b.cond = sync.NewCond(&b.mu)
+	return b
 }
 
 // Append queues one frame. The bytes are copied; the caller's buffer
@@ -103,6 +133,10 @@ func (b *Batcher) Append(frame []byte) error {
 	if b.err != nil {
 		return b.err
 	}
+	if b.maxBytes > 0 && b.writing && len(b.buf)+b.ext+len(frame) > b.maxBytes {
+		b.stats.Backpressure++
+		return ErrBackpressure
+	}
 	b.buf = append(b.buf, frame...)
 	b.pending++
 	b.stats.Frames++
@@ -115,7 +149,9 @@ func (b *Batcher) Append(frame []byte) error {
 // the socket as its own iovec. release, if non-nil, runs once the
 // flush that carries the body completes (successfully or not); until
 // then the caller must keep body immutable and alive, which is
-// exactly the Lease.Retain/Release contract.
+// exactly the Lease.Retain/Release contract. A refused append (closed,
+// sticky error, or backpressure) runs release inline: nothing will
+// carry the body.
 func (b *Batcher) AppendVec(hdr, body []byte, trailer [4]byte, release func()) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -128,6 +164,13 @@ func (b *Batcher) AppendVec(hdr, body []byte, trailer [4]byte, release func()) e
 		}
 		return b.err
 	}
+	if b.maxBytes > 0 && b.writing && len(b.buf)+b.ext+len(hdr)+len(body)+len(trailer) > b.maxBytes {
+		b.stats.Backpressure++
+		if release != nil {
+			release()
+		}
+		return ErrBackpressure
+	}
 	b.buf = append(b.buf, hdr...)
 	b.cuts = append(b.cuts, cut{off: len(b.buf), body: body, release: release})
 	b.buf = append(b.buf, trailer[:]...)
@@ -139,103 +182,145 @@ func (b *Batcher) AppendVec(hdr, body []byte, trailer [4]byte, release func()) e
 }
 
 func (b *Batcher) afterAppendLocked() error {
-	if b.delay < 0 || len(b.buf)+b.ext >= b.flushBytes {
-		return b.flushLocked(&b.stats.SizeFlushes)
+	if q := uint64(len(b.buf) + b.ext); q > b.stats.MaxQueued {
+		b.stats.MaxQueued = q
 	}
-	if !b.armed {
-		b.armed = true
-		if b.timer == nil {
-			b.timer = time.AfterFunc(b.delay, b.timerFlush)
-		} else {
-			b.timer.Reset(b.delay)
+	if b.delay >= 0 && len(b.buf)+b.ext < b.flushBytes {
+		if !b.armed {
+			b.armed = true
+			if b.timer == nil {
+				b.timer = time.AfterFunc(b.delay, b.timerFlush)
+			} else {
+				b.timer.Reset(b.delay)
+			}
 		}
+		return nil
 	}
-	return nil
+	if b.writing {
+		// The active drainer picks the staged frames up before it
+		// retires; starting a second write would reorder the stream.
+		return nil
+	}
+	return b.drainLocked(&b.stats.SizeFlushes)
 }
 
 func (b *Batcher) timerFlush() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.closed || b.pending == 0 {
+	b.armed = false
+	if b.closed || b.pending == 0 || b.writing {
 		return
 	}
-	_ = b.flushLocked(&b.stats.TimeFlushes)
+	_ = b.drainLocked(&b.stats.TimeFlushes)
 }
 
-// Flush writes any pending frames now.
+// Flush writes any pending frames now, waiting out an active drainer
+// (which carries everything staged with it) if there is one.
 func (b *Batcher) Flush() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.closed {
-		return ErrBatcherClosed
+	for {
+		if b.closed {
+			return ErrBatcherClosed
+		}
+		if !b.writing {
+			if b.pending == 0 {
+				return b.err
+			}
+			return b.drainLocked(&b.stats.TimeFlushes)
+		}
+		b.cond.Wait()
 	}
-	if b.pending == 0 {
-		return b.err
-	}
-	return b.flushLocked(&b.stats.TimeFlushes)
 }
 
-func (b *Batcher) flushLocked(cause *uint64) error {
+// drainLocked makes the calling goroutine the drainer: it takes the
+// staged bytes, writes them outside the lock, and loops until nothing
+// staged remains (frames appended during a write ride the next one).
+// Called with b.mu held and b.writing false; returns with b.mu held.
+func (b *Batcher) drainLocked(cause *uint64) error {
 	if b.armed {
 		b.armed = false
 		b.timer.Stop()
 	}
 	if b.err != nil {
-		b.releaseCutsLocked()
+		b.releaseStagedLocked()
 		return b.err
 	}
 	if b.pending == 0 {
 		return nil
 	}
-	var (
-		n   int64
-		err error
-	)
-	if len(b.cuts) == 0 {
-		var w int
-		w, err = b.w.Write(b.buf)
-		n = int64(w)
-	} else {
-		n, err = b.writeVecLocked()
+	buf, cuts := b.takeLocked()
+	for {
+		b.mu.Unlock()
+		n, vecBytes, err := b.writeBatch(buf, cuts)
+		// The write attempt is over, success or not: the bodies are no
+		// longer needed. Hooks run outside the lock.
+		for i := range cuts {
+			if cuts[i].release != nil {
+				cuts[i].release()
+			}
+			cuts[i] = cut{}
+		}
+		b.mu.Lock()
+		b.stats.Batches++
+		b.stats.Bytes += uint64(n)
+		b.stats.VecBytes += vecBytes
+		*cause++
+		b.spare = buf[:0]
+		b.spareCuts = cuts[:0]
+		if err != nil && b.err == nil {
+			b.err = err
+		}
+		if b.err == nil && b.pending > 0 {
+			buf, cuts = b.takeLocked()
+			continue
+		}
+		b.writing = false
+		if b.err != nil {
+			b.releaseStagedLocked()
+		}
+		b.cond.Broadcast()
+		return b.err
 	}
-	b.stats.Batches++
-	b.stats.Bytes += uint64(n)
-	*cause++
-	b.buf = b.buf[:0]
-	b.pending = 0
-	if err != nil {
-		b.err = err
-	}
-	return b.err
 }
 
-// writeVecLocked assembles the staged bytes and the external bodies
-// into one gather list and writes it — writev when the writer supports
-// it, a WriteTo fallback loop otherwise. Either way the external
-// bodies never pass through the staging buffer. Releases every cut's
-// hook afterwards, success or not: the write attempt is over and the
-// bodies are no longer needed.
-func (b *Batcher) writeVecLocked() (int64, error) {
+// takeLocked moves the staged frames to the drainer and resets staging
+// onto the recycled spare buffers.
+func (b *Batcher) takeLocked() ([]byte, []cut) {
+	buf, cuts := b.buf, b.cuts
+	b.buf, b.spare = b.spare[:0], nil
+	b.cuts, b.spareCuts = b.spareCuts[:0], nil
+	b.ext = 0
+	b.pending = 0
+	b.writing = true
+	return buf, cuts
+}
+
+// writeBatch writes one taken batch with no lock held. The gather-list
+// scratch (b.iov) is owned by the active drainer, of which there is at
+// most one, so touching it unlocked is safe.
+func (b *Batcher) writeBatch(buf []byte, cuts []cut) (n int64, vecBytes uint64, err error) {
+	if len(cuts) == 0 {
+		var w int
+		w, err = b.w.Write(buf)
+		return int64(w), 0, err
+	}
 	iov := b.iov[:0]
 	prev := 0
-	for _, c := range b.cuts {
+	for _, c := range cuts {
 		if c.off > prev {
-			iov = append(iov, b.buf[prev:c.off])
+			iov = append(iov, buf[prev:c.off])
 		}
 		if len(c.body) > 0 {
 			iov = append(iov, c.body)
-			b.stats.VecBytes += uint64(len(c.body))
+			vecBytes += uint64(len(c.body))
 		}
 		prev = c.off
 	}
-	if len(b.buf) > prev {
-		iov = append(iov, b.buf[prev:])
+	if len(buf) > prev {
+		iov = append(iov, buf[prev:])
 	}
 	b.iov = iov // keep the grown backing array for the next flush
-	var (
-		n   int64
-		err error
-	)
 	bufs := iov // WriteTo consumes its receiver; keep b.iov intact
 	if vw, ok := b.w.(vecWriter); ok {
 		n, err = vw.WriteVec(&bufs)
@@ -243,14 +328,15 @@ func (b *Batcher) writeVecLocked() (int64, error) {
 		// Plain writers get net.Buffers' sequential-Write fallback.
 		n, err = bufs.WriteTo(b.w)
 	}
-	b.releaseCutsLocked()
 	for i := range b.iov {
 		b.iov[i] = nil // drop body references; the slots get reused
 	}
-	return n, err
+	return n, vecBytes, err
 }
 
-func (b *Batcher) releaseCutsLocked() {
+// releaseStagedLocked drops staged frames that will never be written
+// (sticky error), running their release hooks.
+func (b *Batcher) releaseStagedLocked() {
 	for i := range b.cuts {
 		if b.cuts[i].release != nil {
 			b.cuts[i].release()
@@ -259,22 +345,31 @@ func (b *Batcher) releaseCutsLocked() {
 	}
 	b.cuts = b.cuts[:0]
 	b.ext = 0
+	b.buf = b.buf[:0]
+	b.pending = 0
 }
 
 // Close flushes what it can and refuses further appends. It does not
-// close the underlying writer.
+// close the underlying writer. If a drainer is mid-write, Close waits
+// for it (bounded by the writer's own deadline, if any).
 func (b *Batcher) Close() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.closed {
-		return nil
+	for {
+		if b.closed {
+			return nil
+		}
+		if !b.writing {
+			err := b.drainLocked(&b.stats.TimeFlushes)
+			b.closed = true
+			if b.timer != nil {
+				b.timer.Stop()
+			}
+			b.cond.Broadcast()
+			return err
+		}
+		b.cond.Wait()
 	}
-	err := b.flushLocked(&b.stats.TimeFlushes)
-	b.closed = true
-	if b.timer != nil {
-		b.timer.Stop()
-	}
-	return err
 }
 
 // Stats returns a snapshot of the counters.

@@ -29,7 +29,7 @@ func (w *recordingWriter) Write(p []byte) (int, error) {
 // frames.
 func TestBatcherPacksBurst(t *testing.T) {
 	w := &recordingWriter{}
-	b := NewBatcher(w, 16<<10, 2*time.Millisecond)
+	b := NewBatcher(w, 16<<10, 2*time.Millisecond, 0)
 	frame := AppendMcast(nil, san.Addr{Node: "a", Proc: "p"}, "g", "k", []byte("0123456789abcdef"))
 
 	const frames = 1000
@@ -67,7 +67,7 @@ func TestBatcherPacksBurst(t *testing.T) {
 // microsecond deadline flushes it without further appends.
 func TestBatcherDeadlineFlush(t *testing.T) {
 	w := &recordingWriter{}
-	b := NewBatcher(w, 1<<20, time.Millisecond)
+	b := NewBatcher(w, 1<<20, time.Millisecond, 0)
 	defer b.Close()
 	if err := b.Append([]byte("solo")); err != nil {
 		t.Fatal(err)
@@ -94,7 +94,7 @@ func TestBatcherDeadlineFlush(t *testing.T) {
 // before any deadline.
 func TestBatcherSizeFlush(t *testing.T) {
 	w := &recordingWriter{}
-	b := NewBatcher(w, 64, time.Hour) // deadline effectively off
+	b := NewBatcher(w, 64, time.Hour, 0) // deadline effectively off
 	defer b.Close()
 	chunk := make([]byte, 48)
 	if err := b.Append(chunk); err != nil {
@@ -112,11 +112,86 @@ func TestBatcherSizeFlush(t *testing.T) {
 	}
 }
 
+// blockingWriter models a gray-failed peer: the connection is up but
+// its reader drains nothing, so every Write stalls until the gate
+// opens. Each Write announces itself on entered before blocking.
+type blockingWriter struct {
+	entered chan struct{}
+	gate    chan struct{}
+}
+
+func (w *blockingWriter) Write(p []byte) (int, error) {
+	w.entered <- struct{}{}
+	<-w.gate
+	return len(p), nil
+}
+
+// TestBatcherBackpressure: with a write in flight against a stalled
+// peer, appends keep staging only up to the byte bound, then fail fast
+// with ErrBackpressure (releasing any vectored body's lease) instead
+// of buffering unboundedly. Once the writer unsticks, the batcher
+// drains and accepts work again.
+func TestBatcherBackpressure(t *testing.T) {
+	w := &blockingWriter{entered: make(chan struct{}, 16), gate: make(chan struct{})}
+	b := NewBatcher(w, 64, time.Millisecond, 256)
+
+	// Arm the timer flush with a small frame, then wait until its
+	// drainer is provably stuck inside Write.
+	if err := b.Append(make([]byte, 32)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-w.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer flush never reached the writer")
+	}
+
+	// Staging continues behind the stalled write until the bound.
+	if err := b.Append(make([]byte, 100)); err != nil {
+		t.Fatalf("first staged append: %v", err)
+	}
+	if err := b.Append(make([]byte, 100)); err != nil {
+		t.Fatalf("second staged append: %v", err)
+	}
+	if err := b.Append(make([]byte, 100)); err != ErrBackpressure {
+		t.Fatalf("append past the bound returned %v, want ErrBackpressure", err)
+	}
+	released := false
+	var trailer [4]byte
+	err := b.AppendVec(make([]byte, 16), make([]byte, 100), trailer, func() { released = true })
+	if err != ErrBackpressure {
+		t.Fatalf("AppendVec past the bound returned %v, want ErrBackpressure", err)
+	}
+	if !released {
+		t.Fatal("refused AppendVec did not run its release hook")
+	}
+
+	// Unstick the peer: the drainer finishes, carries the staged
+	// frames out, and the batcher accepts work again.
+	close(w.gate)
+	if err := b.Flush(); err != nil {
+		t.Fatalf("flush after recovery: %v", err)
+	}
+	if err := b.Append(make([]byte, 100)); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := b.Stats()
+	if st.Backpressure != 2 {
+		t.Fatalf("Backpressure = %d, want 2", st.Backpressure)
+	}
+	if st.MaxQueued > 256 {
+		t.Fatalf("MaxQueued = %d exceeded the 256-byte bound", st.MaxQueued)
+	}
+}
+
 // TestBatcherUnbatched: negative delay writes every frame immediately
 // — the comparison mode for the batched-vs-unbatched bench.
 func TestBatcherUnbatched(t *testing.T) {
 	w := &recordingWriter{}
-	b := NewBatcher(w, 0, -1)
+	b := NewBatcher(w, 0, -1, 0)
 	defer b.Close()
 	for i := 0; i < 10; i++ {
 		if err := b.Append([]byte("frame")); err != nil {

@@ -57,6 +57,17 @@ type Config struct {
 	// behind one sick peer (default 10 s).
 	WriteTimeout time.Duration
 
+	// MaxBatchBytes bounds the bytes queued behind an in-progress
+	// write to one peer. When a peer's reader stalls (gray failure:
+	// the connection is up but nothing drains), sends beyond the
+	// bound fail fast with ErrBackpressure — the datagram drops and
+	// its lease releases — instead of buffering without limit behind
+	// the stalled flush. The refusals are counted in
+	// Stats.Backpressure so upstream admission control can see remote
+	// congestion. Zero picks DefaultMaxBatchBytes; negative disables
+	// the bound.
+	MaxBatchBytes int
+
 	// ChunkBytes is the chunked-relay threshold: a leased body larger
 	// than this streams to peers as FlagChunk fragments (chunkFrag
 	// bytes each) instead of one giant frame, so ordinary frames
@@ -86,6 +97,9 @@ func (c Config) withDefaults() Config {
 	if c.ChunkBytes == 0 {
 		c.ChunkBytes = DefaultChunkBytes
 	}
+	if c.MaxBatchBytes == 0 {
+		c.MaxBatchBytes = DefaultMaxBatchBytes
+	}
 	return c
 }
 
@@ -103,25 +117,32 @@ const (
 	// copy and go to the socket as their own iovec. Below it the
 	// iovec bookkeeping costs more than the memcpy it saves.
 	vecMinBody = 2 << 10
+	// DefaultMaxBatchBytes bounds the per-peer write queue: far above
+	// the flush threshold (a healthy peer drains long before this),
+	// small enough that a stalled peer triggers fail-fast
+	// backpressure within one RTT's worth of traffic.
+	DefaultMaxBatchBytes = 1 << 20
 )
 
 // Stats counts bridge activity.
 type Stats struct {
-	Peers       int    // live peer connections
-	FramesOut   uint64 // frames handed to peer batchers
-	FramesIn    uint64 // frames decoded from peers
-	BytesIn     uint64 // raw bytes read
-	Batches     uint64 // write syscalls issued (all peers, lifetime)
-	BytesOut    uint64 // bytes written (all peers, lifetime)
-	Floods      uint64 // unicasts sent to every peer for lack of any route
-	FrameErrors uint64 // connections dropped for stream corruption
-	Injected    uint64 // frames delivered into the local SAN
-	Reconnects  uint64 // successful dials after the first
-	HellosIn    uint64 // handshakes accepted
-	AdvertsIn   uint64 // endpoint-table advertisement frames received
-	Unroutable  uint64 // unicasts refused: destination advertised dead
-	Chunked     uint64 // outbound bodies streamed as chunk fragments
-	Reassembled uint64 // inbound chunk streams completed and injected
+	Peers        int    // live peer connections
+	FramesOut    uint64 // frames handed to peer batchers
+	FramesIn     uint64 // frames decoded from peers
+	BytesIn      uint64 // raw bytes read
+	Batches      uint64 // write syscalls issued (all peers, lifetime)
+	BytesOut     uint64 // bytes written (all peers, lifetime)
+	Floods       uint64 // unicasts sent to every peer for lack of any route
+	FrameErrors  uint64 // connections dropped for stream corruption
+	Injected     uint64 // frames delivered into the local SAN
+	Reconnects   uint64 // successful dials after the first
+	HellosIn     uint64 // handshakes accepted
+	AdvertsIn    uint64 // endpoint-table advertisement frames received
+	Unroutable   uint64 // unicasts refused: destination advertised dead
+	Chunked      uint64 // outbound bodies streamed as chunk fragments
+	Reassembled  uint64 // inbound chunk streams completed and injected
+	Backpressure uint64 // frames refused: a peer's write queue was full
+	MaxQueued    uint64 // highest bytes any peer ever staged behind a write
 }
 
 // peer is one live connection to another bridge.
@@ -201,10 +222,16 @@ type Bridge struct {
 	chunked     atomic.Uint64
 	reassembled atomic.Uint64
 	chunkSeq    atomic.Uint64 // per-bridge fragment-stream id source
+	// severedUntil, while in the future, suppresses dials and inbound
+	// peer registrations (SeverPeers) — guarded by mu.
+	severedUntil time.Time
+
 	// Batch counters accumulated from connections that have closed;
 	// Stats() adds the live batchers on top.
-	deadBatches  atomic.Uint64
-	deadBytesOut atomic.Uint64
+	deadBatches      atomic.Uint64
+	deadBytesOut     atomic.Uint64
+	deadBackpressure atomic.Uint64
+	deadMaxQueued    atomic.Uint64 // max, not sum: high-water across dead conns
 
 	framePool sync.Pool
 }
@@ -325,23 +352,61 @@ func (b *Bridge) WaitPeers(n int, timeout time.Duration) bool {
 	}
 }
 
+// SeverPeers force-closes every live peer connection and, when d > 0,
+// refuses dials and inbound registrations until d elapses — the
+// multi-process analogue of san.Network.PartitionFor, so scripted
+// TCP-partition schedules share the in-process chaos vocabulary.
+// Healing is automatic: when the window passes, the standing dial
+// loops reconnect and the hello exchange re-advertises endpoints.
+// SeverPeers(0) just drops the current connections (redial starts
+// immediately), matching a transient network blip.
+func (b *Bridge) SeverPeers(d time.Duration) {
+	b.mu.Lock()
+	if d > 0 {
+		until := time.Now().Add(d)
+		if until.After(b.severedUntil) {
+			b.severedUntil = until
+		}
+	}
+	peers := b.peersLocked()
+	b.mu.Unlock()
+	for _, p := range peers {
+		// Close the conn, not the peer: the read loop unblocks with an
+		// error and runConn's teardown (removePeer → p.close) does the
+		// bookkeeping exactly as for a real network failure.
+		_ = p.conn.Close()
+	}
+}
+
+// severedFor reports how much of a SeverPeers window remains.
+func (b *Bridge) severedFor() time.Duration {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.severedUntil.IsZero() {
+		return 0
+	}
+	return time.Until(b.severedUntil)
+}
+
 // Stats returns a snapshot of the counters.
 func (b *Bridge) Stats() Stats {
 	st := Stats{
-		FramesOut:   b.framesOut.Load(),
-		FramesIn:    b.framesIn.Load(),
-		BytesIn:     b.bytesIn.Load(),
-		Floods:      b.floods.Load(),
-		FrameErrors: b.frameErrors.Load(),
-		Injected:    b.injected.Load(),
-		Reconnects:  b.reconnects.Load(),
-		HellosIn:    b.hellosIn.Load(),
-		AdvertsIn:   b.advertsIn.Load(),
-		Unroutable:  b.unroutable.Load(),
-		Chunked:     b.chunked.Load(),
-		Reassembled: b.reassembled.Load(),
-		Batches:     b.deadBatches.Load(),
-		BytesOut:    b.deadBytesOut.Load(),
+		FramesOut:    b.framesOut.Load(),
+		FramesIn:     b.framesIn.Load(),
+		BytesIn:      b.bytesIn.Load(),
+		Floods:       b.floods.Load(),
+		FrameErrors:  b.frameErrors.Load(),
+		Injected:     b.injected.Load(),
+		Reconnects:   b.reconnects.Load(),
+		HellosIn:     b.hellosIn.Load(),
+		AdvertsIn:    b.advertsIn.Load(),
+		Unroutable:   b.unroutable.Load(),
+		Chunked:      b.chunked.Load(),
+		Reassembled:  b.reassembled.Load(),
+		Batches:      b.deadBatches.Load(),
+		BytesOut:     b.deadBytesOut.Load(),
+		Backpressure: b.deadBackpressure.Load(),
+		MaxQueued:    b.deadMaxQueued.Load(),
 	}
 	b.mu.RLock()
 	st.Peers = len(b.peers)
@@ -354,6 +419,10 @@ func (b *Bridge) Stats() Stats {
 		bs := batch.Stats()
 		st.Batches += bs.Batches
 		st.BytesOut += bs.Bytes
+		st.Backpressure += bs.Backpressure
+		if bs.MaxQueued > st.MaxQueued {
+			st.MaxQueued = bs.MaxQueued
+		}
 	}
 	return st
 }
@@ -637,6 +706,13 @@ func (b *Bridge) appendToPeer(p *peer, frame []byte) bool {
 	if err == nil {
 		return true
 	}
+	if errors.Is(err, ErrBackpressure) {
+		// Remote congestion, not a dead connection: drop this datagram
+		// and keep the conn. Closing here would turn every overload
+		// into a reconnect storm; the counter lets admission control
+		// upstream shed instead.
+		return false
+	}
 	if !errors.Is(err, ErrBatcherClosed) {
 		b.logf("transport: %s: write to peer %s failed, dropping connection: %v", b.cfg.ID, p.id, err)
 		p.close()
@@ -652,6 +728,9 @@ func (b *Bridge) appendVecToPeer(p *peer, hdr, body []byte, trailer [4]byte, rel
 	err := p.batch.AppendVec(hdr, body, trailer, release)
 	if err == nil {
 		return true
+	}
+	if errors.Is(err, ErrBackpressure) {
+		return false // congestion drop; see appendToPeer
 	}
 	if !errors.Is(err, ErrBatcherClosed) {
 		b.logf("transport: %s: write to peer %s failed, dropping connection: %v", b.cfg.ID, p.id, err)
@@ -755,6 +834,16 @@ func (b *Bridge) dialLoop(canon string) {
 	for {
 		if b.isClosed() {
 			return
+		}
+		if wait := b.severedFor(); wait > 0 {
+			// A scripted partition (SeverPeers) is in force: hold all
+			// redials until the window passes, then heal.
+			select {
+			case <-time.After(wait):
+			case <-b.done:
+				return
+			}
+			continue
 		}
 		if p := b.peerByAdvertiseOrID(canon, peerID); p != nil {
 			select {
@@ -871,11 +960,15 @@ func (b *Bridge) runConn(conn net.Conn, dialed bool) (peerID string, kept bool) 
 	_ = conn.SetDeadline(time.Time{})
 	b.hellosIn.Add(1)
 
+	maxBatch := b.cfg.MaxBatchBytes
+	if maxBatch < 0 {
+		maxBatch = 0 // negative config = unbounded batcher
+	}
 	p := &peer{
 		id:        hello.ID,
 		advertise: hello.Advertise,
 		conn:      conn,
-		batch:     NewBatcher(&deadlineWriter{conn: conn, timeout: b.cfg.WriteTimeout}, b.cfg.FlushBytes, b.cfg.FlushDelay),
+		batch:     NewBatcher(&deadlineWriter{conn: conn, timeout: b.cfg.WriteTimeout}, b.cfg.FlushBytes, b.cfg.FlushDelay, maxBatch),
 		dialed:    dialed,
 		done:      make(chan struct{}),
 	}
@@ -950,6 +1043,9 @@ func (b *Bridge) registerPeer(p *peer) bool {
 	if b.closed || p.id == b.cfg.ID {
 		return false
 	}
+	if time.Now().Before(b.severedUntil) {
+		return false // partition window in force: refuse inbound conns too
+	}
 	if old, ok := b.peers[p.id]; ok {
 		if !p.canonical(b.cfg.ID) {
 			return false // keep the existing (canonical or first) conn
@@ -975,6 +1071,13 @@ func (b *Bridge) removePeer(p *peer) {
 	bs := p.batch.Stats()
 	b.deadBatches.Add(bs.Batches)
 	b.deadBytesOut.Add(bs.Bytes)
+	b.deadBackpressure.Add(bs.Backpressure)
+	for {
+		old := b.deadMaxQueued.Load()
+		if bs.MaxQueued <= old || b.deadMaxQueued.CompareAndSwap(old, bs.MaxQueued) {
+			break
+		}
+	}
 	b.mu.Lock()
 	if b.peers[p.id] == p {
 		delete(b.peers, p.id)

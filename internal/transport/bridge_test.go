@@ -341,8 +341,8 @@ func TestBridgeReconnect(t *testing.T) {
 	}
 
 	// Cut every live connection out from under both bridges.
-	ba.severPeers()
-	bb.severPeers()
+	ba.SeverPeers(0)
+	bb.SeverPeers(0)
 
 	// Datagram semantics: sends during the outage may drop. Keep
 	// sending until one lands again.
@@ -362,19 +362,6 @@ func TestBridgeReconnect(t *testing.T) {
 	}
 	if !recovered {
 		t.Fatal("traffic never resumed after the cut")
-	}
-}
-
-// severPeers force-closes every live peer connection (test hook).
-func (b *Bridge) severPeers() {
-	b.mu.RLock()
-	peers := make([]*peer, 0, len(b.peers))
-	for _, p := range b.peers {
-		peers = append(peers, p)
-	}
-	b.mu.RUnlock()
-	for _, p := range peers {
-		_ = p.conn.Close()
 	}
 }
 

@@ -39,7 +39,7 @@ func newTestPeer(t *testing.T, id string, w interface{ Write([]byte) (int, error
 	return &peer{
 		id:    id,
 		conn:  c1,
-		batch: NewBatcher(w, DefaultFlushBytes, delay),
+		batch: NewBatcher(w, DefaultFlushBytes, delay, 0),
 		done:  make(chan struct{}),
 	}
 }

@@ -180,6 +180,36 @@ func (p *Partition) Get(key string) (Entry, bool) {
 	return e, true
 }
 
+// GetStale returns the cached entry for key even when its TTL has
+// passed, reporting stale=true for an expired hit. Unlike Get it never
+// removes the expired entry: the degraded-mode read (BASE — stale data
+// beats no data under overload) must stay repeatable while the entry
+// remains resident, and LRU eviction already bounds how long that is.
+// A stale hit refreshes recency like any other hit.
+func (p *Partition) GetStale(key string) (Entry, bool, bool) {
+	h := keyHash(key)
+	s := p.shard(h)
+	s.mu.Lock()
+	el, ok := s.index[h]
+	if !ok {
+		s.stats.Misses++
+		s.mu.Unlock()
+		return Entry{}, false, false
+	}
+	item := el.Value.(*lruItem)
+	if item.entry.Key != key { // 64-bit hash collision: treat as a miss
+		s.stats.Misses++
+		s.mu.Unlock()
+		return Entry{}, false, false
+	}
+	stale := !item.entry.Expires.IsZero() && s.clock().After(item.entry.Expires)
+	s.ll.MoveToFront(el)
+	s.stats.Hits++
+	e := item.entry
+	s.mu.Unlock()
+	return e, stale, true
+}
+
 // Put stores original (pre-transformation) content.
 func (p *Partition) Put(key string, data []byte, mime string, ttl time.Duration) {
 	p.store(key, data, mime, ttl, false)

@@ -35,16 +35,21 @@ type HelloMsg struct {
 	Node string
 }
 
-// GetReq asks for a key.
+// GetReq asks for a key. Stale widens the lookup to entries whose TTL
+// has passed but which are still resident: the BASE degraded-mode read
+// an overloaded front end uses when stale data beats no data.
 type GetReq struct {
-	Key string
+	Key   string
+	Stale bool
 }
 
-// GetResp answers a GetReq.
+// GetResp answers a GetReq. Stale marks an entry served past its TTL
+// (only possible when the request asked for it).
 type GetResp struct {
 	Found bool
 	Data  []byte
 	MIME  string
+	Stale bool
 }
 
 // PutReq stores content (Put or Inject depending on message kind).
@@ -149,8 +154,17 @@ func (s *Service) handle(ep *san.Endpoint, msg san.Message) {
 				time.Sleep(d)
 			}
 		}
-		entry, found := s.Partition.Get(req.Key)
-		resp := GetResp{Found: found, Data: entry.Data, MIME: entry.MIME}
+		var (
+			entry Entry
+			found bool
+			stale bool
+		)
+		if req.Stale {
+			entry, stale, found = s.Partition.GetStale(req.Key)
+		} else {
+			entry, found = s.Partition.Get(req.Key)
+		}
+		resp := GetResp{Found: found, Data: entry.Data, MIME: entry.MIME, Stale: stale}
 		_ = ep.Respond(msg, MsgGot, resp, len(entry.Data)+32)
 	case MsgPut, MsgInject:
 		req, ok := msg.Body.(PutReq)
@@ -274,6 +288,33 @@ func (c *Client) GetView(ctx context.Context, key string) (data []byte, mime str
 		return got.Data, got.MIME, nil, true
 	}
 	return got.Data, got.MIME, resp.Lease.Release, true
+}
+
+// GetStaleView is GetView with the BASE degraded-mode widening: the
+// partition may answer with an entry whose TTL has passed but which is
+// still resident (stale=true), per the paper's stale-data-beats-no-data
+// argument. An overloaded front end uses this to keep answering without
+// spending worker capacity; release semantics match GetView.
+func (c *Client) GetStaleView(ctx context.Context, key string) (data []byte, mime string, stale bool, release func(), found bool) {
+	addr, ok := c.owner(key)
+	if !ok {
+		return nil, "", false, nil, false
+	}
+	cctx, cancel := context.WithTimeout(ctx, c.Timeout)
+	defer cancel()
+	resp, err := c.ep.Call(cctx, addr, MsgGet, GetReq{Key: key, Stale: true}, len(key)+16)
+	if err != nil {
+		return nil, "", false, nil, false
+	}
+	got, ok := resp.Body.(GetResp)
+	if !ok || !got.Found {
+		resp.Release()
+		return nil, "", false, nil, false
+	}
+	if resp.Lease == nil {
+		return got.Data, got.MIME, got.Stale, nil, true
+	}
+	return got.Data, got.MIME, got.Stale, resp.Lease.Release, true
 }
 
 // Put stores original content; errors are swallowed (best effort).

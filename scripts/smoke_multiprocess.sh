@@ -20,6 +20,13 @@
 # election (epoch >= 2) within the beacon-silence timeout, the workers
 # and supervisors must re-anchor on it, and not one request may fail —
 # the last singleton is gone.
+#
+# Leg 3 — overload degradation: a two-process topology whose single
+# front end has a deliberately tiny admission bound and a short cache
+# TTL. After a normal workload the serving process fires a concurrent
+# burst past capacity and asserts the BASE ladder held: some requests
+# degraded to stale cached data, the rest shed with the typed overload
+# error, zero unexplained failures, zero wire errors.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,12 +39,13 @@ hub_log=$(mktemp -t sns-hub.XXXXXX.log)
 mgr_log=$(mktemp -t sns-mgr.XXXXXX.log)
 srv_log=$(mktemp -t sns-srv.XXXXXX.log)
 srv_out=$(mktemp -t sns-srv.XXXXXX.json)
+ovl_log=$(mktemp -t sns-ovl.XXXXXX.log)
 cleanup() {
-    for pid in "${ctl_pid:-}" "${hub_pid:-}" "${mgr_pid:-}" "${srv_pid:-}"; do
+    for pid in "${ctl_pid:-}" "${hub_pid:-}" "${mgr_pid:-}" "${srv_pid:-}" "${ovl_pid:-}"; do
         [[ -n "${pid}" ]] && kill "${pid}" 2>/dev/null || true
         [[ -n "${pid}" ]] && wait "${pid}" 2>/dev/null || true
     done
-    rm -f "${bin}" "${ctl_log}" "${hub_log}" "${mgr_log}" "${srv_log}" "${srv_out}"
+    rm -f "${bin}" "${ctl_log}" "${hub_log}" "${mgr_log}" "${srv_log}" "${srv_out}" "${ovl_log}"
 }
 trap cleanup EXIT
 
@@ -156,3 +164,49 @@ if ! grep -q '"manager_takeovers":[1-9]' <<<"${out}"; then
 fi
 
 echo "smoke: [failover] OK — rank-0 manager process SIGKILLed mid-workload, standby won epoch >= 2, zero failed requests, zero wire errors"
+
+# Leg 2's hub is done; stop it before the overload leg for the same
+# isolation reason as between legs 1 and 2.
+kill "${hub_pid}" 2>/dev/null || true
+wait "${hub_pid}" 2>/dev/null || true
+hub_pid=
+
+PORT3=$((PORT + 2))
+echo "smoke: [overload] starting data-plane process (worker,cache) on :${PORT3}..."
+"${bin}" -listen "tcp:127.0.0.1:${PORT3}" -prefix ovl -roles worker,cache \
+    -seed 6 >"${ovl_log}" 2>&1 &
+ovl_pid=$!
+
+echo "smoke: [overload] starting serving process (1 frontend, inflight bound 2, cache TTL 500ms) with -selftest 40 -selftest-overload 64..."
+# One front end so a shed surfaces to the client instead of failing
+# over to a sibling; -fe-max-inflight 2 makes the concurrent burst of
+# 64 trip admission control, and -cache-ttl 500ms lets the selftest's
+# warm set expire into stale data the degraded path can serve.
+if ! out=$("${bin}" -listen tcp:127.0.0.1:0 -join "tcp:127.0.0.1:${PORT3}" \
+    -prefix srv3 -roles frontend,manager,monitor -cache-host ovl -seed 7 \
+    -frontends 1 -fe-max-inflight 2 -cache-ttl 500ms \
+    -selftest 40 -selftest-overload 64 2> >(cat >&2)); then
+    echo "smoke: [overload] FAILED — data-plane log:" >&2
+    cat "${ovl_log}" >&2
+    exit 1
+fi
+echo "${out}"
+
+# Belt and braces on top of the selftest's own gates: degraded-before-
+# shed actually happened, every failure was a typed shed (the failure
+# counter excludes sheds and must be zero), and nothing corrupted the
+# wire under overload.
+if ! grep -q '"shed":[1-9]' <<<"${out}"; then
+    echo "smoke: [overload] FAILED — burst past capacity but nothing was shed" >&2
+    exit 1
+fi
+if ! grep -q '"degraded":[1-9]' <<<"${out}"; then
+    echo "smoke: [overload] FAILED — no degraded serves; the stale-cache ladder rung never ran" >&2
+    exit 1
+fi
+if ! grep -q '"failures":0' <<<"${out}" || ! grep -q '"wire_errors":0' <<<"${out}"; then
+    echo "smoke: [overload] FAILED — unexplained failures or wire errors under overload" >&2
+    exit 1
+fi
+
+echo "smoke: [overload] OK — 64-deep burst against an inflight bound of 2: degraded serves plus typed sheds, zero unexplained failures, zero wire errors"
