@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/distiller"
 	"repro/internal/media"
+	"repro/internal/obs"
 	"repro/internal/san"
 	"repro/internal/snsim"
 	"repro/internal/stub"
@@ -301,6 +302,21 @@ func measureHotPaths(m map[string]float64) {
 	}
 	record(m, "san_send_passthrough", sendBench())
 	record(m, "san_send_wire", sendBench(san.WithCodec(stub.WireCodec{})))
+
+	// Trace machinery: ns per span recorded into the ring on a sampled
+	// trace — the per-hop price a request pays when sampling fires.
+	// (An unsampled Record is a single branch; the gated send metrics
+	// above run with tracing disabled and must not move.) Tracked for
+	// the trajectory, never gated — never add this to benchdiff's gate
+	// list.
+	tr := obs.NewTracer(1, 0)
+	tr.SetSampleRate(1)
+	sp := obs.Span{Trace: tr.NewTrace(), Proc: "snap", Comp: "fe0", Hop: obs.RootHop, Start: time.Now().UnixNano(), Dur: 1000}
+	m["trace_overhead_ns"] = float64(testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tr.Record(sp)
+		}
+	}).NsPerOp())
 
 	// Sharded partition get on warm keys.
 	p := vcache.NewPartition(64<<20, nil)

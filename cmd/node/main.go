@@ -56,6 +56,7 @@ import (
 	"repro/internal/distiller"
 	"repro/internal/frontend"
 	"repro/internal/manager"
+	"repro/internal/obs"
 	"repro/internal/san"
 	"repro/internal/supervisor"
 	"repro/internal/tacc"
@@ -90,6 +91,8 @@ func main() {
 	selftestEpoch := flag.Uint64("selftest-expect-epoch", 0, "after the request loop, require a local manager replica to be acting primary at this election epoch or later (the failover smoke: SIGKILL the rank-0 process mid-run, assert the standby here took over)")
 	selftestOverload := flag.Int("selftest-overload", 0, "after the request loop, fire a concurrent burst of N requests past the admission bound and require sheds > 0, degraded serves > 0, and no other failure (the overload smoke; pair with -fe-max-inflight and -cache-ttl)")
 	readyTimeout := flag.Duration("ready-timeout", 30*time.Second, "how long to wait for the cluster to become serviceable")
+	traceSample := flag.Int("trace-sample", 0, "request-trace sampling: record 1 in N requests (0 = default 1/64, 1 = every request, negative = off; shed/degraded/expired requests always record)")
+	traceSlow := flag.Duration("trace-slow", 0, "log any traced request slower than this to stderr (0 = disabled)")
 	seed := flag.Int64("seed", 0, "random seed (0 = time-based)")
 	flag.Parse()
 
@@ -142,10 +145,12 @@ func main() {
 			Damping:        *dampD,
 			ReapThreshold:  0.5,
 		},
-		RequestDeadline:  *reqDeadline,
-		FEMaxInflight:    *feMaxInflight,
-		FEQueueHighWater: *feHighWater,
-		CacheTTL:         *cacheTTL,
+		RequestDeadline:    *reqDeadline,
+		FEMaxInflight:      *feMaxInflight,
+		FEQueueHighWater:   *feHighWater,
+		CacheTTL:           *cacheTTL,
+		TraceSampleRate:    *traceSample,
+		TraceSlowThreshold: *traceSlow,
 	}
 	if *cacheHost != "" {
 		cn := *cacheNodes
@@ -562,27 +567,67 @@ func serveHTTP(sys *core.System, addr string) {
 			return
 		}
 		w.Header().Set("X-TranSend-Source", resp.Source)
+		if resp.Trace.Valid() {
+			w.Header().Set("X-Trace-Id", resp.Trace.String())
+		}
 		w.Write(resp.Blob.Data)
 	})
+	// /status defaults to the machine-readable registry snapshot (every
+	// component's published metrics under dotted names); ?format=text
+	// keeps the human-oriented dump the monitor renders.
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
-		if sys.Mon != nil {
-			fmt.Fprintln(w, sys.Mon.RenderTable())
-		}
-		for _, fe := range sys.FrontEnds() {
-			fmt.Fprintf(w, "%s: %+v\n", fe.ID(), fe.Stats())
-		}
-		for _, mgr := range sys.ManagerReplicas() {
-			st := mgr.Stats()
-			fmt.Fprintf(w, "manager replica (primary=%v epoch=%d): %+v\n", st.Primary, st.Epoch, st)
-		}
-		if mgr := sys.Manager(); mgr != nil {
-			for _, sup := range mgr.Supervisors() {
-				fmt.Fprintf(w, "supervisor: %s (prefix %q)\n", sup.Addr, sup.Prefix)
+		if r.URL.Query().Get("format") == "text" {
+			if sys.Mon != nil {
+				fmt.Fprintln(w, sys.Mon.RenderTable())
 			}
+			for _, fe := range sys.FrontEnds() {
+				fmt.Fprintf(w, "%s: %+v\n", fe.ID(), fe.Stats())
+			}
+			for _, mgr := range sys.ManagerReplicas() {
+				st := mgr.Stats()
+				fmt.Fprintf(w, "manager replica (primary=%v epoch=%d): %+v\n", st.Primary, st.Epoch, st)
+			}
+			if mgr := sys.Manager(); mgr != nil {
+				for _, sup := range mgr.Supervisors() {
+					fmt.Fprintf(w, "supervisor: %s (prefix %q)\n", sup.Addr, sup.Prefix)
+				}
+			}
+			fmt.Fprintf(w, "supervisor(local): %s %+v\n", sys.Supervisor().Addr(), sys.Supervisor().Stats())
+			fmt.Fprintf(w, "san: wire=%v %+v\n", sys.Net.WireMode(), sys.Net.Stats())
+			fmt.Fprintf(w, "bridge: %+v\n", sys.Bridge.Stats())
+			return
 		}
-		fmt.Fprintf(w, "supervisor(local): %s %+v\n", sys.Supervisor().Addr(), sys.Supervisor().Stats())
-		fmt.Fprintf(w, "san: wire=%v %+v\n", sys.Net.WireMode(), sys.Net.Stats())
-		fmt.Fprintf(w, "bridge: %+v\n", sys.Bridge.Stats())
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(sys.Registry().Snapshot())
+	})
+	// /metrics is the registry in Prometheus text exposition format.
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		sys.Registry().WritePrometheus(w)
+	})
+	// /trace?id=<hex> renders the span tree this process can answer for
+	// — local spans plus whatever peer digests have been ingested.
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		idStr := r.URL.Query().Get("id")
+		if idStr == "" {
+			http.Error(w, "missing id parameter", http.StatusBadRequest)
+			return
+		}
+		id, err := obs.ParseTraceID(idStr)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		spans := sys.Tracer().Spans(id)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Trace string     `json:"trace"`
+			Spans []obs.Span `json:"spans"`
+		}{id.String(), spans})
 	})
 	// Local fault injection for multi-process chaos scripts: crash a
 	// component this process hosts; whoever carries its process-peer

@@ -221,6 +221,17 @@ type Config struct {
 	// FEQueueHighWater sheds at admission when even the least-loaded
 	// worker's estimated queue reaches this depth (0 = off).
 	FEQueueHighWater float64
+
+	// Observability (internal/obs).
+
+	// TraceSampleRate samples 1 in N requests for distributed tracing
+	// (0 = the obs package default of 64; 1 = every request; negative
+	// disables sampling — forced spans for shed/degraded/expired
+	// requests still record).
+	TraceSampleRate int
+	// TraceSlowThreshold, when positive, logs the full local span tree
+	// of any request whose end-to-end latency exceeds it.
+	TraceSlowThreshold time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -358,6 +369,7 @@ func Start(cfg Config) (*System, error) {
 		netOpts = append(netOpts, san.WithCodec(stub.WireCodec{}), san.WithDecodeViews(true))
 	}
 	s.Net = san.NewNetwork(cfg.Seed, netOpts...)
+	s.configureObs()
 	if cfg.Transport.Listen != "" {
 		id := cfg.Transport.ID
 		if id == "" {
@@ -481,6 +493,20 @@ func Start(cfg Config) (*System, error) {
 				}
 			}
 		}
+	}
+
+	// Span reporter: publishes this process's trace spans on the report
+	// group and ingests its peers', so any process can answer
+	// /trace?id= with the cluster-wide tree.
+	rep := &obsReporter{
+		name:     "obsrep",
+		node:     s.placeOrErr(),
+		net:      s.Net,
+		interval: cfg.ReportInterval,
+	}
+	if _, err := s.Cluster.Spawn(rep.node, rep); err != nil {
+		s.cleanup()
+		return nil, err
 	}
 
 	// Front ends.

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/origin"
 	"repro/internal/profiledb"
 	"repro/internal/san"
@@ -48,6 +49,10 @@ type Response struct {
 	// "An approximate answer delivered quickly is more useful than the
 	// exact answer delivered slowly" (§3.1.8).
 	Degraded bool
+	// Trace is the request's end-to-end trace id, minted at admission.
+	// HTTP adapters surface it (X-Trace-Id) so an operator can pull the
+	// span tree from /trace?id= on any node that saw the request.
+	Trace obs.TraceID
 
 	// release, when non-nil, returns Blob.Data's backing buffer to the
 	// SAN's receive pool: the cache-hit serve path is zero-copy, so the
@@ -299,6 +304,21 @@ func (fe *FrontEnd) Run(ctx context.Context) error {
 
 	fe.running.Store(true)
 	defer fe.running.Store(false)
+	fe.cfg.Net.Registry().SetCollector("fe."+fe.cfg.Name, func(emit func(string, float64)) {
+		st := fe.Stats()
+		emit("requests", float64(st.Requests))
+		emit("cache_distilled", float64(st.CacheDistilled))
+		emit("cache_original", float64(st.CacheOriginal))
+		emit("origin_fetches", float64(st.OriginFetches))
+		emit("distilled", float64(st.Distilled))
+		emit("fallbacks", float64(st.Fallbacks))
+		emit("errors", float64(st.Errors))
+		emit("shed", float64(st.Shed))
+		emit("degraded", float64(st.DegradedServes))
+		emit("expired", float64(st.Expired))
+		emit("queue", float64(len(fe.jobs)))
+		emit("inflight", float64(fe.inflight.Load()))
+	})
 
 	var wg sync.WaitGroup
 	wctx, wcancel := context.WithCancel(ctx)
@@ -455,18 +475,57 @@ func (fe *FrontEnd) Do(ctx context.Context, req Request) (Response, error) {
 			defer cancel()
 		}
 	}
+
+	// Mint the request's trace id at admission (or adopt one the caller
+	// already attached) — it rides the ctx through cache probes and
+	// dispatch, crosses process boundaries on the wire, and keys the
+	// span tree an operator pulls from /trace?id=.
+	tracer := fe.cfg.Net.Tracer()
+	trace := obs.TraceFrom(ctx)
+	if !trace.Valid() {
+		trace = tracer.NewTrace()
+		ctx = obs.WithTrace(ctx, trace)
+	}
+	start := time.Now()
+	// finish closes the root span. Forced outcomes (shed, degraded,
+	// expired) record regardless of sampling — the requests that went
+	// wrong are exactly the ones worth a trace.
+	finish := func(note string, forced bool) {
+		dur := time.Since(start)
+		fe.cfg.Net.Registry().Histogram("fe."+fe.cfg.Name+".latency_ns", nil).Observe(float64(dur))
+		sp := obs.Span{
+			Trace: trace, Comp: fe.cfg.Name, Hop: obs.RootHop, Note: note,
+			Start: start.UnixNano(), Dur: int64(dur),
+		}
+		if forced {
+			tracer.ForceRecord(sp)
+		} else {
+			tracer.Record(sp)
+		}
+	}
+
 	if !fe.saturated() {
 		j := job{ctx: ctx, req: req, resp: make(chan Response, 1), err: make(chan error, 1)}
 		select {
 		case fe.jobs <- j:
+			if trace.Sampled() {
+				tracer.Record(obs.Span{
+					Trace: trace, Comp: fe.cfg.Name, Hop: "fe.admit", Note: "ok",
+					Start: start.UnixNano(), Dur: int64(time.Since(start)),
+				})
+			}
 			fe.inflight.Add(1)
 			defer fe.inflight.Add(-1)
 			select {
 			case resp := <-j.resp:
+				resp.Trace = trace
+				finish(resp.Source, false)
 				return resp, nil
 			case err := <-j.err:
+				finish("error", false)
 				return Response{}, err
 			case <-ctx.Done():
+				finish("expired", true)
 				return Response{}, ctx.Err()
 			}
 		default:
@@ -475,10 +534,21 @@ func (fe *FrontEnd) Do(ctx context.Context, req Request) (Response, error) {
 		}
 	}
 	if resp, ok := fe.degradedServe(ctx, req); ok {
+		tracer.ForceRecord(obs.Span{
+			Trace: trace, Comp: fe.cfg.Name, Hop: "fe.admit", Note: "degraded",
+			Start: start.UnixNano(),
+		})
+		resp.Trace = trace
+		finish(resp.Source, true)
 		return resp, nil
 	}
 	fe.stats.shed.Add(1)
 	fe.stats.errors.Add(1)
+	tracer.ForceRecord(obs.Span{
+		Trace: trace, Comp: fe.cfg.Name, Hop: "fe.admit", Note: "shed",
+		Start: start.UnixNano(),
+	})
+	finish("shed", true)
 	return Response{}, ErrOverloaded
 }
 
@@ -530,12 +600,18 @@ func (fe *FrontEnd) degradedServe(ctx context.Context, req Request) (Response, b
 // but still die with the process.
 func (fe *FrontEnd) handle(ctx, life context.Context, req Request) (Response, error) {
 	fe.stats.requests.Add(1)
+	tracer := fe.cfg.Net.Tracer()
+	trace := obs.TraceFrom(ctx)
 
 	// 0. Drop expired work at dequeue: a request whose deadline passed
 	// while it aged in the job queue has nobody awaiting it — the same
 	// rule the workers apply to their inboxes.
 	if err := ctx.Err(); err != nil {
 		fe.stats.expired.Add(1)
+		tracer.ForceRecord(obs.Span{
+			Trace: trace, Comp: fe.cfg.Name, Hop: "fe.expired",
+			Start: time.Now().UnixNano(),
+		})
 		return Response{}, err
 	}
 
@@ -549,7 +625,19 @@ func (fe *FrontEnd) handle(ctx, life context.Context, req Request) (Response, er
 	// hot path, so it serves the view directly — the bytes stay in the
 	// pooled receive buffer until the caller's Response.Release.
 	if len(pipeline) > 0 {
-		if data, mime, release, ok := fe.cache.GetView(ctx, distillKey); ok {
+		cstart := time.Now()
+		data, mime, release, ok := fe.cache.GetView(ctx, distillKey)
+		if trace.Sampled() {
+			note := "miss"
+			if ok {
+				note = "hit"
+			}
+			tracer.Record(obs.Span{
+				Trace: trace, Comp: fe.cfg.Name, Hop: "fe.cache", Note: note,
+				Start: cstart.UnixNano(), Dur: int64(time.Since(cstart)),
+			})
+		}
+		if ok {
 			fe.stats.cacheDistilled.Add(1)
 			return Response{
 				Blob:    tacc.Blob{MIME: mime, Data: data},
@@ -610,11 +698,15 @@ func (fe *FrontEnd) handle(ctx, life context.Context, req Request) (Response, er
 		// bounded by the stub's per-attempt CallTimeout and retry
 		// budget. The flight leader's deadline still rides along so
 		// the stub stamps it into TaskMsg and workers can drop the
-		// task once nobody awaits it.
+		// task once nobody awaits it — and so does its trace id, so
+		// the dispatch and worker hops join the leader's span tree.
 		dctx := life
+		if trace.Valid() {
+			dctx = obs.WithTrace(dctx, trace)
+		}
 		if dl, ok := ctx.Deadline(); ok {
 			var cancel context.CancelFunc
-			dctx, cancel = context.WithDeadline(life, dl)
+			dctx, cancel = context.WithDeadline(dctx, dl)
 			defer cancel()
 		}
 		task := &tacc.Task{Key: req.URL, Input: orig, Profile: profile}

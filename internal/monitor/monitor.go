@@ -67,6 +67,7 @@ type Monitor struct {
 
 	mu         sync.Mutex
 	seen       map[string]*ComponentStatus
+	hops       map[string]*hopAgg // per-hop latency from span digests
 	alerts     []Alert
 	alerted    map[string]bool // component -> alert outstanding
 	disabled   map[san.Addr]bool
@@ -82,6 +83,7 @@ func New(cfg Config) *Monitor {
 	m := &Monitor{
 		cfg:      cfg,
 		seen:     make(map[string]*ComponentStatus),
+		hops:     make(map[string]*hopAgg),
 		alerted:  make(map[string]bool),
 		disabled: make(map[san.Addr]bool),
 		sups:     make(map[string]supervisor.HelloMsg),
@@ -138,12 +140,19 @@ func (m *Monitor) handle(msg san.Message) {
 		if !ok {
 			return
 		}
+		// Copy the metrics map: with the in-process SAN the sender's map
+		// arrives by reference, and aliasing it would let a reporter
+		// mutate the monitor's view (or race with it) after ingest.
+		metrics := make(map[string]float64, len(r.Metrics))
+		for k, v := range r.Metrics {
+			metrics[k] = v
+		}
 		m.mu.Lock()
 		m.seen[r.Component] = &ComponentStatus{
 			Component: r.Component,
 			Kind:      r.Kind,
 			Node:      r.Node,
-			Metrics:   r.Metrics,
+			Metrics:   metrics,
 			LastSeen:  time.Now(),
 		}
 		if m.alerted[r.Component] {
@@ -170,6 +179,31 @@ func (m *Monitor) handle(msg san.Message) {
 		m.workers = append(m.workers[:0], b.Workers...)
 		m.workersSeq = b.Seq
 		m.mu.Unlock()
+	case stub.MsgSpanDigest:
+		d, ok := msg.Body.(stub.SpanDigest)
+		if !ok {
+			return
+		}
+		m.mu.Lock()
+		for _, sp := range d.Spans {
+			if sp.Hop == "" {
+				continue
+			}
+			h := m.hops[sp.Hop]
+			if h == nil {
+				h = &hopAgg{procs: make(map[string]struct{})}
+				m.hops[sp.Hop] = h
+			}
+			h.count++
+			h.total += sp.Dur
+			if sp.Dur > h.max {
+				h.max = sp.Dur
+			}
+			if sp.Proc != "" {
+				h.procs[sp.Proc] = struct{}{}
+			}
+		}
+		m.mu.Unlock()
 	case supervisor.MsgHello:
 		hb, ok := msg.Body.(supervisor.HelloMsg)
 		if !ok {
@@ -179,6 +213,42 @@ func (m *Monitor) handle(msg san.Message) {
 		m.sups[hb.Addr.String()] = hb
 		m.mu.Unlock()
 	}
+}
+
+// hopAgg accumulates span digests for one hop name.
+type hopAgg struct {
+	count uint64
+	total int64
+	max   int64
+	procs map[string]struct{}
+}
+
+// HopStat is the monitor's cluster-wide latency summary for one trace
+// hop — the §3.1.7 "single virtual entity" view of where request time
+// goes, fed by the span digests every process multicasts on the report
+// group.
+type HopStat struct {
+	Hop   string
+	Count uint64
+	Avg   time.Duration
+	Max   time.Duration
+	Procs int // distinct processes that reported this hop
+}
+
+// HopBreakdown returns per-hop latency aggregates sorted by hop name.
+func (m *Monitor) HopBreakdown() []HopStat {
+	m.mu.Lock()
+	out := make([]HopStat, 0, len(m.hops))
+	for hop, h := range m.hops {
+		st := HopStat{Hop: hop, Count: h.count, Max: time.Duration(h.max), Procs: len(h.procs)}
+		if h.count > 0 {
+			st.Avg = time.Duration(h.total / int64(h.count))
+		}
+		out = append(out, st)
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Hop < out[j].Hop })
+	return out
 }
 
 func (m *Monitor) scanSilence() {
@@ -477,6 +547,13 @@ func (m *Monitor) RenderTable() string {
 		}
 		fmt.Fprintf(&b, "%-16s %-10s %-8s %-8s %s\n",
 			st.Component, st.Kind, st.Node, state, strings.Join(metrics, " "))
+	}
+	if hops := m.HopBreakdown(); len(hops) > 0 {
+		fmt.Fprintf(&b, "\n%-18s %8s %12s %12s %6s\n", "HOP", "COUNT", "AVG", "MAX", "PROCS")
+		for _, h := range hops {
+			fmt.Fprintf(&b, "%-18s %8d %12v %12v %6d\n",
+				h.Hop, h.Count, h.Avg.Round(time.Microsecond), h.Max.Round(time.Microsecond), h.Procs)
+		}
 	}
 	return b.String()
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/san"
 	"repro/internal/stub"
 )
@@ -173,5 +174,73 @@ func TestDisabledList(t *testing.T) {
 	got = m.Disabled()
 	if len(got) != 1 || got[0] != b.Addr() {
 		t.Fatalf("Disabled() after enable = %v", got)
+	}
+}
+
+// TestMonitorCopiesMetricsOnIngest: the monitor's view must not alias
+// the reporter's map — a sender mutating its map after the multicast
+// must not change (or race with) what the monitor displays.
+func TestMonitorCopiesMetricsOnIngest(t *testing.T) {
+	net := san.NewNetwork(1)
+	m, _ := startMonitor(t, net, time.Hour)
+	ep := net.Endpoint(san.Addr{Node: "n1", Proc: "w0"}, 16)
+
+	// Warm up until the monitor has joined the report group, then send
+	// the report under test exactly once.
+	waitFor(t, "monitor joined", func() bool {
+		report(ep, "warmup", "worker")
+		return len(m.Snapshot()) >= 1
+	})
+	metrics := map[string]float64{"qlen": 3}
+	ep.Multicast(stub.GroupReports, stub.MsgMonReport, stub.StatusReport{
+		Component: "w0", Kind: "worker", Node: "n1", Metrics: metrics,
+	}, 64)
+	waitFor(t, "component visible", func() bool {
+		for _, st := range m.Snapshot() {
+			if st.Component == "w0" {
+				return true
+			}
+		}
+		return false
+	})
+
+	metrics["qlen"] = 99 // sender reuses its map for the next report
+	for _, st := range m.Snapshot() {
+		if st.Component == "w0" && st.Metrics["qlen"] != 3 {
+			t.Fatalf("monitor aliased the reporter's metrics map: qlen=%v", st.Metrics["qlen"])
+		}
+	}
+}
+
+// TestMonitorHopBreakdown: span digests on the report group aggregate
+// into per-hop count/avg/max across distinct processes.
+func TestMonitorHopBreakdown(t *testing.T) {
+	net := san.NewNetwork(1)
+	m, _ := startMonitor(t, net, time.Hour)
+	ep := net.Endpoint(san.Addr{Node: "n1", Proc: "w0"}, 16)
+
+	waitFor(t, "monitor joined", func() bool {
+		report(ep, "warmup", "worker")
+		return len(m.Snapshot()) >= 1
+	})
+	ep.Multicast(stub.GroupReports, stub.MsgSpanDigest, stub.SpanDigest{
+		Spans: []obs.Span{
+			{Trace: 3, Proc: "a", Hop: "worker.service", Dur: int64(10 * time.Millisecond)},
+			{Trace: 3, Proc: "b", Hop: "worker.service", Dur: int64(30 * time.Millisecond)},
+			{Trace: 3, Proc: "a", Hop: "fe.request", Dur: int64(50 * time.Millisecond)},
+		},
+	}, 128)
+	waitFor(t, "hops aggregated", func() bool { return len(m.HopBreakdown()) == 2 })
+
+	hops := m.HopBreakdown()
+	if hops[0].Hop != "fe.request" || hops[1].Hop != "worker.service" {
+		t.Fatalf("hop order: %+v", hops)
+	}
+	ws := hops[1]
+	if ws.Count != 2 || ws.Avg != 20*time.Millisecond || ws.Max != 30*time.Millisecond || ws.Procs != 2 {
+		t.Fatalf("worker.service agg: %+v", ws)
+	}
+	if !strings.Contains(m.RenderTable(), "worker.service") {
+		t.Fatal("RenderTable missing per-hop section")
 	}
 }

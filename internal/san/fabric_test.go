@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // fakeFabric records what the network hands it and loops frames into
@@ -17,12 +19,12 @@ type fakeFabric struct {
 	noRoute  bool // report delivery failure
 }
 
-func (f *fakeFabric) Unicast(from, to Addr, kind string, callID uint64, reply bool, wire []byte, lease *Lease) bool {
+func (f *fakeFabric) Unicast(from, to Addr, kind string, callID uint64, reply bool, trace obs.TraceID, wire []byte, lease *Lease) bool {
 	f.unicasts++
 	if f.noRoute {
 		return false
 	}
-	return f.peer.InjectUnicast(from, to, kind, callID, reply, wire, lease)
+	return f.peer.InjectUnicast(from, to, kind, callID, reply, trace, wire, lease)
 }
 
 func (f *fakeFabric) Multicast(from Addr, group, kind string, wire []byte) {
@@ -99,13 +101,13 @@ func TestFabricSeam(t *testing.T) {
 	}
 
 	// Inject to an address nobody holds reads as a dropped datagram.
-	if remote.InjectUnicast(src.Addr(), Addr{Node: "x", Proc: "y"}, "k", 0, false, nil, nil) {
+	if remote.InjectUnicast(src.Addr(), Addr{Node: "x", Proc: "y"}, "k", 0, false, 0, nil, nil) {
 		t.Fatal("inject to unbound address claimed delivery")
 	}
 
 	// A reply injection routes back into a pending Call: callID and
 	// the reply flag survive the fabric hop.
-	if !remote.InjectUnicast(src.Addr(), dst.Addr(), "req", 42, false, []byte("q"), nil) {
+	if !remote.InjectUnicast(src.Addr(), dst.Addr(), "req", 42, false, 0, []byte("q"), nil) {
 		t.Fatal("request injection failed")
 	}
 	req := <-dst.Inbox()
@@ -178,14 +180,14 @@ func TestInjectRespectsPartition(t *testing.T) {
 	n.Partition(map[string]int{"n0": 1}) // remote senders land in group 0
 
 	from := Addr{Node: "other", Proc: "src"}
-	if n.InjectUnicast(from, dst.Addr(), "k", 0, false, []byte("p"), nil) {
+	if n.InjectUnicast(from, dst.Addr(), "k", 0, false, 0, []byte("p"), nil) {
 		t.Fatal("unicast crossed a partition")
 	}
 	if got := n.InjectMulticast(from, "grp", "k", []byte("p"), nil); got != 0 {
 		t.Fatalf("multicast crossed a partition to %d members", got)
 	}
 	n.Heal()
-	if !n.InjectUnicast(from, dst.Addr(), "k", 0, false, []byte("p"), nil) {
+	if !n.InjectUnicast(from, dst.Addr(), "k", 0, false, 0, []byte("p"), nil) {
 		t.Fatal("unicast failed after heal")
 	}
 	if got := n.InjectMulticast(from, "grp", "k", []byte("p"), nil); got != 1 {

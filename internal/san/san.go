@@ -54,6 +54,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Addr identifies a process endpoint on the SAN. Node is the hosting
@@ -94,6 +96,13 @@ type Message struct {
 	// wire encoding: a body that must carry its deadline across a
 	// process boundary embeds it (stub.TaskMsg does).
 	Deadline time.Time
+
+	// Trace identifies the end-to-end request this message serves, for
+	// distributed tracing (obs package). Like Deadline it is delivery
+	// metadata: the local SAN carries it on the Message, and the
+	// transport carries it as a frame field (FlagTrace) rather than
+	// inside the body encoding. Zero means untraced.
+	Trace obs.TraceID
 
 	// Lease, when non-nil, backs []byte fields of Body with a pooled
 	// receive buffer (zero-copy view mode). The consumer that finishes
@@ -194,8 +203,9 @@ type Fabric interface {
 	// a fabric that needs the bytes beyond the call (vectored or
 	// chunked writes) retains it instead of copying, releasing when
 	// the socket write completes. A nil lease keeps the old contract:
-	// copy to retain.
-	Unicast(from, to Addr, kind string, callID uint64, reply bool, wire []byte, lease *Lease) bool
+	// copy to retain. A non-zero trace rides the frame so the receiving
+	// process can stamp it back onto the delivered Message.
+	Unicast(from, to Addr, kind string, callID uint64, reply bool, trace obs.TraceID, wire []byte, lease *Lease) bool
 	// Multicast forwards a group message to every remote process;
 	// each re-fans it out to its own local group members.
 	Multicast(from Addr, group, kind string, wire []byte)
@@ -317,6 +327,11 @@ type Network struct {
 	viewsForced bool // WithDecodeViews was given
 	viewsOn     bool // ... and its value
 
+	// Process-wide observability plane: every component that holds the
+	// network (or an endpoint on it) shares these.
+	tracer   *obs.Tracer
+	registry *obs.Registry
+
 	sent         atomic.Uint64
 	dropped      atomic.Uint64
 	mcastSent    atomic.Uint64
@@ -342,8 +357,28 @@ func NewNetwork(seed int64, opts ...Option) *Network {
 	if vc, ok := n.codec.(ViewCodec); ok && (!n.viewsForced || n.viewsOn) {
 		n.viewCodec = vc
 	}
+	n.tracer = obs.NewTracer(uint64(seed), 0)
+	n.registry = obs.NewRegistry()
+	n.registry.SetCollector("san", func(emit func(string, float64)) {
+		s := n.Stats()
+		emit("sent", float64(s.Sent))
+		emit("dropped", float64(s.Dropped))
+		emit("mcast_sent", float64(s.McastSent))
+		emit("mcast_dropped", float64(s.McastDropped))
+		emit("bytes", float64(s.Bytes))
+		emit("wire_encodes", float64(s.WireEncodes))
+		emit("wire_decodes", float64(s.WireDecodes))
+		emit("wire_errors", float64(s.WireErrors))
+	})
 	return n
 }
+
+// Tracer returns the network's request tracer — the shared span sink
+// for every component in this process.
+func (n *Network) Tracer() *obs.Tracer { return n.tracer }
+
+// Registry returns the network's metrics registry.
+func (n *Network) Registry() *obs.Registry { return n.registry }
 
 // WireMode reports whether a codec is installed.
 func (n *Network) WireMode() bool { return n.codec != nil }
@@ -415,7 +450,7 @@ func (n *Network) Closed() bool { return n.closed.Load() }
 // view mode the delivery retains it so the transport can recycle the
 // buffer only after the consumer releases. The caller keeps its own
 // reference either way.
-func (n *Network) InjectUnicast(from, to Addr, kind string, callID uint64, reply bool, wire []byte, lease *Lease) bool {
+func (n *Network) InjectUnicast(from, to Addr, kind string, callID uint64, reply bool, trace obs.TraceID, wire []byte, lease *Lease) bool {
 	if n.closed.Load() || n.codec == nil {
 		return false
 	}
@@ -433,7 +468,7 @@ func (n *Network) InjectUnicast(from, to Addr, kind string, callID uint64, reply
 		n.dropped.Add(1)
 		return false
 	}
-	msg := Message{From: from, To: to, Kind: kind, Body: body, Size: len(wire), CallID: callID, Reply: reply}
+	msg := Message{From: from, To: to, Kind: kind, Body: body, Size: len(wire), CallID: callID, Reply: reply, Trace: trace}
 	if aliased && lease != nil {
 		lease.Retain()
 		msg.Lease = lease
@@ -865,6 +900,13 @@ func (e *Endpoint) Addr() Addr { return e.addr }
 // endpoint closes.
 func (e *Endpoint) Inbox() <-chan Message { return e.inbox }
 
+// Tracer returns the owning network's request tracer, so components
+// built around an endpoint can record spans without extra plumbing.
+func (e *Endpoint) Tracer() *obs.Tracer { return e.net.tracer }
+
+// Registry returns the owning network's metrics registry.
+func (e *Endpoint) Registry() *obs.Registry { return e.net.registry }
+
 // chance draws a loss decision from the endpoint's own rng.
 func (e *Endpoint) chance(p float64) bool {
 	if p <= 0 {
@@ -985,10 +1027,10 @@ func (e *Endpoint) Leave(group string) {
 // partition drops are silent (datagram semantics), mirroring a real
 // SAN.
 func (e *Endpoint) Send(to Addr, kind string, body any, size int) error {
-	return e.send(to, kind, body, size, 0, false, time.Time{})
+	return e.send(to, kind, body, size, 0, false, time.Time{}, 0)
 }
 
-func (e *Endpoint) send(to Addr, kind string, body any, size int, callID uint64, reply bool, deadline time.Time) error {
+func (e *Endpoint) send(to Addr, kind string, body any, size int, callID uint64, reply bool, deadline time.Time, trace obs.TraceID) error {
 	if e.closed.Load() {
 		return ErrClosed // a dead process sends nothing
 	}
@@ -1002,7 +1044,7 @@ func (e *Endpoint) send(to Addr, kind string, body any, size int, callID uint64,
 		if st.fabric == nil {
 			return fmt.Errorf("%w: %s", ErrUnknownAddr, to)
 		}
-		return e.sendRemote(st, to, kind, body, callID, reply)
+		return e.sendRemote(st, to, kind, body, callID, reply, trace)
 	}
 	var (
 		wire  []byte
@@ -1043,7 +1085,7 @@ func (e *Endpoint) send(to Addr, kind string, body any, size int, callID uint64,
 		}
 		n.releaseEnc(bp, lease, wire)
 	}
-	msg := Message{From: e.addr, To: to, Kind: kind, Body: body, Size: size, CallID: callID, Reply: reply, Deadline: deadline, Lease: msgLease}
+	msg := Message{From: e.addr, To: to, Kind: kind, Body: body, Size: size, CallID: callID, Reply: reply, Deadline: deadline, Trace: trace, Lease: msgLease}
 	if n.deliver(dst, msg, st.latency) {
 		n.sent.Add(1)
 		n.bytes.Add(uint64(size))
@@ -1062,7 +1104,7 @@ func (e *Endpoint) send(to Addr, kind string, body any, size int, callID uint64,
 // address unplaceable — no peer advertises it and it is not worth a
 // flood — surfaces as ErrUnknownAddr, the same answer a purely local
 // network gives for an unbound address.
-func (e *Endpoint) sendRemote(st *netState, to Addr, kind string, body any, callID uint64, reply bool) error {
+func (e *Endpoint) sendRemote(st *netState, to Addr, kind string, body any, callID uint64, reply bool, trace obs.TraceID) error {
 	n := e.net
 	if !st.samePartition(e.addr.Node, to.Node) || e.chance(st.lossP) {
 		n.dropped.Add(1)
@@ -1072,7 +1114,7 @@ func (e *Endpoint) sendRemote(st *netState, to Addr, kind string, body any, call
 	if err != nil {
 		return err
 	}
-	handed := st.fabric.Unicast(e.addr, to, kind, callID, reply, wire, lease)
+	handed := st.fabric.Unicast(e.addr, to, kind, callID, reply, trace, wire, lease)
 	if handed {
 		n.sent.Add(1)
 		n.bytes.Add(uint64(len(wire)))
@@ -1188,7 +1230,7 @@ func (e *Endpoint) Call(ctx context.Context, to Addr, kind string, body any, siz
 	}()
 
 	deadline, _ := ctx.Deadline()
-	if err := e.send(to, kind, body, size, id, false, deadline); err != nil {
+	if err := e.send(to, kind, body, size, id, false, deadline, obs.TraceFrom(ctx)); err != nil {
 		return Message{}, err
 	}
 	select {
@@ -1223,9 +1265,11 @@ func (e *Endpoint) DeliverReply(msg Message) bool {
 	return true // replies are consumed even if the caller gave up
 }
 
-// Respond answers a request message received from Call.
+// Respond answers a request message received from Call. The request's
+// trace id is echoed onto the reply so the return leg of a traced
+// request stays attributable.
 func (e *Endpoint) Respond(req Message, kind string, body any, size int) error {
-	return e.send(req.From, kind, body, size, req.CallID, true, time.Time{})
+	return e.send(req.From, kind, body, size, req.CallID, true, time.Time{}, req.Trace)
 }
 
 // Expired reports whether the message carries a deadline that has

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/lottery"
+	"repro/internal/obs"
 	"repro/internal/san"
 	"repro/internal/softstate"
 	"repro/internal/tacc"
@@ -315,6 +316,22 @@ func (ms *ManagerStub) Dispatch(ctx context.Context, class string, task *tacc.Ta
 	ms.dispatches++
 	ms.mu.Unlock()
 
+	// One dispatch span covers the whole pick/call/retry episode; the
+	// note names the worker that finally answered (or the last tried).
+	trace := obs.TraceFrom(ctx)
+	var picked string
+	attempts := 0
+	if trace.Sampled() {
+		dstart := time.Now()
+		defer func() {
+			ms.ep.Tracer().Record(obs.Span{
+				Trace: trace, Hop: "dispatch",
+				Note:  fmt.Sprintf("%s->%s x%d", class, picked, attempts),
+				Start: dstart.UnixNano(), Dur: int64(time.Since(dstart)),
+			})
+		}()
+	}
+
 	// The context deadline is the request's end-to-end deadline: it is
 	// stamped into every TaskMsg so workers can drop expired queue
 	// entries, and it bounds each attempt's timeout so retries never
@@ -350,6 +367,7 @@ func (ms *ManagerStub) Dispatch(ctx context.Context, class string, task *tacc.Ta
 		}
 		id := ms.sched.Pick(ids, time.Now())
 		tried[id] = true
+		picked, attempts = id, attempt+1
 		info, ok := ms.workers.Get(id)
 		if !ok {
 			continue
@@ -370,7 +388,7 @@ func (ms *ManagerStub) Dispatch(ctx context.Context, class string, task *tacc.Ta
 			}
 		}
 		cctx, cancel := context.WithTimeout(ctx, callTimeout)
-		resp, err := ms.ep.Call(cctx, info.Addr, MsgTask, TaskMsg{Task: *task, Deadline: dlNanos}, task.Input.Size()+128)
+		resp, err := ms.ep.Call(cctx, info.Addr, MsgTask, TaskMsg{Task: *task, Deadline: dlNanos, Trace: uint64(trace)}, task.Input.Size()+128)
 		cancel()
 		if err != nil {
 			// Timeout or vanished endpoint: treat the worker as

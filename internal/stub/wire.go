@@ -15,6 +15,7 @@ import (
 	"slices"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/san"
 	"repro/internal/supervisor"
 	"repro/internal/tacc"
@@ -44,6 +45,7 @@ const (
 	MsgDisable    = "ctl.disable"  // monitor -> component: hot upgrade
 	MsgEnable     = "ctl.enable"   // monitor -> component
 	MsgMonReport  = "mon.report"   // component -> reports group: StatusReport
+	MsgSpanDigest = "obs.spans"    // span reporter -> reports group: SpanDigest
 )
 
 // WorkerInfo describes one live worker as carried in beacons.
@@ -108,10 +110,15 @@ type LoadReport struct {
 // the absolute wall-clock instant (unix nanoseconds) after which the
 // caller no longer awaits the result; it rides inside the body so it
 // crosses process boundaries through the wire codec, and workers drop
-// expired tasks from their inboxes instead of running them.
+// expired tasks from their inboxes instead of running them. Trace
+// mirrors the same dual-carriage pattern for the tracing id
+// (obs.TraceID bits): the SAN stamps Message.Trace on deliveries, and
+// the body copy covers consumers that re-queue the task beyond the
+// original message.
 type TaskMsg struct {
 	Task     tacc.Task
 	Deadline int64
+	Trace    uint64
 }
 
 // ResultMsg answers a TaskMsg.
@@ -141,6 +148,15 @@ type StatusReport struct {
 	Kind      string // "worker", "frontend", "manager", "cache"
 	Node      string
 	Metrics   map[string]float64
+}
+
+// SpanDigest batches freshly recorded trace spans for the report
+// group: each process's span reporter multicasts one every report
+// interval, and every process ingests its peers' digests, so any
+// node can answer /trace?id= for the whole cluster (and the monitor
+// folds the same stream into its per-hop latency table).
+type SpanDigest struct {
+	Spans []obs.Span
 }
 
 // Timing defaults shared across the SNS layer. The paper beacons every
@@ -261,6 +277,7 @@ func EncodeBodyAppend(dst []byte, kind string, body any) ([]byte, error) {
 		w.strMap(m.Task.Profile)
 		w.strMap(m.Task.Params)
 		w.varint(m.Deadline)
+		w.uvarint(m.Trace)
 	case MsgResult:
 		m, ok := body.(ResultMsg)
 		if !ok {
@@ -291,6 +308,21 @@ func EncodeBodyAppend(dst []byte, kind string, body any) ([]byte, error) {
 		w.str(m.Kind)
 		w.str(m.Node)
 		w.f64Map(m.Metrics)
+	case MsgSpanDigest:
+		m, ok := body.(SpanDigest)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s wants SpanDigest, got %T", ErrWireFormat, kind, body)
+		}
+		w.uvarint(uint64(len(m.Spans)))
+		for _, sp := range m.Spans {
+			w.uvarint(uint64(sp.Trace))
+			w.str(sp.Proc)
+			w.str(sp.Comp)
+			w.str(sp.Hop)
+			w.str(sp.Note)
+			w.varint(sp.Start)
+			w.varint(sp.Dur)
+		}
 	case vcache.MsgGet:
 		m, ok := body.(vcache.GetReq)
 		if !ok {
@@ -439,6 +471,7 @@ func decodeBody(kind string, data []byte, view bool) (any, bool, error) {
 		m.Task.Profile = r.strMap()
 		m.Task.Params = r.strMap()
 		m.Deadline = r.varint()
+		m.Trace = r.uvarint()
 		body = m
 	case MsgResult:
 		body = ResultMsg{Blob: r.blob(), Err: r.str()}
@@ -448,6 +481,24 @@ func decodeBody(kind string, data []byte, view bool) (any, bool, error) {
 		body = SpawnReq{Class: r.str()}
 	case MsgMonReport:
 		body = StatusReport{Component: r.str(), Kind: r.str(), Node: r.str(), Metrics: r.f64Map()}
+	case MsgSpanDigest:
+		var m SpanDigest
+		n := r.sliceLen(wireMinSpan)
+		if n > 0 {
+			m.Spans = make([]obs.Span, 0, n)
+			for i := 0; i < n; i++ {
+				m.Spans = append(m.Spans, obs.Span{
+					Trace: obs.TraceID(r.uvarint()),
+					Proc:  r.str(),
+					Comp:  r.str(),
+					Hop:   r.str(),
+					Note:  r.str(),
+					Start: r.varint(),
+					Dur:   r.varint(),
+				})
+			}
+		}
+		body = m
 	case vcache.MsgGet:
 		body = vcache.GetReq{Key: r.str(), Stale: r.bool()}
 	case vcache.MsgHello:
@@ -493,7 +544,7 @@ func decodeBody(kind string, data []byte, view bool) (any, bool, error) {
 func WireKinds() []string {
 	return []string{
 		MsgBeacon, MsgDeregister, MsgFEHello, MsgLoadReport, MsgMonReport,
-		MsgRegister, MsgResult, MsgSpawnReq, MsgTask,
+		MsgRegister, MsgResult, MsgSpawnReq, MsgSpanDigest, MsgTask,
 		supervisor.MsgAck, supervisor.MsgCmd, supervisor.MsgHello,
 		vcache.MsgGet, vcache.MsgGot, vcache.MsgHello, vcache.MsgInject, vcache.MsgPut, vcache.MsgStatsR,
 	}
@@ -505,6 +556,7 @@ func WireKinds() []string {
 const (
 	wireMinWorkerInfo = 7 // 4 empty strings + f64 varint + bool + 2 more strings? conservative floor
 	wireMinBlob       = 3 // empty MIME + empty data + empty meta
+	wireMinSpan       = 7 // trace uvarint + 4 empty strings + 2 varints
 )
 
 type wireWriter struct{ buf []byte }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/san"
 	"repro/internal/supervisor"
 	"repro/internal/tacc"
@@ -49,8 +50,10 @@ func wireSamples() map[string]any {
 			Params:  map[string]string{"minsize": "0"},
 		},
 			// Deadline rides the wire so remote workers can drop
-			// expired work (unix nanos).
+			// expired work (unix nanos); Trace is the distributed
+			// tracing id (sampled bit set).
 			Deadline: 1700000000123456789,
+			Trace:    0x1d2c3b4a59687f01 | 1,
 		},
 		MsgResult: ResultMsg{
 			Blob: tacc.Blob{MIME: "image/sjpg", Data: []byte("distilled")},
@@ -62,6 +65,21 @@ func wireSamples() map[string]any {
 			Component: "w0", Kind: "worker", Node: "n1",
 			Metrics: map[string]float64{"qlen": 3, "costMs": 1.5, "done": 7},
 		},
+		MsgSpanDigest: SpanDigest{Spans: []obs.Span{
+			{
+				Trace: 0x1d2c3b4a59687f01 | 1, Proc: "b-", Comp: "w0",
+				Hop: "worker.service", Note: "distill-sjpg",
+				Start: 1700000000123456789, Dur: 1250000,
+			},
+			{
+				Trace: 0x1d2c3b4a59687f01 | 1, Proc: "b-", Comp: "w0",
+				Hop: "worker.queue", Start: 1700000000123000000, Dur: 456789,
+			},
+			{
+				Trace: 42, Proc: "a-", Comp: "fe0",
+				Hop: "fe.admit", Note: "shed", Start: 1700000001000000000, Dur: 0,
+			},
+		}},
 		vcache.MsgGet: vcache.GetReq{Key: "http://origin1.example/obj42.sjpg#distilled", Stale: true},
 		vcache.MsgHello: vcache.HelloMsg{
 			Name: "cache0", Addr: san.Addr{Node: "node0", Proc: "cache0"}, Node: "node0",

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/san"
 	"repro/internal/tacc"
 )
@@ -53,7 +54,7 @@ type WorkerStub struct {
 	cfg    WorkerConfig
 
 	ep      *san.Endpoint
-	queue   chan san.Message
+	queue   chan queuedTask
 	qlen    atomic.Int64
 	done    atomic.Uint64
 	errs    atomic.Uint64
@@ -93,7 +94,7 @@ func NewWorkerStub(name, node string, w tacc.Worker, net *san.Network, cfg Worke
 		worker: w,
 		net:    net,
 		cfg:    cfg,
-		queue:  make(chan san.Message, cfg.QueueCap),
+		queue:  make(chan queuedTask, cfg.QueueCap),
 	}
 	s.ep = net.Endpoint(s.addr(), cfg.QueueCap*2+64)
 	return s
@@ -145,6 +146,16 @@ func (s *WorkerStub) Run(ctx context.Context) error {
 	ep := s.ep
 	defer ep.Close()
 	ep.Join(GroupControl)
+	// Replace-by-name keeps restarts idempotent: a respawned stub with
+	// the same name takes over its metric slot.
+	s.net.Registry().SetCollector("worker."+s.name, func(emit func(string, float64)) {
+		emit("qlen", float64(s.qlen.Load()))
+		emit("done", float64(s.done.Load()))
+		emit("errors", float64(s.errs.Load()))
+		emit("crashes", float64(s.crashes.Load()))
+		emit("expired", float64(s.expired.Load()))
+		emit("cost_ms", float64(s.costMs.Load())/1000)
+	})
 
 	crashed := make(chan any, 1)
 	var wg sync.WaitGroup
@@ -223,7 +234,7 @@ func (s *WorkerStub) handle(ctx context.Context, ep *san.Endpoint, msg san.Messa
 			return
 		}
 		select {
-		case s.queue <- msg:
+		case s.queue <- queuedTask{msg: msg, at: time.Now()}:
 			s.qlen.Add(1)
 		default:
 			_ = ep.Respond(msg, MsgResult, ResultMsg{Err: "queue full"}, 16)
@@ -251,13 +262,23 @@ func (s *WorkerStub) handle(ctx context.Context, ep *san.Endpoint, msg san.Messa
 	}
 }
 
+// queuedTask pairs a task with its enqueue instant so the process
+// loop can decompose latency into queue-wait vs service time — the
+// split the trace plane and the slow-request log report per hop.
+type queuedTask struct {
+	msg san.Message
+	at  time.Time
+}
+
 // processLoop serially executes queued tasks.
 func (s *WorkerStub) processLoop(ctx context.Context, crashed chan<- any) {
+	tracer := s.net.Tracer()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case msg := <-s.queue:
+		case qt := <-s.queue:
+			msg := qt.msg
 			for s.hung.Load() {
 				select {
 				case <-ctx.Done():
@@ -272,6 +293,13 @@ func (s *WorkerStub) processLoop(ctx context.Context, crashed chan<- any) {
 				case <-time.After(d):
 				}
 			}
+			trace := taskTrace(msg)
+			if trace.Sampled() {
+				tracer.Record(obs.Span{
+					Trace: trace, Comp: s.name, Hop: "worker.queue",
+					Start: qt.at.UnixNano(), Dur: int64(time.Since(qt.at)),
+				})
+			}
 			if dl := taskDeadline(msg); !dl.IsZero() && time.Now().After(dl) {
 				// The request expired while queued (or while this stub
 				// hung): nobody awaits the answer, so don't burn capacity
@@ -279,6 +307,12 @@ func (s *WorkerStub) processLoop(ctx context.Context, crashed chan<- any) {
 				// degradation under overload.
 				s.expired.Add(1)
 				s.qlen.Add(-1)
+				// Expired drops record unconditionally: a shed request is
+				// exactly the one an operator wants a trace of.
+				tracer.ForceRecord(obs.Span{
+					Trace: trace, Comp: s.name, Hop: "worker.expired",
+					Start: qt.at.UnixNano(), Dur: int64(time.Since(qt.at)),
+				})
 				_ = s.ep.Respond(msg, MsgResult, ResultMsg{Err: ErrTaskExpired}, 16)
 				msg.Release()
 				continue
@@ -288,6 +322,12 @@ func (s *WorkerStub) processLoop(ctx context.Context, crashed chan<- any) {
 			s.qlen.Add(-1)
 			cost := time.Since(start)
 			s.observeCost(cost)
+			if trace.Sampled() {
+				tracer.Record(obs.Span{
+					Trace: trace, Comp: s.name, Hop: "worker.service", Note: s.class,
+					Start: start.UnixNano(), Dur: int64(cost),
+				})
+			}
 			if panicked != nil {
 				s.crashes.Add(1)
 				_ = s.ep.Respond(msg, MsgResult, ResultMsg{Err: fmt.Sprintf("worker panic: %v", panicked)}, 16)
@@ -335,6 +375,19 @@ func taskDeadline(msg san.Message) time.Time {
 		return time.Unix(0, tm.Deadline)
 	}
 	return time.Time{}
+}
+
+// taskTrace extracts the trace id of a queued task, mirroring
+// taskDeadline: the SAN delivery metadata (in-process hops) or the
+// copy embedded in the TaskMsg body (cross-process belt and braces).
+func taskTrace(msg san.Message) obs.TraceID {
+	if msg.Trace.Valid() {
+		return msg.Trace
+	}
+	if tm, ok := msg.Body.(TaskMsg); ok {
+		return obs.TraceID(tm.Trace)
+	}
+	return 0
 }
 
 // runTask executes the worker with panic isolation.

@@ -143,6 +143,40 @@ func (b *Batcher) Append(frame []byte) error {
 	return b.afterAppendLocked()
 }
 
+// AppendHooked is Append plus a flush hook: fn runs once the write
+// carrying this frame completes (success or not) — the same contract
+// as an AppendVec release, without an external body. A refused append
+// (closed, sticky error, backpressure) runs fn inline. The traced
+// send path uses it to time transport batch+flush; the untraced path
+// never takes it, so the hot path stays hook-free.
+func (b *Batcher) AppendHooked(frame []byte, fn func()) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed || b.err != nil {
+		if fn != nil {
+			fn()
+		}
+		if b.closed {
+			return ErrBatcherClosed
+		}
+		return b.err
+	}
+	if b.maxBytes > 0 && b.writing && len(b.buf)+b.ext+len(frame) > b.maxBytes {
+		b.stats.Backpressure++
+		if fn != nil {
+			fn()
+		}
+		return ErrBackpressure
+	}
+	b.buf = append(b.buf, frame...)
+	if fn != nil {
+		b.cuts = append(b.cuts, cut{off: len(b.buf), release: fn})
+	}
+	b.pending++
+	b.stats.Frames++
+	return b.afterAppendLocked()
+}
+
 // AppendVec queues one frame whose body stays in the caller's buffer:
 // hdr and trailer (from AppendDataVec) are copied into the staging
 // buffer as usual, but body is only referenced — at flush it goes to

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/san"
 )
 
@@ -284,6 +285,24 @@ func New(cfg Config) (*Bridge, error) {
 		b.cfg.ID = b.advertise
 	}
 	cfg.Net.SetFabric(b)
+	cfg.Net.Registry().SetCollector("bridge", func(emit func(string, float64)) {
+		st := b.Stats()
+		emit("peers", float64(st.Peers))
+		emit("frames_out", float64(st.FramesOut))
+		emit("frames_in", float64(st.FramesIn))
+		emit("bytes_in", float64(st.BytesIn))
+		emit("bytes_out", float64(st.BytesOut))
+		emit("batches", float64(st.Batches))
+		emit("floods", float64(st.Floods))
+		emit("frame_errors", float64(st.FrameErrors))
+		emit("injected", float64(st.Injected))
+		emit("reconnects", float64(st.Reconnects))
+		emit("unroutable", float64(st.Unroutable))
+		emit("chunked", float64(st.Chunked))
+		emit("reassembled", float64(st.Reassembled))
+		emit("backpressure", float64(st.Backpressure))
+		emit("max_queued", float64(st.MaxQueued))
+	})
 	b.wg.Add(1)
 	go b.acceptLoop()
 	for _, addr := range cfg.Join {
@@ -477,7 +496,7 @@ func (b *Bridge) logf(format string, args ...any) {
 // of sending to an unbound local address. Only a genuinely never-seen
 // address still floods, as a last resort for races the advert stream
 // has not covered yet.
-func (b *Bridge) Unicast(from, to san.Addr, kind string, callID uint64, reply bool, wire []byte, lease *san.Lease) bool {
+func (b *Bridge) Unicast(from, to san.Addr, kind string, callID uint64, reply bool, trace obs.TraceID, wire []byte, lease *san.Lease) bool {
 	var stack [1]*peer
 	targets := stack[:0]
 	b.mu.RLock()
@@ -510,7 +529,7 @@ func (b *Bridge) Unicast(from, to san.Addr, kind string, callID uint64, reply bo
 	// frames interleave between them instead of stalling a whole batch
 	// behind one 500 KB blob.
 	if lease != nil && b.cfg.ChunkBytes > 0 && len(wire) > b.cfg.ChunkBytes && len(wire) <= MaxChunkBody {
-		return b.unicastChunked(targets, from, to, kind, callID, flags, wire, lease)
+		return b.unicastChunked(targets, from, to, kind, callID, flags, trace, wire, lease)
 	}
 
 	bufp := b.framePool.Get().(*[]byte)
@@ -519,18 +538,26 @@ func (b *Bridge) Unicast(from, to san.Addr, kind string, callID uint64, reply bo
 		// Vectored: only the header and CRC trailer are staged; the
 		// already-encoded body goes to the socket as its own iovec,
 		// pinned by one lease reference per peer until its flush.
-		hdr, trailer := AppendDataVec((*bufp)[:0], from, to, kind, callID, flags, nil, wire)
+		hdr, trailer := AppendDataVec((*bufp)[:0], from, to, kind, callID, flags, uint64(trace), nil, wire)
 		for _, p := range targets {
 			lease.Retain()
-			if b.appendVecToPeer(p, hdr, wire, trailer, lease.Release) {
+			release := lease.Release
+			if trace.Sampled() {
+				release = b.flushSpan(trace, kind, len(wire), lease.Release)
+			}
+			if b.appendVecToPeer(p, hdr, wire, trailer, release) {
 				sent++
 			}
 		}
 		*bufp = hdr[:0]
 	} else {
-		frame := AppendData((*bufp)[:0], from, to, kind, callID, reply, wire)
+		frame := AppendDataTrace((*bufp)[:0], from, to, kind, callID, flags, uint64(trace), wire)
 		for _, p := range targets {
-			if b.appendToPeer(p, frame) {
+			if trace.Sampled() {
+				if b.appendToPeerHooked(p, frame, b.flushSpan(trace, kind, len(wire), nil)) {
+					sent++
+				}
+			} else if b.appendToPeer(p, frame) {
 				sent++
 			}
 		}
@@ -556,7 +583,7 @@ func (b *Bridge) Unicast(from, to san.Addr, kind string, callID uint64, reply bo
 // the flush that wrote the fragment otherwise. The Retain therefore
 // sits immediately before the hand-off and nowhere else; this loop
 // itself never releases.
-func (b *Bridge) unicastChunked(targets []*peer, from, to san.Addr, kind string, callID uint64, flags byte, wire []byte, lease *san.Lease) bool {
+func (b *Bridge) unicastChunked(targets []*peer, from, to san.Addr, kind string, callID uint64, flags byte, trace obs.TraceID, wire []byte, lease *san.Lease) bool {
 	id := b.chunkSeq.Add(1)
 	total := len(wire)
 	flags |= FlagChunk
@@ -579,14 +606,21 @@ func (b *Bridge) unicastChunked(targets []*peer, from, to san.Addr, kind string,
 		}
 		frag := wire[off:end]
 		prefix := appendChunkEnv(env[:0], id, total, off)
-		hdr, trailer := AppendDataVec(scratch[:0], from, to, kind, callID, flags, prefix, frag)
+		hdr, trailer := AppendDataVec(scratch[:0], from, to, kind, callID, flags, uint64(trace), prefix, frag)
 		scratch = hdr
+		last := end == total
 		for _, p := range targets {
 			if failed[p] {
 				continue
 			}
 			lease.Retain() // ownership of this one ref passes to the batcher
-			if b.appendVecToPeer(p, hdr, frag, trailer, lease.Release) {
+			release := lease.Release
+			if trace.Sampled() && last {
+				// One span per chunked send, closed when the final
+				// fragment's flush completes.
+				release = b.flushSpan(trace, kind, total, lease.Release)
+			}
+			if b.appendVecToPeer(p, hdr, frag, trailer, release) {
 				frames++
 				if off == 0 {
 					sent++
@@ -737,6 +771,45 @@ func (b *Bridge) appendVecToPeer(p *peer, hdr, body []byte, trailer [4]byte, rel
 		p.close()
 	}
 	return false
+}
+
+// appendToPeerHooked is appendToPeer for traced frames: fn runs when
+// the flush carrying the frame completes (AppendHooked runs it inline
+// on a refused append). Same fatality rule as appendToPeer.
+func (b *Bridge) appendToPeerHooked(p *peer, frame []byte, fn func()) bool {
+	err := p.batch.AppendHooked(frame, fn)
+	if err == nil {
+		return true
+	}
+	if errors.Is(err, ErrBackpressure) {
+		return false // congestion drop; see appendToPeer
+	}
+	if !errors.Is(err, ErrBatcherClosed) {
+		b.logf("transport: %s: write to peer %s failed, dropping connection: %v", b.cfg.ID, p.id, err)
+		p.close()
+	}
+	return false
+}
+
+// flushSpan builds a batcher completion hook that records a
+// "transport.flush" span for a sampled trace: the duration covers the
+// batching wait plus the write that carried the frame. inner, when
+// non-nil, runs first (the body's lease release).
+func (b *Bridge) flushSpan(trace obs.TraceID, kind string, size int, inner func()) func() {
+	start := time.Now()
+	return func() {
+		if inner != nil {
+			inner()
+		}
+		b.net.Tracer().Record(obs.Span{
+			Trace: trace,
+			Comp:  b.cfg.ID,
+			Hop:   "transport.flush",
+			Note:  kind,
+			Start: start.UnixNano(),
+			Dur:   int64(time.Since(start)),
+		})
+	}
 }
 
 // Multicast implements san.Fabric: the frame is built once and the
@@ -1205,7 +1278,7 @@ func (b *Bridge) handleFrame(p *peer, f Frame, intern *interner, dec *Decoder, a
 			b.handleChunk(asm, f, from, to, intern.str(f.Kind))
 			return
 		}
-		if b.net.InjectUnicast(from, to, intern.str(f.Kind), f.CallID, f.Flags&FlagReply != 0, f.Body, dec.Lease()) {
+		if b.net.InjectUnicast(from, to, intern.str(f.Kind), f.CallID, f.Flags&FlagReply != 0, obs.TraceID(f.Trace), f.Body, dec.Lease()) {
 			b.injected.Add(1)
 		}
 	case FrameMcast:
@@ -1306,7 +1379,7 @@ func (b *Bridge) handleChunk(asm *chunkAsm, f Frame, from, to san.Addr, kind str
 	delete(asm.builds, id) // stale order entry: skipped by eviction, compacted later
 	asm.markDead(id)       // a late duplicate must not rebuild a done stream
 	b.reassembled.Add(1)
-	if b.net.InjectUnicast(from, to, kind, f.CallID, f.Flags&FlagReply != 0, cb.buf, cb.lease) {
+	if b.net.InjectUnicast(from, to, kind, f.CallID, f.Flags&FlagReply != 0, obs.TraceID(f.Trace), cb.buf, cb.lease) {
 		b.injected.Add(1)
 	}
 	cb.lease.Release()

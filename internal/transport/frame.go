@@ -42,9 +42,10 @@
 //	8      ...   payload (per-type, strings uvarint-length-prefixed)
 //	8+n    4     CRC32 (IEEE) over prelude+payload
 //
-// Data payload: flags(1) callID(uvarint) srcNode srcProc dstNode
-// dstProc kind body. Mcast payload: srcNode srcProc group kind body.
-// Hello payload: id advertise peerCount peers....
+// Data payload: flags(1) [trace(uvarint) when FlagTrace] callID(uvarint)
+// srcNode srcProc dstNode dstProc kind body. Mcast payload: srcNode
+// srcProc group kind body. Hello payload: id advertise peerCount
+// peers....
 package transport
 
 import (
@@ -96,6 +97,10 @@ const (
 	// blob streams as many small frames — ordinary traffic interleaves
 	// between them instead of stalling behind one giant frame.
 	FlagChunk byte = 1 << 1
+	// FlagTrace marks a frame that carries a distributed-tracing id
+	// (obs.TraceID) as a uvarint between the flags byte and the call
+	// id. Untraced frames pay nothing: no flag, no field.
+	FlagTrace byte = 1 << 2
 )
 
 // Decode errors. A stream that produces any of these has lost frame
@@ -117,6 +122,7 @@ type Frame struct {
 	Type   byte
 	Flags  byte
 	CallID uint64
+	Trace  uint64 // distributed-tracing id; zero unless FlagTrace
 
 	SrcNode, SrcProc []byte
 	DstNode, DstProc []byte // FrameData only
@@ -157,12 +163,25 @@ func appendBytes(dst, b []byte) []byte {
 // output) and returns the extended slice. It allocates nothing when
 // dst has capacity.
 func AppendData(dst []byte, from, to san.Addr, kind string, callID uint64, reply bool, body []byte) []byte {
-	dst, off := appendPrelude(dst, FrameData)
 	flags := byte(0)
 	if reply {
 		flags |= FlagReply
 	}
+	return AppendDataTrace(dst, from, to, kind, callID, flags, 0, body)
+}
+
+// AppendDataTrace is AppendData with a verbatim flags byte and an
+// optional tracing id: a non-zero trace sets FlagTrace and rides the
+// frame as a uvarint. Zero traces add nothing to the wire.
+func AppendDataTrace(dst []byte, from, to san.Addr, kind string, callID uint64, flags byte, trace uint64, body []byte) []byte {
+	dst, off := appendPrelude(dst, FrameData)
+	if trace != 0 {
+		flags |= FlagTrace
+	}
 	dst = append(dst, flags)
+	if trace != 0 {
+		dst = binary.AppendUvarint(dst, trace)
+	}
 	dst = binary.AppendUvarint(dst, callID)
 	dst = appendString(dst, from.Node)
 	dst = appendString(dst, from.Proc)
@@ -181,10 +200,17 @@ func AppendData(dst []byte, from, to san.Addr, kind string, callID uint64, reply
 // hands the three pieces to writev so an already-encoded blob goes to
 // the socket straight from its lease, copy-free. The logical frame
 // body is prefix ++ body. The flags byte is taken verbatim (compose
-// FlagReply/FlagChunk yourself).
-func AppendDataVec(dst []byte, from, to san.Addr, kind string, callID uint64, flags byte, prefix, body []byte) (hdr []byte, trailer [4]byte) {
+// FlagReply/FlagChunk yourself); a non-zero trace sets FlagTrace like
+// AppendDataTrace.
+func AppendDataVec(dst []byte, from, to san.Addr, kind string, callID uint64, flags byte, trace uint64, prefix, body []byte) (hdr []byte, trailer [4]byte) {
 	dst, off := appendPrelude(dst, FrameData)
+	if trace != 0 {
+		flags |= FlagTrace
+	}
 	dst = append(dst, flags)
+	if trace != 0 {
+		dst = binary.AppendUvarint(dst, trace)
+	}
 	dst = binary.AppendUvarint(dst, callID)
 	dst = appendString(dst, from.Node)
 	dst = appendString(dst, from.Proc)
@@ -504,6 +530,12 @@ func parsePayload(ftype byte, payload []byte) (Frame, error) {
 	switch ftype {
 	case FrameData:
 		f.Flags = r.byte()
+		if f.Flags&FlagTrace != 0 {
+			f.Trace = r.uvarint()
+			if f.Trace == 0 {
+				return Frame{}, fmt.Errorf("%w: FlagTrace with zero trace id", ErrFrameFormat)
+			}
+		}
 		f.CallID = r.uvarint()
 		f.SrcNode = r.bytes()
 		f.SrcProc = r.bytes()

@@ -2,6 +2,8 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"testing"
 
 	"repro/internal/san"
@@ -45,6 +47,10 @@ func sampleFrames(t testing.TB) [][]byte {
 			san.Addr{Node: "b-node1", Proc: "w0"},
 			san.Addr{Node: "a-node0", Proc: "fe0"},
 			stub.MsgResult, 99, true, []byte("reply-bytes")),
+		AppendDataTrace(nil,
+			san.Addr{Node: "a-node0", Proc: "fe0"},
+			san.Addr{Node: "b-node1", Proc: "w0"},
+			stub.MsgTask, 7, 0, 0xbeef01|1, []byte("traced-task")),
 		AppendMcast(nil,
 			san.Addr{Node: "b-node0", Proc: "manager"},
 			stub.GroupControl, stub.MsgBeacon, body),
@@ -80,6 +86,33 @@ func TestFrameRoundTrip(t *testing.T) {
 		string(f.Kind), f.CallID, f.Flags&FlagReply != 0, f.Body)
 	if !bytes.Equal(re, frame) {
 		t.Fatal("re-encoding a decoded frame diverged from the original bytes")
+	}
+
+	// Traced frame: FlagTrace + uvarint id round-trips; an untraced
+	// frame spends no bytes on it (AppendData above is byte-identical
+	// to the pre-trace format).
+	traced := AppendDataTrace(nil, from, to, "wrk.task", 42, FlagReply, 0x55aa, body)
+	d = Decoder{}
+	_, _ = d.Write(traced)
+	f, ok, err = d.Next()
+	if err != nil || !ok {
+		t.Fatalf("traced decode: ok=%v err=%v", ok, err)
+	}
+	if f.Flags&FlagTrace == 0 || f.Trace != 0x55aa || f.Flags&FlagReply == 0 {
+		t.Fatalf("traced frame fields wrong: %+v", f)
+	}
+	if len(traced) <= len(frame) {
+		t.Fatal("traced frame should carry extra trace bytes")
+	}
+	// A FlagTrace claim with a zero trace id is malformed (re-seal the
+	// CRC so the parser, not the checksum, makes that call).
+	bad := append([]byte(nil), frame...)
+	bad[preludeLen] |= FlagTrace // flags byte; following uvarint decodes as callID=0... garbage
+	binary.LittleEndian.PutUint32(bad[len(bad)-crcLen:], crc32.ChecksumIEEE(bad[:len(bad)-crcLen]))
+	var db Decoder
+	_, _ = db.Write(bad)
+	if _, _, err := db.Next(); err == nil {
+		t.Fatal("decoder accepted a FlagTrace frame whose payload was not extended")
 	}
 
 	mc := AppendMcast(nil, from, "sns.control", "mgr.beacon", body)
@@ -226,6 +259,7 @@ func copyFrame(f Frame) Frame {
 
 func framesEqual(a, b Frame) bool {
 	return a.Type == b.Type && a.Flags == b.Flags && a.CallID == b.CallID &&
+		a.Trace == b.Trace &&
 		bytes.Equal(a.SrcNode, b.SrcNode) && bytes.Equal(a.SrcProc, b.SrcProc) &&
 		bytes.Equal(a.DstNode, b.DstNode) && bytes.Equal(a.DstProc, b.DstProc) &&
 		bytes.Equal(a.Group, b.Group) && bytes.Equal(a.Kind, b.Kind) &&

@@ -121,10 +121,10 @@ func FuzzFrameRoundTrip(f *testing.F) {
 func reencode(f Frame) []byte {
 	switch f.Type {
 	case FrameData:
-		return AppendData(nil,
+		return AppendDataTrace(nil,
 			san.Addr{Node: string(f.SrcNode), Proc: string(f.SrcProc)},
 			san.Addr{Node: string(f.DstNode), Proc: string(f.DstProc)},
-			string(f.Kind), f.CallID, f.Flags&FlagReply != 0, f.Body)
+			string(f.Kind), f.CallID, f.Flags&FlagReply, f.Trace, f.Body)
 	case FrameMcast:
 		return AppendMcast(nil,
 			san.Addr{Node: string(f.SrcNode), Proc: string(f.SrcProc)},

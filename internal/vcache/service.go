@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/san"
 )
 
@@ -111,6 +112,18 @@ func (s *Service) Run(ctx context.Context) error {
 	}
 	ep := s.ep
 	defer ep.Close()
+	s.Net.Registry().SetCollector("cache."+s.Name, func(emit func(string, float64)) {
+		st := s.Partition.Stats()
+		emit("hits", float64(st.Hits))
+		emit("misses", float64(st.Misses))
+		emit("puts", float64(st.Puts))
+		emit("injects", float64(st.Injects))
+		emit("evictions", float64(st.Evictions))
+		emit("expired", float64(st.Expired))
+		emit("used_bytes", float64(st.Used))
+		emit("objects", float64(st.Objects))
+		emit("hit_rate", st.HitRate())
+	})
 
 	var hb <-chan time.Time
 	if s.HeartbeatGroup != "" && s.HeartbeatInterval > 0 {
@@ -149,6 +162,7 @@ func (s *Service) handle(ep *san.Endpoint, msg san.Message) {
 		if !ok {
 			return
 		}
+		gstart := time.Now()
 		if s.ServiceTime != nil {
 			if d := s.ServiceTime(); d > 0 {
 				time.Sleep(d)
@@ -163,6 +177,16 @@ func (s *Service) handle(ep *san.Endpoint, msg san.Message) {
 			entry, stale, found = s.Partition.GetStale(req.Key)
 		} else {
 			entry, found = s.Partition.Get(req.Key)
+		}
+		if msg.Trace.Sampled() {
+			note := "miss"
+			if found {
+				note = "hit"
+			}
+			s.Net.Tracer().Record(obs.Span{
+				Trace: msg.Trace, Comp: s.Name, Hop: "cache.serve", Note: note,
+				Start: gstart.UnixNano(), Dur: int64(time.Since(gstart)),
+			})
 		}
 		resp := GetResp{Found: found, Data: entry.Data, MIME: entry.MIME, Stale: stale}
 		_ = ep.Respond(msg, MsgGot, resp, len(entry.Data)+32)

@@ -27,6 +27,15 @@
 # burst past capacity and asserts the BASE ladder held: some requests
 # degraded to stale cached data, the rest shed with the typed overload
 # error, zero unexplained failures, zero wire errors.
+#
+# Leg 4 — end-to-end tracing: a two-process topology (data plane;
+# serving plane with -trace-sample 1 and the HTTP API). One /fetch
+# returns an X-Trace-Id header; /trace?id= on the serving process must
+# then render a span tree recorded by BOTH OS processes, decomposing
+# the request into front-end hops (this process) and worker
+# queue-wait + service hops (the peer, crossed back as span digests on
+# the report group). /metrics must expose the registry in Prometheus
+# form and /status must be machine-readable JSON.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,12 +49,14 @@ mgr_log=$(mktemp -t sns-mgr.XXXXXX.log)
 srv_log=$(mktemp -t sns-srv.XXXXXX.log)
 srv_out=$(mktemp -t sns-srv.XXXXXX.json)
 ovl_log=$(mktemp -t sns-ovl.XXXXXX.log)
+trc_log=$(mktemp -t sns-trc.XXXXXX.log)
+tsv_log=$(mktemp -t sns-tsv.XXXXXX.log)
 cleanup() {
-    for pid in "${ctl_pid:-}" "${hub_pid:-}" "${mgr_pid:-}" "${srv_pid:-}" "${ovl_pid:-}"; do
+    for pid in "${ctl_pid:-}" "${hub_pid:-}" "${mgr_pid:-}" "${srv_pid:-}" "${ovl_pid:-}" "${trc_pid:-}" "${tsv_pid:-}"; do
         [[ -n "${pid}" ]] && kill "${pid}" 2>/dev/null || true
         [[ -n "${pid}" ]] && wait "${pid}" 2>/dev/null || true
     done
-    rm -f "${bin}" "${ctl_log}" "${hub_log}" "${mgr_log}" "${srv_log}" "${srv_out}" "${ovl_log}"
+    rm -f "${bin}" "${ctl_log}" "${hub_log}" "${mgr_log}" "${srv_log}" "${srv_out}" "${ovl_log}" "${trc_log}" "${tsv_log}"
 }
 trap cleanup EXIT
 
@@ -210,3 +221,93 @@ if ! grep -q '"failures":0' <<<"${out}" || ! grep -q '"wire_errors":0' <<<"${out
 fi
 
 echo "smoke: [overload] OK — 64-deep burst against an inflight bound of 2: degraded serves plus typed sheds, zero unexplained failures, zero wire errors"
+
+# Leg 3's data-plane process is done; stop it before the tracing leg.
+kill "${ovl_pid}" 2>/dev/null || true
+wait "${ovl_pid}" 2>/dev/null || true
+ovl_pid=
+
+PORT4=$((PORT + 3))
+HTTP4="${SMOKE_HTTP_PORT:-$((PORT + 10))}"
+echo "smoke: [trace] starting data-plane process (worker,cache) on :${PORT4}..."
+"${bin}" -listen "tcp:127.0.0.1:${PORT4}" -prefix trc -roles worker,cache \
+    -seed 8 >"${trc_log}" 2>&1 &
+trc_pid=$!
+
+echo "smoke: [trace] starting serving process with -trace-sample 1 and HTTP on :${HTTP4}..."
+"${bin}" -listen tcp:127.0.0.1:0 -join "tcp:127.0.0.1:${PORT4}" \
+    -prefix tsv -roles frontend,manager,monitor -cache-host trc -seed 9 \
+    -trace-sample 1 -http "127.0.0.1:${HTTP4}" >"${tsv_log}" 2>&1 &
+tsv_pid=$!
+
+for _ in $(seq 1 300); do
+    grep -q "node: http on" "${tsv_log}" 2>/dev/null && break
+    sleep 0.1
+done
+if ! grep -q "node: http on" "${tsv_log}"; then
+    echo "smoke: [trace] FAILED — serving process never exposed the HTTP API" >&2
+    cat "${tsv_log}" "${trc_log}" >&2
+    exit 1
+fi
+
+echo "smoke: [trace] fetching one object and extracting X-Trace-Id..."
+trace_id=$(curl -fsS -D - -o /dev/null \
+    "http://127.0.0.1:${HTTP4}/fetch?url=http://origin4.example/trace.sjpg" \
+    | tr -d '\r' | grep -i '^x-trace-id:' | awk '{print $2}')
+if [[ -z "${trace_id}" ]]; then
+    echo "smoke: [trace] FAILED — /fetch returned no X-Trace-Id header" >&2
+    cat "${tsv_log}" "${trc_log}" >&2
+    exit 1
+fi
+echo "smoke: [trace] trace id ${trace_id}"
+
+# The worker-side spans cross back on the next report tick; poll
+# /trace until the tree covers both OS processes and decomposes the
+# worker's part into queue-wait and service time.
+tree=""
+for _ in $(seq 1 100); do
+    tree=$(curl -fsS "http://127.0.0.1:${HTTP4}/trace?id=${trace_id}" || true)
+    if grep -q '"proc": "trc"' <<<"${tree}" && grep -q '"proc": "tsv"' <<<"${tree}" \
+        && grep -q '"hop": "worker.queue"' <<<"${tree}" \
+        && grep -q '"hop": "worker.service"' <<<"${tree}"; then
+        break
+    fi
+    sleep 0.1
+done
+for want in '"proc": "trc"' '"proc": "tsv"' '"hop": "worker.queue"' '"hop": "worker.service"' "\"hop\": \"fe.request\""; do
+    if ! grep -q "${want}" <<<"${tree}"; then
+        echo "smoke: [trace] FAILED — span tree missing ${want}:" >&2
+        echo "${tree}" >&2
+        cat "${tsv_log}" "${trc_log}" >&2
+        exit 1
+    fi
+done
+
+# The metrics plane: Prometheus exposition on /metrics, machine-
+# readable JSON on /status (with the old human dump behind
+# ?format=text).
+metrics=$(curl -fsS "http://127.0.0.1:${HTTP4}/metrics")
+if ! grep -q '^sns_' <<<"${metrics}"; then
+    echo "smoke: [trace] FAILED — /metrics has no sns_ samples" >&2
+    exit 1
+fi
+status=$(curl -fsS "http://127.0.0.1:${HTTP4}/status")
+if command -v python3 >/dev/null 2>&1; then
+    if ! python3 -c 'import json,sys; json.load(sys.stdin)' <<<"${status}"; then
+        echo "smoke: [trace] FAILED — /status is not valid JSON" >&2
+        echo "${status}" >&2
+        exit 1
+    fi
+fi
+if ! grep -q '"san.' <<<"${status}"; then
+    echo "smoke: [trace] FAILED — /status JSON missing san.* metrics" >&2
+    echo "${status}" >&2
+    exit 1
+fi
+text=$(curl -fsS "http://127.0.0.1:${HTTP4}/status?format=text")
+if ! grep -q 'san: wire=' <<<"${text}"; then
+    echo "smoke: [trace] FAILED — /status?format=text lost the human dump" >&2
+    exit 1
+fi
+
+echo "smoke: [trace] OK — one X-Trace-Id resolved to a span tree recorded by both OS processes (fe.request on tsv, worker.queue + worker.service on trc); /metrics and JSON /status served"
