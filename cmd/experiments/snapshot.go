@@ -9,7 +9,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"testing"
@@ -18,6 +21,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/distiller"
+	"repro/internal/edge"
 	"repro/internal/media"
 	"repro/internal/obs"
 	"repro/internal/san"
@@ -137,6 +141,11 @@ func writeSnapshot(path string, seed int64) error {
 	// characteristic sizes (ns tracked; allocs and B/op gated — they
 	// are what "at most one body copy per hop" means in numbers).
 	measureBlobRelay(m)
+
+	// Edge front door: what one hop through the L7 proxy adds on top of
+	// hitting the FE adapter directly (ns tracked, not gated — loopback
+	// socket costs are host-bound).
+	measureEdgeProxy(m)
 
 	snap := BenchSnapshot{
 		Date:    time.Now().UTC().Format("2006-01-02"),
@@ -407,6 +416,71 @@ func measureBlobRelay(m map[string]float64) {
 	}
 }
 
+// measureEdgeProxy benchmarks one GET through the edge (pool pick,
+// header stamping, backend round trip, relay) against the same GET
+// straight at the backend, and records the difference as the proxy's
+// per-request overhead.
+func measureEdgeProxy(m map[string]float64) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte("ok"))
+	}))
+	defer backend.Close()
+
+	n := san.NewNetwork(1)
+	defer n.Close()
+	eg, err := edge.New(edge.Config{
+		Name: "edge", Node: "snapnode", Net: n, Listen: "127.0.0.1:0",
+		// One synthetic Observe stands in for heartbeats; an unbounded
+		// TTL keeps the backend resident however long the bench runs.
+		Pool: edge.PoolConfig{TTL: time.Hour},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snapshot: edge:", err)
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { _ = eg.Run(ctx) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for !eg.Running() {
+		if time.Now().After(deadline) {
+			fmt.Fprintln(os.Stderr, "snapshot: edge never started")
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	eg.ObserveBackend("snapnode/fe0", "fe0", backend.Listener.Addr().String(), false)
+
+	client := &http.Client{}
+	get := func(b *testing.B, url string) {
+		resp, err := client.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	direct := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			get(b, backend.URL)
+		}
+	})
+	through := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			get(b, "http://"+eg.HTTPAddr()+"/fetch?url=x")
+		}
+	})
+	m["edge_proxy_ns"] = float64(through.NsPerOp())
+	overhead := through.NsPerOp() - direct.NsPerOp()
+	if overhead < 0 {
+		overhead = 0
+	}
+	m["edge_proxy_overhead_ns"] = float64(overhead)
+}
+
 // measureLatencyProfile runs the chaos load generator against a
 // healthy default system for two seconds at a comfortable rate and
 // records the client-observed latency percentiles. These place the
@@ -421,7 +495,7 @@ func measureLatencyProfile(seed int64, m map[string]float64) error {
 	defer h.Stop()
 	const dur = 2 * time.Second
 	h.StartLoad(100, 4096, dur)
-	time.Sleep(dur + 300*time.Millisecond) // drain: StopLoad fails requests still in flight
+	time.Sleep(dur + 300*time.Millisecond) // drain so the percentiles cover every issued request
 	st := h.StopLoad()
 	if st.Issued == 0 {
 		return fmt.Errorf("load generator issued nothing")

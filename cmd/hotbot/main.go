@@ -13,12 +13,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
+	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
 	"repro/internal/cluster"
@@ -110,6 +114,28 @@ func main() {
 		}
 	})
 
+	// A configured server, not bare ListenAndServe: header timeouts so
+	// a slow-header client can't pin goroutines, and a graceful
+	// Shutdown on SIGINT/SIGTERM.
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
 	log.Printf("hotbot: listening on %s — try /search?q=ba+de", *listen)
-	log.Fatal(http.ListenAndServe(*listen, mux))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case <-sig:
+		log.Print("hotbot: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
 }

@@ -1,6 +1,6 @@
 // Command node runs one SNS cluster member as a real OS process: any
-// subset of the roles (front ends, manager, workers, caches, monitor)
-// attached to the cluster-wide SAN over the socket transport
+// subset of the roles (front ends, manager, workers, caches, monitor,
+// edge) attached to the cluster-wide SAN over the socket transport
 // (internal/transport). A cluster is however many node processes you
 // start, joined through any one of them.
 //
@@ -43,9 +43,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -54,6 +56,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/distiller"
+	"repro/internal/edge"
 	"repro/internal/frontend"
 	"repro/internal/manager"
 	"repro/internal/obs"
@@ -68,7 +71,7 @@ func main() {
 	join := flag.String("join", "", "comma-separated seed bridge addresses to join")
 	id := flag.String("id", "", "bridge id (default: -prefix, then the listen address)")
 	prefix := flag.String("prefix", "", "node-name prefix; must be unique per process (required with -join or when joined)")
-	rolesFlag := flag.String("roles", "all", "roles to host: frontend,manager,worker,cache,monitor (or 'all')")
+	rolesFlag := flag.String("roles", "all", "roles to host: frontend,manager,worker,cache,monitor,edge (or 'all')")
 	cacheHost := flag.String("cache-host", "", "node prefix of the process hosting the cache partitions (when the cache role is remote)")
 	frontEnds := flag.Int("frontends", 2, "front ends (frontend role)")
 	managers := flag.Int("managers", 1, "manager replicas hosted in this process (manager role)")
@@ -81,6 +84,9 @@ func main() {
 	dampD := flag.Duration("D", 5*time.Second, "spawn damping window")
 	profileDir := flag.String("profiles", "", "profile DB directory (empty = temp)")
 	httpAddr := flag.String("http", "", "serve the TranSend HTTP API on this address (frontend role)")
+	edgeListen := flag.String("edge-listen", "", "serve the L7 front door on this address (edge role): one listener balancing across every FE replica heard heartbeating")
+	feHTTP := flag.String("fe-http", "", "bind an HTTP adapter for every local front end on this host (port auto-assigned) and advertise it in FE heartbeats — what the edge routes to")
+	edgeRetryBudget := flag.Float64("edge-retry-budget", 0.5, "edge retry budget: retries allowed per request, as a fraction (0 disables transparent retry)")
 	reqDeadline := flag.Duration("request-deadline", 0, "end-to-end deadline stamped onto requests arriving without one (0 = none)")
 	feMaxInflight := flag.Int("fe-max-inflight", 0, "per-front-end admitted request bound; past it requests degrade to stale cache or shed (0 = default)")
 	feHighWater := flag.Float64("fe-queue-highwater", 0, "shed at admission when the least-loaded worker's queue estimate exceeds this (0 = disabled)")
@@ -99,6 +105,9 @@ func main() {
 	roles, err := core.ParseRoles(*rolesFlag)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if roles.Edge && *edgeListen == "" {
+		log.Fatal("node: the edge role requires -edge-listen")
 	}
 	if *seed == 0 {
 		*seed = time.Now().UnixNano()
@@ -145,6 +154,9 @@ func main() {
 			Damping:        *dampD,
 			ReapThreshold:  0.5,
 		},
+		EdgeListen:         *edgeListen,
+		FEHTTP:             *feHTTP,
+		EdgeRetryBudget:    *edgeRetryBudget,
 		RequestDeadline:    *reqDeadline,
 		FEMaxInflight:      *feMaxInflight,
 		FEQueueHighWater:   *feHighWater,
@@ -190,14 +202,23 @@ func main() {
 		return
 	}
 
+	var debugSrv *http.Server
 	if *httpAddr != "" {
-		go serveHTTP(sys, *httpAddr)
+		debugSrv = serveHTTP(sys, *httpAddr)
+	}
+	if eg := sys.Edge(); eg != nil {
+		log.Printf("node: edge front door on http://%s", eg.HTTPAddr())
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Print("node: shutting down")
+	if debugSrv != nil {
+		shctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = debugSrv.Shutdown(shctx)
+	}
 }
 
 // selftestReport is the JSON the CI smoke test asserts on.
@@ -550,8 +571,9 @@ func awaitDelegatedRestart(sys *core.System, timeout time.Duration) error {
 }
 
 // serveHTTP exposes the same /fetch and /status endpoints as
-// cmd/transend, backed by this process's front ends.
-func serveHTTP(sys *core.System, addr string) {
+// cmd/transend, backed by this process's front ends. The returned
+// server is already serving; the caller owns its graceful Shutdown.
+func serveHTTP(sys *core.System, addr string) *http.Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/fetch", func(w http.ResponseWriter, r *http.Request) {
 		url := r.URL.Query().Get("url")
@@ -559,16 +581,31 @@ func serveHTTP(sys *core.System, addr string) {
 			http.Error(w, "missing url parameter", http.StatusBadRequest)
 			return
 		}
-		ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
-		defer cancel()
+		ctx := r.Context()
+		// Honor a propagated absolute deadline (the edge stamps one);
+		// requests arriving without one get the local default.
+		if h := r.Header.Get(edge.HeaderDeadline); h != "" {
+			if ns, err := strconv.ParseInt(h, 10, 64); err == nil {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithDeadline(ctx, time.Unix(0, ns))
+				defer cancel()
+			}
+		} else {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, 30*time.Second)
+			defer cancel()
+		}
 		resp, err := sys.Request(ctx, url, r.URL.Query().Get("user"))
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadGateway)
 			return
 		}
-		w.Header().Set("X-TranSend-Source", resp.Source)
+		w.Header().Set(edge.HeaderSource, resp.Source)
+		if resp.Degraded {
+			w.Header().Set(edge.HeaderDegraded, "1")
+		}
 		if resp.Trace.Valid() {
-			w.Header().Set("X-Trace-Id", resp.Trace.String())
+			w.Header().Set(edge.HeaderTraceID, resp.Trace.String())
 		}
 		w.Write(resp.Blob.Data)
 	})
@@ -644,6 +681,24 @@ func serveHTTP(sys *core.System, addr string) {
 		}
 		fmt.Fprintf(w, "killed %s\n", name)
 	})
-	log.Printf("node: http on %s", addr)
-	log.Fatal(http.ListenAndServe(addr, mux))
+	// A configured server, not bare ListenAndServe: header timeouts so a
+	// slow-header client can't pin goroutines, and a handle the caller
+	// can Shutdown gracefully.
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("node: http listen %s: %v", addr, err)
+	}
+	log.Printf("node: http on %s", ln.Addr())
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("node: http: %v", err)
+		}
+	}()
+	return srv
 }

@@ -39,6 +39,11 @@ type Config struct {
 	// pre-replication topology. KillManager faults always target the
 	// acting primary.
 	Managers int
+	// Edge adds the L7 front door: the system binds an edge listener
+	// and per-FE HTTP adapters on loopback, and StartEdgeLoad drives
+	// the workload through it as real HTTP instead of in-process
+	// System.Request calls.
+	Edge bool
 
 	// Service. Nil Registry/Rules install an echo worker class
 	// ("chaos-echo") whose pipeline every request traverses, so a
@@ -143,6 +148,10 @@ type Harness struct {
 // New boots a complete SNS instance and attaches the observers.
 func New(cfg Config) (*Harness, error) {
 	cfg = cfg.withDefaults()
+	var edgeListen, feHTTP string
+	if cfg.Edge {
+		edgeListen, feHTTP = "127.0.0.1:0", "127.0.0.1"
+	}
 	sys, err := core.Start(core.Config{
 		Seed:              cfg.Seed,
 		WireMode:          !cfg.Passthrough,
@@ -165,6 +174,9 @@ func New(cfg Config) (*Harness, error) {
 		FEMaxInflight:     cfg.FEMaxInflight,
 		FEQueueHighWater:  cfg.FEQueueHighWater,
 		CacheTTL:          cfg.CacheTTL,
+		EdgeListen:        edgeListen,
+		FEHTTP:            feHTTP,
+		EdgeRetryBudget:   0.5,
 	})
 	if err != nil {
 		return nil, err

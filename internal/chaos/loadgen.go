@@ -4,12 +4,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	neturl "net/url"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/edge"
 	"repro/internal/frontend"
 	"repro/internal/media"
 	"repro/internal/sim"
@@ -50,6 +54,16 @@ func (s LoadStats) Goodput(dur time.Duration) float64 {
 	return float64(s.OK+s.Degraded) / dur.Seconds()
 }
 
+// outcome classifies one completed load-generator request.
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	outcomeDegraded
+	outcomeShed
+	outcomeFailed
+)
+
 // loadGen replays a seeded arrival process against the system while
 // faults land. Arrival offsets come from the paper's bursty model
 // (trace.ArrivalModel) compressed onto the test clock; object choice
@@ -71,6 +85,65 @@ type loadGen struct {
 // sequence at the same offsets. Poll progress with LoadStats; stop
 // and collect with StopLoad.
 func (h *Harness) StartLoad(rate float64, objects int, dur time.Duration) {
+	h.startLoad(rate, objects, dur, func(ctx context.Context, url string) outcome {
+		resp, err := h.Sys.Request(ctx, url, "loadgen")
+		switch {
+		case errors.Is(err, frontend.ErrOverloaded):
+			return outcomeShed
+		case err != nil:
+			return outcomeFailed
+		case resp.Degraded || isFallback(resp.Source):
+			return outcomeDegraded
+		default:
+			return outcomeOK
+		}
+	})
+}
+
+// StartEdgeLoad is StartLoad aimed at the front door: the same seeded
+// arrival process, issued as real HTTP GETs against the edge listener
+// and classified from status codes and the X-TranSend-* headers — the
+// client's view of the cluster as one service.
+func (h *Harness) StartEdgeLoad(rate float64, objects int, dur time.Duration) error {
+	eg := h.Sys.Edge()
+	if eg == nil {
+		return fmt.Errorf("chaos: no edge configured (Config.Edge)")
+	}
+	base := "http://" + eg.HTTPAddr() + "/fetch?user=loadgen&url="
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        256,
+		MaxIdleConnsPerHost: 256,
+	}}
+	h.startLoad(rate, objects, dur, func(ctx context.Context, url string) outcome {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+neturl.QueryEscape(url), nil)
+		if err != nil {
+			return outcomeFailed
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return outcomeFailed
+		}
+		defer resp.Body.Close()
+		_, _ = io.Copy(io.Discard, resp.Body)
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			if resp.Header.Get(edge.HeaderDegraded) == "1" || isFallback(resp.Header.Get(edge.HeaderSource)) {
+				return outcomeDegraded
+			}
+			return outcomeOK
+		case resp.Header.Get(edge.HeaderError) == "overloaded":
+			return outcomeShed
+		default:
+			return outcomeFailed
+		}
+	})
+	return nil
+}
+
+// startLoad is the shared generator body: the seeded arrival process
+// drives the supplied request function, whose outcome lands in the
+// ok/degraded/shed/failed counters.
+func (h *Harness) startLoad(rate float64, objects int, dur time.Duration, do func(ctx context.Context, url string) outcome) {
 	if h.load != nil {
 		h.load.stop()
 	}
@@ -115,17 +188,24 @@ func (h *Harness) StartLoad(rate float64, objects int, dur time.Duration) {
 			lg.wg.Add(1)
 			go func() {
 				defer lg.wg.Done()
-				rctx, rcancel := context.WithTimeout(ctx, 5*time.Second)
+				// Deliberately not derived from the generator's ctx:
+				// StopLoad halts *issuing* but lets in-flight requests
+				// finish, so a stop never misclassifies them as failures.
+				// The timeout is a hang backstop, far above any latency a
+				// loaded-but-live system produces (the race detector can
+				// stretch tails well past seconds) — scenarios assert on
+				// failures, not latency, so slow must never read as failed.
+				rctx, rcancel := context.WithTimeout(context.Background(), 30*time.Second)
 				defer rcancel()
 				t0 := time.Now()
-				resp, err := h.Sys.Request(rctx, url, "loadgen")
+				out := do(rctx, url)
 				lg.observe(time.Since(t0))
-				switch {
-				case errors.Is(err, frontend.ErrOverloaded):
+				switch out {
+				case outcomeShed:
 					lg.shed.Add(1)
-				case err != nil:
+				case outcomeFailed:
 					lg.failed.Add(1)
-				case resp.Degraded || isFallback(resp.Source):
+				case outcomeDegraded:
 					lg.degraded.Add(1)
 				default:
 					lg.ok.Add(1)

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/edge"
 	"repro/internal/frontend"
 	"repro/internal/manager"
 	"repro/internal/monitor"
@@ -57,6 +58,9 @@ type Roles struct {
 	Workers   bool
 	Caches    bool
 	Monitor   bool
+	// Edge hosts the L7 front door (internal/edge). Unlike the other
+	// roles it still needs Config.EdgeListen set to actually bind.
+	Edge bool
 }
 
 // All reports whether this is the host-everything zero value.
@@ -67,9 +71,10 @@ func (r Roles) manager() bool   { return r.All() || r.Manager }
 func (r Roles) workers() bool   { return r.All() || r.Workers }
 func (r Roles) caches() bool    { return r.All() || r.Caches }
 func (r Roles) monitor() bool   { return r.All() || r.Monitor }
+func (r Roles) edge() bool      { return r.All() || r.Edge }
 
 // ParseRoles parses a comma-separated role list
-// ("frontend,manager,worker,cache,monitor"; "all" or "" selects
+// ("frontend,manager,worker,cache,monitor,edge"; "all" or "" selects
 // everything) — the cmd/node and cmd/transend flag format.
 func ParseRoles(s string) (Roles, error) {
 	var r Roles
@@ -88,6 +93,8 @@ func ParseRoles(s string) (Roles, error) {
 			r.Caches = true
 		case "monitor", "mon":
 			r.Monitor = true
+		case "edge":
+			r.Edge = true
 		case "":
 		default:
 			return Roles{}, fmt.Errorf("core: unknown role %q", part)
@@ -222,6 +229,21 @@ type Config struct {
 	// worker's estimated queue reaches this depth (0 = off).
 	FEQueueHighWater float64
 
+	// Front door (internal/edge).
+
+	// EdgeListen, when non-empty, hosts the L7 front door on this
+	// HTTP address ("host:port", port 0 picks a free port) — provided
+	// the process carries the edge role (or the host-everything zero
+	// Roles).
+	EdgeListen string
+	// FEHTTP, when non-empty, binds an HTTP adapter (edge.FEServer) on
+	// this host for every local front end and advertises its address
+	// in FE heartbeats — the per-replica listener the edge routes to.
+	FEHTTP string
+	// EdgeRetryBudget bounds edge retries as a fraction of requests
+	// (0 disables transparent retry).
+	EdgeRetryBudget float64
+
 	// Observability (internal/obs).
 
 	// TraceSampleRate samples 1 in N requests for distributed tracing
@@ -301,6 +323,8 @@ type System struct {
 	fes         map[string]*frontend.FrontEnd
 	feNodes     map[string]string
 	feOrder     []string
+	feHTTP      map[string]*edge.FEServer
+	edge        *edge.Edge
 	workerNodes map[string]string
 	workerStubs map[string]*stub.WorkerStub
 
@@ -358,6 +382,7 @@ func Start(cfg Config) (*System, error) {
 		localCaches: make(map[string]bool),
 		fes:         make(map[string]*frontend.FrontEnd),
 		feNodes:     make(map[string]string),
+		feHTTP:      make(map[string]*edge.FEServer),
 		workerNodes: make(map[string]string),
 		workerStubs: make(map[string]*stub.WorkerStub),
 	}
@@ -520,6 +545,45 @@ func Start(cfg Config) (*System, error) {
 			}
 		}
 	}
+
+	// Front door: one L7 edge proxy balancing across the FE replicas
+	// it hears heartbeating (local and peer-process alike).
+	if cfg.EdgeListen != "" && cfg.Roles.edge() {
+		// Generous pool TTL: an FE being SIGKILLed and respawned must
+		// keep its (ejected) slot across the gap so the probe
+		// readmission path runs. The kill→respawn window is wall-clock
+		// (detection sweep + spawn), not a beacon multiple, so the TTL
+		// gets an absolute floor even under very fast test beacons.
+		poolTTL := 20 * cfg.BeaconInterval
+		if poolTTL < 2*time.Second {
+			poolTTL = 2 * time.Second
+		}
+		eg, err := edge.New(edge.Config{
+			Name:        "edge",
+			Node:        s.placeOrErr(),
+			Net:         s.Net,
+			Listen:      cfg.EdgeListen,
+			RetryBudget: cfg.EdgeRetryBudget,
+			Pool: edge.PoolConfig{
+				TTL:        poolTTL,
+				ProbeAfter: 2 * cfg.BeaconInterval,
+				Seed:       cfg.Seed,
+			},
+			RequestTimeout: cfg.RequestDeadline,
+		})
+		if err != nil {
+			s.cleanup()
+			return nil, err
+		}
+		if _, err := s.Cluster.Spawn(eg.Addr().Node, eg); err != nil {
+			_ = eg.Close()
+			s.cleanup()
+			return nil, err
+		}
+		s.mu.Lock()
+		s.edge = eg
+		s.mu.Unlock()
+	}
 	return s, nil
 }
 
@@ -540,6 +604,19 @@ func (s *System) placeOrErr() string {
 
 func (s *System) cleanup() {
 	s.Cluster.StopAll()
+	s.mu.Lock()
+	adapters := make([]*edge.FEServer, 0, len(s.feHTTP))
+	for _, a := range s.feHTTP {
+		adapters = append(adapters, a)
+	}
+	eg := s.edge
+	s.mu.Unlock()
+	for _, a := range adapters {
+		_ = a.Close()
+	}
+	if eg != nil {
+		_ = eg.Close()
+	}
 	if s.Bridge != nil {
 		_ = s.Bridge.Close()
 	}
@@ -829,6 +906,24 @@ func (s *System) spawnFrontEnd(name, node string) error {
 		br := s.Bridge
 		backpressureFn = func() uint64 { return br.Stats().Backpressure }
 	}
+	// Bind the replica's HTTP adapter before building the front end:
+	// the bound address goes into the config so the very first
+	// heartbeat already advertises it. A respawn rebinds (fresh port);
+	// the edge's pool entry is keyed by SAN address, so the new
+	// address refreshes the existing slot and the half-open probe
+	// readmits it.
+	var fesrv *edge.FEServer
+	if s.cfg.FEHTTP != "" {
+		var err error
+		fesrv, err = edge.NewFEServer(s.cfg.FEHTTP)
+		if err != nil {
+			return err
+		}
+	}
+	httpAddr := ""
+	if fesrv != nil {
+		httpAddr = fesrv.Addr()
+	}
 	fe := frontend.New(frontend.Config{
 		Name:              name,
 		Node:              node,
@@ -841,6 +936,7 @@ func (s *System) spawnFrontEnd(name, node string) error {
 		CacheTTL:          s.cfg.CacheTTL,
 		CacheTimeout:      s.cfg.CacheTimeout,
 		HeartbeatInterval: s.cfg.BeaconInterval,
+		HTTPAddr:          httpAddr,
 		MinDistillSize:    s.cfg.MinDistillSize,
 		RequestDeadline:   s.cfg.RequestDeadline,
 		MaxInflight:       s.cfg.FEMaxInflight,
@@ -856,9 +952,24 @@ func (s *System) spawnFrontEnd(name, node string) error {
 		},
 	})
 	if _, err := s.Cluster.Spawn(node, fe); err != nil {
+		if fesrv != nil {
+			_ = fesrv.Close()
+		}
 		return err
 	}
+	if fesrv != nil {
+		fesrv.Serve(fe)
+	}
 	s.mu.Lock()
+	if old := s.feHTTP[name]; old != nil {
+		// Respawn: retire the dead instance's adapter.
+		_ = old.Close()
+	}
+	if fesrv != nil {
+		s.feHTTP[name] = fesrv
+	} else {
+		delete(s.feHTTP, name)
+	}
 	s.fes[name] = fe
 	s.feNodes[name] = node
 	if !contains(s.feOrder, name) {
@@ -875,6 +986,25 @@ func contains(xs []string, x string) bool {
 		}
 	}
 	return false
+}
+
+// Edge returns the front-door proxy this process hosts (nil when the
+// edge role or EdgeListen is unset).
+func (s *System) Edge() *edge.Edge {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.edge
+}
+
+// FrontEndHTTPAddr returns the HTTP adapter address of a local front
+// end ("" when FEHTTP is unset or the name is unknown).
+func (s *System) FrontEndHTTPAddr(name string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if a := s.feHTTP[name]; a != nil {
+		return a.Addr()
+	}
+	return ""
 }
 
 // FrontEnds returns the live front-end instances in creation order.
@@ -935,6 +1065,13 @@ func (s *System) WaitReady(timeout time.Duration) bool {
 						}
 					}
 				}
+			}
+		}
+		if eg := s.Edge(); eg != nil {
+			// The front door is serviceable once its listener is live
+			// and it has heard at least one routable FE heartbeat.
+			if !eg.Running() || eg.PoolStats().Healthy < 1 {
+				ready = false
 			}
 		}
 		if ready {

@@ -1,0 +1,130 @@
+package edge
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/frontend"
+	"repro/internal/obs"
+)
+
+// FEServer is the per-front-end HTTP adapter: the listener whose
+// address an FE advertises in its heartbeats and the edge routes to.
+// It lives in this package so edge→frontend is the only new dependency
+// direction — the frontend package itself stays free of net/http.
+//
+// Construction is two-step (NewFEServer binds, Serve attaches the
+// front end) because the bound address must be known before the front
+// end is built: it goes into frontend.Config.HTTPAddr so the very
+// first heartbeat already advertises it.
+type FEServer struct {
+	fe      *frontend.FrontEnd
+	ln      net.Listener
+	srv     *http.Server
+	timeout time.Duration
+}
+
+// NewFEServer binds a listener on host:0 (or any explicit host:port).
+func NewFEServer(listen string) (*FEServer, error) {
+	if _, _, err := net.SplitHostPort(listen); err != nil {
+		listen = net.JoinHostPort(listen, "0")
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("edge: fe listen %s: %w", listen, err)
+	}
+	return &FEServer{ln: ln, timeout: 30 * time.Second}, nil
+}
+
+// Addr returns the bound host:port.
+func (s *FEServer) Addr() string { return s.ln.Addr().String() }
+
+// Serve attaches the front end and starts serving. Call once.
+func (s *FEServer) Serve(fe *frontend.FrontEnd) {
+	s.fe = fe
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fetch", s.handleFetch)
+	s.srv = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go func() { _ = s.srv.Serve(s.ln) }()
+}
+
+// Close shuts the adapter down, gracefully when it was serving.
+func (s *FEServer) Close() error {
+	if s.srv == nil {
+		return s.ln.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}
+
+// handleFetch adapts one HTTP request onto frontend.Do: deadline from
+// X-Deadline-Ns (else the adapter default), trace id adopted from
+// X-Trace-Id, refusals classified via X-TranSend-Error so the edge and
+// load generators can tell shed from failure.
+func (s *FEServer) handleFetch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	url := q.Get("url")
+	if url == "" {
+		http.Error(w, "missing url", http.StatusBadRequest)
+		return
+	}
+	ctx := r.Context()
+	if h := r.Header.Get(HeaderDeadline); h != "" {
+		if ns, err := strconv.ParseInt(h, 10, 64); err == nil {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithDeadline(ctx, time.Unix(0, ns))
+			defer cancel()
+		}
+	} else if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	if h := r.Header.Get(HeaderTraceID); h != "" {
+		if id, err := obs.ParseTraceID(h); err == nil {
+			ctx = obs.WithTrace(ctx, id)
+		}
+	}
+
+	resp, err := s.fe.Do(ctx, frontend.Request{
+		URL:  url,
+		User: q.Get("user"),
+		Raw:  q.Get("raw") == "1",
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, frontend.ErrDisabled):
+			w.Header().Set(HeaderError, "disabled")
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		case errors.Is(err, frontend.ErrOverloaded):
+			w.Header().Set(HeaderError, "overloaded")
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		case ctx.Err() != nil:
+			w.Header().Set(HeaderError, "deadline")
+			http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		default:
+			http.Error(w, err.Error(), http.StatusBadGateway)
+		}
+		return
+	}
+	defer resp.Release()
+	w.Header().Set("Content-Type", resp.Blob.MIME)
+	w.Header().Set(HeaderSource, resp.Source)
+	if resp.Degraded {
+		w.Header().Set(HeaderDegraded, "1")
+	}
+	if resp.Trace.Valid() {
+		w.Header().Set(HeaderTraceID, resp.Trace.String())
+	}
+	_, _ = w.Write(resp.Blob.Data)
+}

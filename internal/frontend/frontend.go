@@ -104,6 +104,11 @@ type Config struct {
 	FetchTimeout time.Duration
 	// HeartbeatInterval paces FE heartbeats to the manager.
 	HeartbeatInterval time.Duration
+	// HTTPAddr is the host:port of this front end's HTTP adapter
+	// (edge.FEServer). It rides every heartbeat so the edge can route
+	// to the replica; empty means the FE is not HTTP-reachable and the
+	// edge ignores it.
+	HTTPAddr string
 	// CacheTimeout bounds one virtual-cache round trip; an
 	// unreachable cache partition reads as a miss after this long
 	// (BASE: the cache is never a correctness dependency). Zero
@@ -218,6 +223,7 @@ type FrontEnd struct {
 	distillFlight stub.FlightGroup[tacc.Blob]
 
 	running  atomic.Bool
+	runDone  atomic.Pointer[chan struct{}] // closed when the current Run exits
 	inflight atomic.Int64  // admitted requests currently queued or executing
 	lastBP   atomic.Uint64 // last BackpressureFn sample (delta = congestion)
 	stats    struct {
@@ -304,6 +310,13 @@ func (fe *FrontEnd) Run(ctx context.Context) error {
 
 	fe.running.Store(true)
 	defer fe.running.Store(false)
+	// Closed on exit so Do calls whose job is still queued when the FE
+	// dies fail fast instead of waiting on a worker that will never
+	// answer (the caller may hold no deadline — e.g. the edge's HTTP
+	// adapter — and a killed FE must read as an error, not a hang).
+	done := make(chan struct{})
+	fe.runDone.Store(&done)
+	defer close(done)
 	fe.cfg.Net.Registry().SetCollector("fe."+fe.cfg.Name, func(emit func(string, float64)) {
 		st := fe.Stats()
 		emit("requests", float64(st.Requests))
@@ -378,10 +391,14 @@ func (fe *FrontEnd) Run(ctx context.Context) error {
 				fe.mu.Lock()
 				fe.disabled = true
 				fe.mu.Unlock()
+				// Announce the drain at once — the edge must stop
+				// routing here now, not a heartbeat tick later.
+				fe.heartbeat(ep)
 			case stub.MsgEnable:
 				fe.mu.Lock()
 				fe.disabled = false
 				fe.mu.Unlock()
+				fe.heartbeat(ep)
 			}
 		}
 	}
@@ -394,11 +411,16 @@ func (fe *FrontEnd) heartbeat(ep *san.Endpoint) {
 	// primary takes over the FE process-peer watch with no
 	// re-registration round (symmetric with cache and supervisor
 	// hellos).
+	fe.mu.Lock()
+	draining := fe.disabled
+	fe.mu.Unlock()
 	ep.Multicast(stub.GroupControl, stub.MsgFEHello, stub.FEHeartbeat{
-		Name: fe.cfg.Name,
-		Addr: fe.addr(),
-		Node: fe.cfg.Node,
-	}, 48)
+		Name:     fe.cfg.Name,
+		Addr:     fe.addr(),
+		Node:     fe.cfg.Node,
+		HTTPAddr: fe.cfg.HTTPAddr,
+		Draining: draining,
+	}, 64)
 	st := fe.Stats()
 	ep.Multicast(stub.GroupReports, stub.MsgMonReport, stub.StatusReport{
 		Component: fe.cfg.Name,
@@ -468,6 +490,12 @@ func (fe *FrontEnd) Do(ctx context.Context, req Request) (Response, error) {
 	if !fe.running.Load() {
 		return Response{}, fmt.Errorf("frontend: %s not running", fe.cfg.Name)
 	}
+	// The current run's death signal: if the FE is killed after this
+	// job lands in the queue, no worker will ever answer it.
+	var done chan struct{}
+	if p := fe.runDone.Load(); p != nil {
+		done = *p
+	}
 	if fe.cfg.RequestDeadline > 0 {
 		if _, has := ctx.Deadline(); !has {
 			var cancel context.CancelFunc
@@ -527,6 +555,23 @@ func (fe *FrontEnd) Do(ctx context.Context, req Request) (Response, error) {
 			case <-ctx.Done():
 				finish("expired", true)
 				return Response{}, ctx.Err()
+			case <-done:
+				// The run exited — but a worker may have answered just
+				// before it did, so prefer a buffered result over the
+				// death signal.
+				select {
+				case resp := <-j.resp:
+					resp.Trace = trace
+					finish(resp.Source, false)
+					return resp, nil
+				case err := <-j.err:
+					finish("error", false)
+					return Response{}, err
+				default:
+					fe.stats.errors.Add(1)
+					finish("stopped", true)
+					return Response{}, fmt.Errorf("frontend: %s stopped", fe.cfg.Name)
+				}
 			}
 		default:
 			// Queue full is saturation by definition: fall through to

@@ -129,10 +129,19 @@ type ResultMsg struct {
 
 // FEHeartbeat tells the manager a front end is alive (process-peer
 // input for "the manager detects and restarts a crashed front end").
+// HTTPAddr, when non-empty, is the host:port of the front end's HTTP
+// adapter — the address an edge proxy routes client requests to.
+// Draining marks a front end that has been disabled for a hot upgrade:
+// still alive (heartbeats keep flowing so the manager does not restart
+// it) but asking the edge to stop sending it new requests. Both fields
+// ride an optional tail on the wire so pre-extension frames decode with
+// zero values.
 type FEHeartbeat struct {
-	Name string
-	Addr san.Addr
-	Node string
+	Name     string
+	Addr     san.Addr
+	Node     string
+	HTTPAddr string
+	Draining bool
 }
 
 // SpawnReq asks the manager to start a worker of a class the front end
@@ -293,6 +302,8 @@ func EncodeBodyAppend(dst []byte, kind string, body any) ([]byte, error) {
 		w.str(m.Name)
 		w.addr(m.Addr)
 		w.str(m.Node)
+		w.str(m.HTTPAddr)
+		w.bool(m.Draining)
 	case MsgSpawnReq:
 		m, ok := body.(SpawnReq)
 		if !ok {
@@ -476,7 +487,14 @@ func decodeBody(kind string, data []byte, view bool) (any, bool, error) {
 	case MsgResult:
 		body = ResultMsg{Blob: r.blob(), Err: r.str()}
 	case MsgFEHello:
-		body = FEHeartbeat{Name: r.str(), Addr: r.addr(), Node: r.str()}
+		m := FEHeartbeat{Name: r.str(), Addr: r.addr(), Node: r.str()}
+		// Optional tail: frames encoded before the HTTPAddr/Draining
+		// extension end here and decode with zero values.
+		if r.err == nil && r.pos < len(r.buf) {
+			m.HTTPAddr = r.str()
+			m.Draining = r.bool()
+		}
+		body = m
 	case MsgSpawnReq:
 		body = SpawnReq{Class: r.str()}
 	case MsgMonReport:

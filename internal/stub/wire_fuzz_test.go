@@ -59,7 +59,10 @@ func wireSamples() map[string]any {
 			Blob: tacc.Blob{MIME: "image/sjpg", Data: []byte("distilled")},
 			Err:  "",
 		},
-		MsgFEHello:  FEHeartbeat{Name: "fe0", Addr: san.Addr{Node: "fe", Proc: "fe0"}, Node: "fe"},
+		MsgFEHello: FEHeartbeat{
+			Name: "fe0", Addr: san.Addr{Node: "fe", Proc: "fe0"}, Node: "fe",
+			HTTPAddr: "127.0.0.1:39201", Draining: true,
+		},
 		MsgSpawnReq: SpawnReq{Class: "echo"},
 		MsgMonReport: StatusReport{
 			Component: "w0", Kind: "worker", Node: "n1",
@@ -198,6 +201,35 @@ func TestWireRejects(t *testing.T) {
 	}
 	if _, err := DecodeBody(MsgShutdown, []byte{1}); err == nil {
 		t.Fatal("decode accepted a body for a body-less kind")
+	}
+}
+
+// TestFEHeartbeatOldFormatDecodes pins wire compatibility for the
+// HTTPAddr/Draining extension: a frame laid out the pre-extension way
+// (Name, Addr, Node only) must still decode, with the new fields
+// zero-valued — a mixed-version cluster's old front ends keep
+// heartbeating through new managers and edges.
+func TestFEHeartbeatOldFormatDecodes(t *testing.T) {
+	full := wireSamples()[MsgFEHello].(FEHeartbeat)
+	old := struct {
+		name, node string
+		addr       san.Addr
+	}{full.Name, full.Node, full.Addr}
+
+	// Hand-build the old frame with the writer primitives the original
+	// encoder used: str(Name), addr(Addr), str(Node), nothing after.
+	w := &wireWriter{}
+	w.str(old.name)
+	w.addr(old.addr)
+	w.str(old.node)
+
+	got, err := DecodeBody(MsgFEHello, w.buf)
+	if err != nil {
+		t.Fatalf("old-format frame rejected: %v", err)
+	}
+	want := FEHeartbeat{Name: old.name, Addr: old.addr, Node: old.node}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("old-format decode:\n got %#v\nwant %#v", got, want)
 	}
 }
 

@@ -36,6 +36,16 @@
 # queue-wait + service hops (the peer, crossed back as span digests on
 # the report group). /metrics must expose the registry in Prometheus
 # form and /status must be machine-readable JSON.
+#
+# Leg 5 — edge front door: four processes (data plane with the
+# manager; two single-FE serving processes advertising HTTP adapters
+# in their heartbeats; an edge-only process). A curl workload runs
+# against the edge listener while one FE's OS process is SIGKILLed
+# mid-loop: every request must still return 200 (transparent retry on
+# the surviving replica), the edge must eject the dead backend, and
+# after the FE process is restarted a half-open probe must readmit it
+# — ejects >= 1 and readmits >= 1 on /status, zero failed requests,
+# zero wire errors on the edge's /metrics.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,12 +61,18 @@ srv_out=$(mktemp -t sns-srv.XXXXXX.json)
 ovl_log=$(mktemp -t sns-ovl.XXXXXX.log)
 trc_log=$(mktemp -t sns-trc.XXXXXX.log)
 tsv_log=$(mktemp -t sns-tsv.XXXXXX.log)
+dp5_log=$(mktemp -t sns-dp5.XXXXXX.log)
+fea_log=$(mktemp -t sns-fea.XXXXXX.log)
+feb_log=$(mktemp -t sns-feb.XXXXXX.log)
+edg_log=$(mktemp -t sns-edg.XXXXXX.log)
 cleanup() {
-    for pid in "${ctl_pid:-}" "${hub_pid:-}" "${mgr_pid:-}" "${srv_pid:-}" "${ovl_pid:-}" "${trc_pid:-}" "${tsv_pid:-}"; do
+    for pid in "${ctl_pid:-}" "${hub_pid:-}" "${mgr_pid:-}" "${srv_pid:-}" "${ovl_pid:-}" "${trc_pid:-}" "${tsv_pid:-}" \
+               "${dp5_pid:-}" "${fea_pid:-}" "${feb_pid:-}" "${edg_pid:-}"; do
         [[ -n "${pid}" ]] && kill "${pid}" 2>/dev/null || true
         [[ -n "${pid}" ]] && wait "${pid}" 2>/dev/null || true
     done
-    rm -f "${bin}" "${ctl_log}" "${hub_log}" "${mgr_log}" "${srv_log}" "${srv_out}" "${ovl_log}" "${trc_log}" "${tsv_log}"
+    rm -f "${bin}" "${ctl_log}" "${hub_log}" "${mgr_log}" "${srv_log}" "${srv_out}" "${ovl_log}" "${trc_log}" "${tsv_log}" \
+        "${dp5_log}" "${fea_log}" "${feb_log}" "${edg_log}"
 }
 trap cleanup EXIT
 
@@ -311,3 +327,140 @@ if ! grep -q 'san: wire=' <<<"${text}"; then
 fi
 
 echo "smoke: [trace] OK — one X-Trace-Id resolved to a span tree recorded by both OS processes (fe.request on tsv, worker.queue + worker.service on trc); /metrics and JSON /status served"
+
+# Leg 4's processes are done; stop them before the edge leg.
+kill "${trc_pid}" "${tsv_pid}" 2>/dev/null || true
+wait "${trc_pid}" 2>/dev/null || true
+wait "${tsv_pid}" 2>/dev/null || true
+trc_pid=
+tsv_pid=
+
+PORT5=$((PORT + 4))
+EDGE5="${SMOKE_EDGE_PORT:-$((PORT + 11))}"
+echo "smoke: [edge] starting data-plane process (manager,worker,cache,monitor) on :${PORT5}..."
+"${bin}" -listen "tcp:127.0.0.1:${PORT5}" -prefix dp5 -roles manager,worker,cache,monitor \
+    -seed 10 >"${dp5_log}" 2>&1 &
+dp5_pid=$!
+
+start_fe() { # start_fe <prefix> <seed> <log>
+    "${bin}" -listen tcp:127.0.0.1:0 -join "tcp:127.0.0.1:${PORT5}" \
+        -prefix "$1" -roles frontend -frontends 1 -fe-http 127.0.0.1 \
+        -cache-host dp5 -seed "$2" >"$3" 2>&1 &
+}
+wait_ready() { # wait_ready <log> <label>
+    for _ in $(seq 1 300); do
+        grep -q "node: ready" "$1" 2>/dev/null && return 0
+        sleep 0.1
+    done
+    echo "smoke: [edge] FAILED — $2 never became ready" >&2
+    cat "$1" "${dp5_log}" >&2
+    exit 1
+}
+
+echo "smoke: [edge] starting two single-FE serving processes with HTTP adapters..."
+start_fe fea 11 "${fea_log}"
+fea_pid=$!
+start_fe feb 12 "${feb_log}"
+feb_pid=$!
+wait_ready "${fea_log}" "front-end process fea"
+wait_ready "${feb_log}" "front-end process feb"
+
+echo "smoke: [edge] starting edge-only process with the front door on :${EDGE5}..."
+"${bin}" -listen tcp:127.0.0.1:0 -join "tcp:127.0.0.1:${PORT5}" \
+    -prefix edg -roles edge -edge-listen "127.0.0.1:${EDGE5}" \
+    -seed 13 >"${edg_log}" 2>&1 &
+edg_pid=$!
+for _ in $(seq 1 300); do
+    grep -q "node: edge front door on" "${edg_log}" 2>/dev/null && break
+    sleep 0.1
+done
+if ! grep -q "node: edge front door on" "${edg_log}"; then
+    echo "smoke: [edge] FAILED — edge process never became ready" >&2
+    cat "${edg_log}" "${fea_log}" "${feb_log}" "${dp5_log}" >&2
+    exit 1
+fi
+# The edge must have learned BOTH replicas from heartbeats before the
+# kill, or the eject/readmit assertions race pool discovery.
+for _ in $(seq 1 100); do
+    curl -fsS "http://127.0.0.1:${EDGE5}/status" 2>/dev/null | grep -q '"healthy":2' && break
+    sleep 0.1
+done
+if ! curl -fsS "http://127.0.0.1:${EDGE5}/status" | grep -q '"healthy":2'; then
+    echo "smoke: [edge] FAILED — edge pool never saw both front ends" >&2
+    curl -fsS "http://127.0.0.1:${EDGE5}/status" >&2 || true
+    cat "${edg_log}" >&2
+    exit 1
+fi
+
+edge_fails=0
+edge_get() {
+    curl -fsS -o /dev/null --max-time 10 \
+        "http://127.0.0.1:${EDGE5}/fetch?url=http://origin5.example/e$1.sbin" \
+        || edge_fails=$((edge_fails + 1))
+}
+
+echo "smoke: [edge] warmup: 20 requests through the front door..."
+for i in $(seq 1 20); do edge_get "w${i}"; done
+
+echo "smoke: [edge] SIGKILLing front-end process feb mid-workload..."
+( sleep 0.7; kill -9 "${feb_pid}" 2>/dev/null ) &
+killer_pid=$!
+for i in $(seq 1 60); do
+    edge_get "k${i}"
+    sleep 0.05
+done
+wait "${killer_pid}" 2>/dev/null || true
+wait "${feb_pid}" 2>/dev/null || true
+feb_pid=
+
+if ! curl -fsS "http://127.0.0.1:${EDGE5}/status" | grep -q '"ejects":[1-9]'; then
+    echo "smoke: [edge] FAILED — dead backend was never ejected" >&2
+    curl -fsS "http://127.0.0.1:${EDGE5}/status" >&2 || true
+    cat "${edg_log}" >&2
+    exit 1
+fi
+
+echo "smoke: [edge] restarting front-end process feb..."
+start_fe feb 12 "${feb_log}"
+feb_pid=$!
+wait_ready "${feb_log}" "restarted front-end process feb"
+
+# Keep idempotent traffic flowing so the pool can risk a half-open
+# probe against the respawned replica, and poll until it is readmitted.
+readmitted=0
+for i in $(seq 1 150); do
+    edge_get "r${i}"
+    if curl -fsS "http://127.0.0.1:${EDGE5}/status" 2>/dev/null | grep -q '"readmits":[1-9]'; then
+        readmitted=1
+        break
+    fi
+    sleep 0.1
+done
+if [[ "${readmitted}" != 1 ]]; then
+    echo "smoke: [edge] FAILED — respawned backend was never readmitted" >&2
+    curl -fsS "http://127.0.0.1:${EDGE5}/status" >&2 || true
+    cat "${edg_log}" "${feb_log}" >&2
+    exit 1
+fi
+
+if [[ "${edge_fails}" -ne 0 ]]; then
+    echo "smoke: [edge] FAILED — ${edge_fails} client-visible request failures across the FE kill" >&2
+    curl -fsS "http://127.0.0.1:${EDGE5}/status" >&2 || true
+    cat "${edg_log}" >&2
+    exit 1
+fi
+
+# Zero wire errors on the edge's own metrics plane, and the edge.*
+# counters must be exposed there.
+edge_metrics=$(curl -fsS "http://127.0.0.1:${EDGE5}/metrics")
+if ! grep -q '^sns_edge_' <<<"${edge_metrics}"; then
+    echo "smoke: [edge] FAILED — /metrics on the edge has no sns_edge_ samples" >&2
+    exit 1
+fi
+if grep '^sns_.*wire_errors' <<<"${edge_metrics}" | grep -qv ' 0$'; then
+    echo "smoke: [edge] FAILED — wire errors on the edge process" >&2
+    grep '^sns_.*wire_errors' <<<"${edge_metrics}" >&2
+    exit 1
+fi
+
+echo "smoke: [edge] OK — FE process SIGKILLed and restarted under load through the front door: zero failed requests, >=1 eject, >=1 probe readmission, zero wire errors"
